@@ -1,0 +1,74 @@
+// Command batchzk-bench regenerates the tables and figures of the BatchZK
+// paper's evaluation (§6) on the simulated hardware profiles.
+//
+// Usage:
+//
+//	batchzk-bench                       # run every experiment on GH200
+//	batchzk-bench -experiment table7    # one experiment
+//	batchzk-bench -device V100          # another device profile
+//	batchzk-bench -list                 # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"batchzk"
+)
+
+func main() {
+	experiment := flag.String("experiment", "", "experiment id (empty = all); see -list")
+	device := flag.String("device", "GH200", "device profile: GH200, H100, A100, V100, 3090Ti")
+	format := flag.String("format", "text", "output format: text or csv")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range batchzk.Experiments() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	spec, err := batchzk.Device(*device)
+	if err != nil {
+		fatal(err)
+	}
+
+	render := func(t *batchzk.ExperimentTable) {
+		switch *format {
+		case "csv":
+			if err := t.RenderCSV(os.Stdout); err != nil {
+				fatal(err)
+			}
+		default:
+			t.Render(os.Stdout)
+		}
+	}
+
+	if *experiment == "" {
+		if *format == "text" {
+			fmt.Printf("BatchZK evaluation reproduction — primary device: %s (%d cores, %.2f GHz)\n\n",
+				spec.Name, spec.Cores, spec.ClockGHz)
+		}
+		for _, id := range batchzk.Experiments() {
+			table, err := batchzk.RunExperiment(id, spec)
+			if err != nil {
+				fatal(err)
+			}
+			render(table)
+		}
+		return
+	}
+	table, err := batchzk.RunExperiment(*experiment, spec)
+	if err != nil {
+		fatal(err)
+	}
+	render(table)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "batchzk-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"batchzk"
+)
+
+// Proof bundles persisted by `batchzk prove` and checked by
+// `batchzk verify`: the circuit recipe (gates + seed), the public
+// inputs, and the serialized proof.
+
+var bundleMagic = [4]byte{'B', 'Z', 'K', 'B'}
+
+type bundle struct {
+	Gates  int
+	Seed   int64
+	Public []batchzk.Element
+	Proof  *batchzk.Proof
+}
+
+func (b *bundle) write(w io.Writer) error {
+	if _, err := w.Write(bundleMagic[:]); err != nil {
+		return err
+	}
+	hdr := make([]byte, 16)
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(b.Gates))
+	binary.LittleEndian.PutUint64(hdr[4:], uint64(b.Seed))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(b.Public)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	for i := range b.Public {
+		eb := b.Public[i].ToBytes()
+		if _, err := w.Write(eb[:]); err != nil {
+			return err
+		}
+	}
+	_, err := b.Proof.WriteTo(w)
+	return err
+}
+
+func (b *bundle) read(r io.Reader) error {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return err
+	}
+	if magic != bundleMagic {
+		return fmt.Errorf("not a batchzk proof bundle")
+	}
+	hdr := make([]byte, 16)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return err
+	}
+	b.Gates = int(binary.LittleEndian.Uint32(hdr[0:]))
+	b.Seed = int64(binary.LittleEndian.Uint64(hdr[4:]))
+	n := int(binary.LittleEndian.Uint32(hdr[12:]))
+	if n > 1<<20 {
+		return fmt.Errorf("implausible public-input count %d", n)
+	}
+	b.Public = make([]batchzk.Element, n)
+	for i := range b.Public {
+		var eb [32]byte
+		if _, err := io.ReadFull(r, eb[:]); err != nil {
+			return err
+		}
+		if err := b.Public[i].SetBytes(eb); err != nil {
+			return err
+		}
+	}
+	b.Proof = &batchzk.Proof{}
+	_, err := b.Proof.ReadFrom(r)
+	return err
+}
+
+// proveToFile synthesizes the circuit, proves one random execution, and
+// writes the bundle.
+func proveToFile(gates int, seed int64, path string) error {
+	c, err := batchzk.RandomCircuit(gates, 2, 2, seed)
+	if err != nil {
+		return err
+	}
+	params, err := batchzk.Setup(c)
+	if err != nil {
+		return err
+	}
+	public := batchzk.RandVector(2)
+	proof, err := batchzk.Prove(c, params, public, batchzk.RandVector(2))
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	b := &bundle{Gates: gates, Seed: seed, Public: public, Proof: proof}
+	if err := b.write(&buf); err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d-gate circuit (seed %d), proof bundle %d bytes\n",
+		path, gates, seed, buf.Len())
+	return nil
+}
+
+// verifyFromFile re-derives the circuit from the bundle's recipe and
+// verifies the proof.
+func verifyFromFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var b bundle
+	if err := b.read(bytes.NewReader(data)); err != nil {
+		return err
+	}
+	c, err := batchzk.RandomCircuit(b.Gates, 2, 2, b.Seed)
+	if err != nil {
+		return err
+	}
+	params, err := batchzk.Setup(c)
+	if err != nil {
+		return err
+	}
+	if err := batchzk.Verify(c, params, b.Public, b.Proof); err != nil {
+		return err
+	}
+	fmt.Printf("verified %s: valid proof for the %d-gate circuit (seed %d), %d outputs\n",
+		path, b.Gates, b.Seed, len(b.Proof.Outputs))
+	return nil
+}

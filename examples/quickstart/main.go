@@ -1,0 +1,55 @@
+// Quickstart: define a function as an arithmetic circuit, prove one
+// execution, verify the proof, and reject a tampered one.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"batchzk"
+)
+
+func main() {
+	// The function to prove: y = (x + w)·w − 3, with a public input x and
+	// a secret input w. The verifier learns y but nothing about w.
+	b := batchzk.NewCircuitBuilder()
+	x := b.PublicInput()
+	w := b.SecretInput()
+	sum := b.Add(x, w)
+	prod := b.Mul(sum, w)
+	y := b.Sub(prod, b.Const(batchzk.NewElement(3)))
+	b.Output(y)
+	circuit, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	params, err := batchzk.Setup(circuit)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Prove y = (4 + 6)·6 − 3 = 57 without revealing w = 6.
+	public := []batchzk.Element{batchzk.NewElement(4)}
+	secret := []batchzk.Element{batchzk.NewElement(6)}
+	proof, err := batchzk.Prove(circuit, params, public, secret)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("proved: y = %s (secret w stays hidden)\n", proof.Outputs[0].String())
+
+	if err := batchzk.Verify(circuit, params, public, proof); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("verified: the proof is valid")
+
+	// A tampered claim must fail.
+	proof.Outputs[0] = batchzk.NewElement(58)
+	if err := batchzk.Verify(circuit, params, public, proof); err != nil {
+		fmt.Println("tampered proof rejected:", err)
+	} else {
+		log.Fatal("tampered proof was accepted!")
+	}
+}

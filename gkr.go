@@ -1,0 +1,80 @@
+package batchzk
+
+// GKR API: the layered interactive proof underlying the sum-check-based
+// protocol family the paper targets (Libra, Virgo, Orion — Table 1),
+// with Libra's linear-time two-phase prover. The committed variant
+// composes GKR with the polynomial commitment (encoder + Merkle) into a
+// complete Virgo/Orion-style argument for secret inputs.
+
+import (
+	"fmt"
+
+	"batchzk/internal/encoder"
+	"batchzk/internal/gkr"
+	"batchzk/internal/pcs"
+	"batchzk/internal/transcript"
+)
+
+// GKRGate is one gate of a layered circuit.
+type GKRGate = gkr.Gate
+
+// GKR gate operations.
+const (
+	GKRAdd = gkr.Add
+	GKRMul = gkr.Mul
+)
+
+// GKRCircuit is a layered arithmetic circuit (Layers[0] = outputs).
+type GKRCircuit = gkr.Circuit
+
+// GKRProof is a GKR proof for a public-input circuit evaluation.
+type GKRProof = gkr.Proof
+
+// GKRCommittedProof is a GKR proof whose secret input is settled by a
+// polynomial-commitment opening.
+type GKRCommittedProof = gkr.CommittedProof
+
+// GKRProve proves the evaluation of a layered circuit on a public input.
+func GKRProve(c *GKRCircuit, input []Element) (*GKRProof, error) {
+	proof, _, _, err := gkr.Prove(c, input, transcript.New(gkr.Domain))
+	return proof, err
+}
+
+// GKRVerify checks a public-input GKR proof and returns the verified
+// (padded) outputs.
+func GKRVerify(c *GKRCircuit, input []Element, proof *GKRProof) ([]Element, error) {
+	return gkr.VerifyPublic(c, input, proof, transcript.New(gkr.Domain))
+}
+
+// GKRProveCommitted commits to a secret input and proves the circuit's
+// evaluation on it; the verifier never learns the input. The circuit's
+// input size must be at least the encoder's base size (16).
+func GKRProveCommitted(c *GKRCircuit, secret []Element) (*GKRCommittedProof, error) {
+	if c.InputSize < encoder.DefaultParams().BaseSize {
+		return nil, fmt.Errorf("batchzk: committed GKR needs input size ≥ %d, got %d",
+			encoder.DefaultParams().BaseSize, c.InputSize)
+	}
+	params := gkrPCSParams(c)
+	return gkr.ProveCommitted(c, secret, params, transcript.New(gkr.Domain))
+}
+
+// GKRVerifyCommitted checks a committed-input GKR proof and returns the
+// verified outputs.
+func GKRVerifyCommitted(c *GKRCircuit, proof *GKRCommittedProof) ([]Element, error) {
+	params := gkrPCSParams(c)
+	return gkr.VerifyCommitted(c, proof, params, transcript.New(gkr.Domain))
+}
+
+// gkrPCSParams derives the input-commitment layout from the circuit.
+func gkrPCSParams(c *GKRCircuit) pcs.Params {
+	logN := 0
+	for 1<<logN < c.InputSize {
+		logN++
+	}
+	p := pcs.NewParams(logN)
+	if p.NumRows*p.NumCols != c.InputSize {
+		// Inputs smaller than the encoder base: single-row layout.
+		p = pcs.Params{NumRows: 1, NumCols: c.InputSize, NumOpenings: pcs.DefaultNumOpenings, Enc: encoder.DefaultParams()}
+	}
+	return p
+}

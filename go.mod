@@ -1,0 +1,3 @@
+module batchzk
+
+go 1.22

@@ -1,0 +1,203 @@
+package baselines
+
+import (
+	"testing"
+
+	"batchzk/internal/core"
+	"batchzk/internal/encoder"
+	"batchzk/internal/perfmodel"
+	"batchzk/internal/pipeline"
+)
+
+func TestCPUModuleBaselinesScale(t *testing.T) {
+	// CPU baselines must scale ~linearly with input size.
+	m1, err := OrionMerkleCPU(1<<14, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := OrionMerkleCPU(1<<16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := m2.AmortizedNsPerTask() / m1.AmortizedNsPerTask()
+	if ratio < 3 || ratio > 5 {
+		t.Fatalf("merkle CPU scaling ratio %.2f, want ≈4", ratio)
+	}
+
+	s1, err := ArkworksSumcheckCPU(14, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := ArkworksSumcheckCPU(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio = s2.AmortizedNsPerTask() / s1.AmortizedNsPerTask()
+	if ratio < 3 || ratio > 5 {
+		t.Fatalf("sumcheck CPU scaling ratio %.2f, want ≈4", ratio)
+	}
+	if _, err := ArkworksSumcheckCPU(0, 1); err == nil {
+		t.Fatal("accepted zero variables")
+	}
+
+	e1, err := OrionEncoderCPU(1<<14, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := OrionEncoderCPU(1<<16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio = e2.AmortizedNsPerTask() / e1.AmortizedNsPerTask()
+	if ratio < 3 || ratio > 5 {
+		t.Fatalf("encoder CPU scaling ratio %.2f, want ≈4", ratio)
+	}
+	if _, err := OrionEncoderCPU(100, 1); err == nil {
+		t.Fatal("accepted non-power-of-two length")
+	}
+}
+
+func TestGPUBeatsCPUByOrders(t *testing.T) {
+	// Table 3-5's headline: our pipelined GPU modules are hundreds of
+	// times faster than the single-threaded CPU baselines.
+	spec := perfmodel.GH200()
+	costs := perfmodel.GPUCosts()
+
+	cpu, _ := OrionMerkleCPU(1<<16, 8)
+	gpu, err := pipeline.SimulateMerkle(spec, costs, 1<<16, 64, pipeline.Pipelined, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := cpu.AmortizedNsPerTask() / gpu.AmortizedNsPerTask()
+	if speedup < 100 {
+		t.Fatalf("merkle GPU speedup only %.0f×", speedup)
+	}
+
+	cpuS, _ := ArkworksSumcheckCPU(16, 8)
+	gpuS, err := pipeline.SimulateSumcheck(spec, costs, 16, 64, pipeline.Pipelined, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup = cpuS.AmortizedNsPerTask() / gpuS.AmortizedNsPerTask()
+	if speedup < 100 {
+		t.Fatalf("sumcheck GPU speedup only %.0f×", speedup)
+	}
+}
+
+func TestPipelinedBeatsNaiveGPUBaselines(t *testing.T) {
+	spec := perfmodel.GH200()
+	costs := perfmodel.GPUCosts()
+
+	simon, err := SimonMerkleGPU(spec, 1<<16, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ours, _ := pipeline.SimulateMerkle(spec, costs, 1<<16, 64, pipeline.Pipelined, true)
+	if ours.ThroughputPerMs() <= simon.ThroughputPerMs() {
+		t.Fatal("ours should beat Simon")
+	}
+
+	icicle, err := IcicleSumcheckGPU(spec, 16, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oursS, _ := pipeline.SimulateSumcheck(spec, costs, 16, 64, pipeline.Pipelined, true)
+	if oursS.ThroughputPerMs() <= icicle.ThroughputPerMs() {
+		t.Fatal("ours should beat Icicle")
+	}
+
+	np, err := NonPipelinedEncoderGPU(spec, 1<<16, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	work, err := encoder.WorkModel(1<<16, encoder.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oursE, err := pipeline.SimulateEncoderFromWork(spec, costs, work, 1<<16, 64, pipeline.Pipelined, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oursE.ThroughputPerMs() <= np.ThroughputPerMs() {
+		t.Fatal("ours should beat ours-np")
+	}
+}
+
+func TestGrothModels(t *testing.T) {
+	lib, err := Libsnark(1<<18, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MSM must dominate NTT (Table 7's Libsnark shape).
+	if lib.MSMNs <= lib.NTTNs {
+		t.Fatalf("MSM %.0f should dominate NTT %.0f", lib.MSMNs, lib.NTTNs)
+	}
+	if lib.ProofNs < lib.MSMNs+lib.NTTNs {
+		t.Fatal("proof time below component sum")
+	}
+	// Calibration anchor: Table 7 reports 23.19 s at S=2^18; the model
+	// must land within 2×.
+	if secs := lib.ProofNs / 1e9; secs < 12 || secs > 46 {
+		t.Fatalf("Libsnark 2^18 = %.1f s, paper says 23.2 s", secs)
+	}
+	if _, err := Libsnark(1, 1); err == nil {
+		t.Fatal("accepted tiny scale")
+	}
+
+	bell, err := Bellperson(perfmodel.GH200(), 1<<18, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GPU Groth16 must be far faster than CPU Groth16 but far slower
+	// than our pipelined system.
+	if bell.ProofNs >= lib.ProofNs {
+		t.Fatal("Bellperson should beat Libsnark")
+	}
+	ours, err := core.SimulateSystem(perfmodel.GH200(), perfmodel.GPUCosts(), 1<<18, 256, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := bell.ProofNs / ours.CycleNs
+	if speedup < 50 {
+		t.Fatalf("ours vs Bellperson speedup only %.0f× (paper: ≈515×)", speedup)
+	}
+	// Memory: Bellperson's working set far exceeds ours (Table 10).
+	shape, _ := core.ShapeForScale(1 << 18)
+	if bell.PeakDeviceBytes <= core.SystemTaskBytes(shape) {
+		t.Fatal("Bellperson memory should exceed ours")
+	}
+	if _, err := Bellperson(perfmodel.GH200(), 1, 1); err == nil {
+		t.Fatal("accepted tiny scale")
+	}
+	var badSpec = perfmodel.GH200()
+	badSpec.Cores = 0
+	if _, err := Bellperson(badSpec, 1<<18, 1); err == nil {
+		t.Fatal("accepted invalid spec")
+	}
+}
+
+func TestOrionArkworks(t *testing.T) {
+	rep, err := OrionArkworks(1 << 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ProofNs != rep.MerkleNs+rep.SumcheckNs+rep.EncoderNs {
+		t.Fatal("breakdown does not sum")
+	}
+	// Sum-check dominates (Table 7's Orion&Arkworks shape).
+	if rep.SumcheckNs <= rep.MerkleNs || rep.SumcheckNs <= rep.EncoderNs {
+		t.Fatalf("sumcheck %.0f should dominate merkle %.0f and encoder %.0f",
+			rep.SumcheckNs, rep.MerkleNs, rep.EncoderNs)
+	}
+	// Ours (GPU) beats it by orders of magnitude.
+	ours, err := core.SimulateSystem(perfmodel.GH200(), perfmodel.GPUCosts(), 1<<16, 256, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ProofNs/ours.CycleNs < 50 {
+		t.Fatalf("speedup vs Orion&Arkworks only %.0f×", rep.ProofNs/ours.CycleNs)
+	}
+	if _, err := OrionArkworks(10); err == nil {
+		t.Fatal("accepted invalid scale")
+	}
+}

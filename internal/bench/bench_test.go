@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"batchzk/internal/perfmodel"
+)
+
+func TestAllExperimentsRun(t *testing.T) {
+	tables, err := All(perfmodel.GH200())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != len(Experiments()) {
+		t.Fatalf("%d tables for %d experiments", len(tables), len(Experiments()))
+	}
+	for _, tb := range tables {
+		if len(tb.Rows) == 0 {
+			t.Fatalf("%s has no rows", tb.ID)
+		}
+		var buf bytes.Buffer
+		tb.Render(&buf)
+		if !strings.Contains(buf.String(), tb.ID) {
+			t.Fatalf("%s render missing id", tb.ID)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := Run("table99", perfmodel.GH200()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// parse a "12.34x" speedup cell.
+func parseSpeedup(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "x"), 64)
+	if err != nil {
+		t.Fatalf("bad speedup cell %q: %v", cell, err)
+	}
+	return v
+}
+
+func TestTable3Shape(t *testing.T) {
+	tb, err := Table3(perfmodel.GH200())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every row: ours beats both baselines; the GPU-vs-GPU advantage
+	// grows as trees shrink (paper: 2.01× at 2^22 → 6.17× at 2^18).
+	var prevGPU float64
+	for i, row := range tb.Rows {
+		cpu := parseSpeedup(t, row[4])
+		gpu := parseSpeedup(t, row[5])
+		if cpu < 10 {
+			t.Fatalf("row %s: CPU speedup %.1f too small", row[0], cpu)
+		}
+		if gpu <= 1 {
+			t.Fatalf("row %s: no GPU speedup", row[0])
+		}
+		if i > 0 && gpu > prevGPU*1.05 {
+			t.Fatalf("GPU speedup should shrink as trees grow: %v", tb.Rows)
+		}
+		prevGPU = gpu
+	}
+	// Smallest size must have the largest GPU advantage.
+	first := parseSpeedup(t, tb.Rows[0][5])
+	last := parseSpeedup(t, tb.Rows[len(tb.Rows)-1][5])
+	if first <= last {
+		t.Fatalf("advantage should shrink with size: 2^18=%.2f 2^22=%.2f", first, last)
+	}
+}
+
+func TestTable4And5Shapes(t *testing.T) {
+	tb4, err := Table4(perfmodel.GH200())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb4.Rows {
+		if parseSpeedup(t, row[4]) < 100 {
+			t.Fatalf("sumcheck CPU speedup too small: %v", row)
+		}
+		if parseSpeedup(t, row[5]) <= 1 {
+			t.Fatalf("sumcheck GPU speedup missing: %v", row)
+		}
+	}
+	tb5, err := Table5(perfmodel.GH200())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb5.Rows {
+		if parseSpeedup(t, row[4]) < 10 {
+			t.Fatalf("encoder CPU speedup too small: %v", row)
+		}
+		if parseSpeedup(t, row[5]) <= 1 {
+			t.Fatalf("encoder np speedup missing: %v", row)
+		}
+	}
+}
+
+func TestTable6LatencyTradeoff(t *testing.T) {
+	tb, err := Table6(perfmodel.GH200())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		ratio, err := strconv.ParseFloat(row[4], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ratio >= 1 {
+			t.Fatalf("%s %s: pipelined latency should be higher (ratio %v ≥ 1)", row[0], row[1], ratio)
+		}
+	}
+}
+
+func TestTable8CrossGPUs(t *testing.T) {
+	tb, err := Table8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("want 4 GPUs, got %d", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		thr := parseSpeedup(t, row[6])
+		if thr < 50 {
+			t.Fatalf("%s: throughput speedup %.1f below 50×", row[0], thr)
+		}
+		lat := parseSpeedup(t, row[3])
+		if lat <= 1 {
+			t.Fatalf("%s: ours should also win on latency vs Bellperson (paper Table 8)", row[0])
+		}
+	}
+}
+
+func TestTable10MemoryShape(t *testing.T) {
+	tb, err := Table10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		if parseSpeedup(t, row[3]) <= 1 {
+			t.Fatalf("%s: ours should use less memory", row[0])
+		}
+	}
+}
+
+func TestTable11SubSecond(t *testing.T) {
+	tb, err := Table11(perfmodel.GH200())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ours := tb.Rows[len(tb.Rows)-1]
+	thr, err := strconv.ParseFloat(ours[1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thr <= 1 {
+		t.Fatalf("ours throughput %.3f proofs/s — not sub-second amortized generation", thr)
+	}
+}
+
+func TestSparklineHelpers(t *testing.T) {
+	s := sparkline([]float64{0, 0.5, 1, 2, -1})
+	if len([]rune(s)) != 5 {
+		t.Fatalf("sparkline length %d", len([]rune(s)))
+	}
+	if resample(nil, 10) != nil {
+		t.Fatal("resample of empty trace should be nil")
+	}
+	if traceStats(nil) != 0 {
+		t.Fatal("traceStats of empty trace should be 0")
+	}
+}

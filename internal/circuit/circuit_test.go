@@ -1,0 +1,205 @@
+package circuit
+
+import (
+	"testing"
+
+	"batchzk/internal/field"
+)
+
+// buildQuadratic builds y = x² + w·x + 7 with public x and secret w.
+func buildQuadratic(t *testing.T) (*Circuit, Wire, Wire) {
+	t.Helper()
+	b := NewBuilder()
+	x := b.PublicInput()
+	w := b.SecretInput()
+	x2 := b.Mul(x, x)
+	wx := b.Mul(w, x)
+	s := b.Add(x2, wx)
+	y := b.AddConst(s, field.NewElement(7))
+	b.Output(y)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, x, w
+}
+
+func TestEvaluateQuadratic(t *testing.T) {
+	c, _, _ := buildQuadratic(t)
+	if c.NumMulGates() != 2 {
+		t.Fatalf("mul gates = %d", c.NumMulGates())
+	}
+	// x=3, w=5: y = 9 + 15 + 7 = 31.
+	wit, err := c.Evaluate(
+		[]field.Element{field.NewElement(3)},
+		[]field.Element{field.NewElement(5)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.OutputValues(wit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := out[0].Uint64(); v != 31 {
+		t.Fatalf("y = %d", v)
+	}
+	if err := c.CheckWitness(wit); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	c, _, _ := buildQuadratic(t)
+	if _, err := c.Evaluate(nil, []field.Element{field.NewElement(5)}); err == nil {
+		t.Fatal("accepted missing public input")
+	}
+	if _, err := c.Evaluate([]field.Element{field.NewElement(3)}, nil); err == nil {
+		t.Fatal("accepted missing secret input")
+	}
+	if _, err := c.OutputValues(make(Assignment, 3)); err == nil {
+		t.Fatal("accepted short witness")
+	}
+}
+
+func TestCheckWitnessRejectsTampering(t *testing.T) {
+	c, _, _ := buildQuadratic(t)
+	wit, _ := c.Evaluate(
+		[]field.Element{field.NewElement(3)},
+		[]field.Element{field.NewElement(5)},
+	)
+	// Tamper a gate output.
+	bad := append(Assignment{}, wit...)
+	bad[len(bad)-1] = field.NewElement(999)
+	if err := c.CheckWitness(bad); err == nil {
+		t.Fatal("accepted tampered output wire")
+	}
+	// Tamper the constant-one wire.
+	bad = append(Assignment{}, wit...)
+	bad[0] = field.NewElement(2)
+	if err := c.CheckWitness(bad); err == nil {
+		t.Fatal("accepted wrong one-wire")
+	}
+	// Tamper a constant wire.
+	bad = append(Assignment{}, wit...)
+	bad[c.ConstWires[0]] = field.NewElement(8)
+	if err := c.CheckWitness(bad); err == nil {
+		t.Fatal("accepted wrong constant wire")
+	}
+	if err := c.CheckWitness(wit[:3]); err == nil {
+		t.Fatal("accepted short witness")
+	}
+}
+
+func TestSubGate(t *testing.T) {
+	b := NewBuilder()
+	x := b.PublicInput()
+	y := b.PublicInput()
+	d := b.Sub(x, y)
+	b.Output(d)
+	c, _ := b.Build()
+	wit, _ := c.Evaluate([]field.Element{field.NewElement(10), field.NewElement(4)}, nil)
+	out, _ := c.OutputValues(wit)
+	if v, _ := out[0].Uint64(); v != 6 {
+		t.Fatalf("10-4 = %d", v)
+	}
+}
+
+func TestConstDeduplication(t *testing.T) {
+	b := NewBuilder()
+	x := b.PublicInput()
+	c1 := b.Const(field.NewElement(42))
+	c2 := b.Const(field.NewElement(42))
+	if c1 != c2 {
+		t.Fatal("identical constants got different wires")
+	}
+	c3 := b.Const(field.NewElement(43))
+	if c3 == c1 {
+		t.Fatal("distinct constants shared a wire")
+	}
+	b.Output(b.Mul(x, c1))
+	c, _ := b.Build()
+	if len(c.Constants) != 2 {
+		t.Fatalf("constants stored: %d", len(c.Constants))
+	}
+}
+
+func TestBuilderMisuse(t *testing.T) {
+	b := NewBuilder()
+	x := b.PublicInput()
+	b.Output(b.Mul(x, b.One()))
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Build(); err == nil {
+		t.Fatal("double Build accepted")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("input after gate should panic")
+		}
+	}()
+	b2 := NewBuilder()
+	y := b2.PublicInput()
+	b2.Mul(y, y)
+	b2.PublicInput()
+}
+
+func TestGateWireValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("undefined wire reference should panic")
+		}
+	}()
+	b := NewBuilder()
+	x := b.PublicInput()
+	b.Mul(x, Wire(99))
+}
+
+func TestRandomCircuit(t *testing.T) {
+	for _, s := range []int{1, 10, 1000} {
+		c, err := RandomCircuit(s, 4, 4, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.NumMulGates() != s {
+			t.Fatalf("wanted %d mul gates, got %d", s, c.NumMulGates())
+		}
+		wit, err := c.Evaluate(field.RandVector(4), field.RandVector(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.CheckWitness(wit); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := RandomCircuit(0, 1, 1, 0); err == nil {
+		t.Fatal("accepted zero mul gates")
+	}
+	// Determinism.
+	c1, _ := RandomCircuit(50, 2, 2, 11)
+	c2, _ := RandomCircuit(50, 2, 2, 11)
+	if len(c1.Gates) != len(c2.Gates) {
+		t.Fatal("same seed gave different circuits")
+	}
+	for i := range c1.Gates {
+		if c1.Gates[i] != c2.Gates[i] {
+			t.Fatal("same seed gave different gates")
+		}
+	}
+}
+
+func TestMulConstAndOne(t *testing.T) {
+	b := NewBuilder()
+	x := b.PublicInput()
+	y := b.MulConst(field.NewElement(3), x)
+	z := b.Add(y, b.One())
+	b.Output(z)
+	c, _ := b.Build()
+	wit, _ := c.Evaluate([]field.Element{field.NewElement(5)}, nil)
+	out, _ := c.OutputValues(wit)
+	if v, _ := out[0].Uint64(); v != 16 {
+		t.Fatalf("3·5+1 = %d", v)
+	}
+}

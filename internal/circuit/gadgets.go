@@ -1,0 +1,138 @@
+package circuit
+
+import (
+	"fmt"
+
+	"batchzk/internal/field"
+)
+
+// Gadget library: reusable sub-circuits built on the Builder primitives.
+// Boolean gadgets assume (and, where noted, enforce) that their operand
+// wires carry 0 or 1.
+
+// AssertEqual constrains x == y.
+func (b *Builder) AssertEqual(x, y Wire) {
+	b.AssertZero(b.Sub(x, y))
+}
+
+// AssertBool constrains w ∈ {0, 1} via w·(w−1) = 0.
+func (b *Builder) AssertBool(w Wire) {
+	b.AssertZero(b.Mul(w, b.Sub(w, b.One())))
+}
+
+// Not returns 1 − w (the boolean negation of an already-boolean wire).
+func (b *Builder) Not(w Wire) Wire {
+	return b.Sub(b.One(), w)
+}
+
+// And returns x ∧ y = x·y for boolean wires.
+func (b *Builder) And(x, y Wire) Wire { return b.Mul(x, y) }
+
+// Or returns x ∨ y = x + y − x·y for boolean wires.
+func (b *Builder) Or(x, y Wire) Wire {
+	return b.Sub(b.Add(x, y), b.Mul(x, y))
+}
+
+// Xor returns x ⊕ y = x + y − 2·x·y for boolean wires.
+func (b *Builder) Xor(x, y Wire) Wire {
+	xy := b.Mul(x, y)
+	return b.Sub(b.Add(x, y), b.Add(xy, xy))
+}
+
+// Select returns cond·x + (1−cond)·y — x when the boolean cond is 1,
+// else y.
+func (b *Builder) Select(cond, x, y Wire) Wire {
+	d := b.Sub(x, y)
+	return b.Add(y, b.Mul(cond, d))
+}
+
+// Square returns x².
+func (b *Builder) Square(x Wire) Wire { return b.Mul(x, x) }
+
+// InnerProduct returns Σ xs[i]·ys[i]; the slices must have equal length.
+func (b *Builder) InnerProduct(xs, ys []Wire) (Wire, error) {
+	if len(xs) != len(ys) {
+		return 0, fmt.Errorf("circuit: inner product over %d vs %d wires", len(xs), len(ys))
+	}
+	acc := b.Const(field.Zero())
+	for i := range xs {
+		acc = b.Add(acc, b.Mul(xs[i], ys[i]))
+	}
+	return acc, nil
+}
+
+// ExpConst returns x^k for a small constant exponent via square-and-
+// multiply (k ≥ 0; x⁰ = 1).
+func (b *Builder) ExpConst(x Wire, k uint) Wire {
+	result := b.One()
+	base := x
+	for k > 0 {
+		if k&1 == 1 {
+			result = b.Mul(result, base)
+		}
+		k >>= 1
+		if k > 0 {
+			base = b.Mul(base, base)
+		}
+	}
+	return result
+}
+
+// Horner returns Σ coeffs[i]·x^i evaluated by Horner's rule
+// (coefficients low-degree first).
+func (b *Builder) Horner(x Wire, coeffs []Wire) Wire {
+	if len(coeffs) == 0 {
+		return b.Const(field.Zero())
+	}
+	acc := coeffs[len(coeffs)-1]
+	for i := len(coeffs) - 2; i >= 0; i-- {
+		acc = b.Add(b.Mul(acc, x), coeffs[i])
+	}
+	return acc
+}
+
+// IsZero returns a boolean wire that is 1 iff x == 0. It requires two
+// prover-supplied hints (declared as secret inputs by the caller):
+// inv ≈ x^{-1} and the claimed flag. The constraints
+//
+//	flag = 1 − x·inv,  x·flag = 0,  flag boolean
+//
+// force flag = 1 when x = 0 (second equation trivial, first gives 1) and
+// flag = 0 when x ≠ 0 (second forces it; first then pins inv = x^{-1}).
+func (b *Builder) IsZero(x, invHint Wire) Wire {
+	flag := b.Sub(b.One(), b.Mul(x, invHint))
+	b.AssertZero(b.Mul(x, flag))
+	b.AssertBool(flag)
+	return flag
+}
+
+// IsZeroHint computes the hint value IsZero needs for a concrete x.
+func IsZeroHint(x *field.Element) field.Element {
+	var inv field.Element
+	inv.Inverse(x) // Inverse(0) = 0, which satisfies the gadget
+	return inv
+}
+
+// RangeCheck constrains x < 2^bits using prover-supplied bit hints
+// (len(bitHints) = bits, each declared as a secret input): every hint is
+// forced boolean and their weighted sum must equal x.
+func (b *Builder) RangeCheck(x Wire, bitHints []Wire) {
+	two := field.NewElement(2)
+	pow := field.One()
+	acc := b.Const(field.Zero())
+	for _, bit := range bitHints {
+		b.AssertBool(bit)
+		acc = b.Add(acc, b.MulConst(pow, bit))
+		pow.Mul(&pow, &two)
+	}
+	b.AssertEqual(acc, x)
+}
+
+// RangeCheckHints decomposes v into the bit values RangeCheck consumes.
+func RangeCheckHints(v uint64, bits int) []field.Element {
+	out := make([]field.Element, bits)
+	for i := range out {
+		out[i].SetUint64(v >> uint(i) & 1)
+	}
+	return out
+}

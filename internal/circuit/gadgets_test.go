@@ -1,0 +1,227 @@
+package circuit
+
+import (
+	"testing"
+
+	"batchzk/internal/field"
+)
+
+// evalWith builds a circuit with the given wiring function over two
+// public inputs and evaluates it on (a, b), returning outputs and the
+// witness-check error.
+func evalWith(t *testing.T, wire func(b *Builder, x, y Wire), a, bv uint64) ([]field.Element, error) {
+	t.Helper()
+	b := NewBuilder()
+	x := b.PublicInput()
+	y := b.PublicInput()
+	wire(b, x, y)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := c.Evaluate([]field.Element{field.NewElement(a), field.NewElement(bv)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.OutputValues(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, c.CheckWitness(w)
+}
+
+func TestBooleanGadgets(t *testing.T) {
+	truth := []struct{ a, b, and, or, xor uint64 }{
+		{0, 0, 0, 0, 0},
+		{0, 1, 0, 1, 1},
+		{1, 0, 0, 1, 1},
+		{1, 1, 1, 1, 0},
+	}
+	for _, row := range truth {
+		out, err := evalWith(t, func(b *Builder, x, y Wire) {
+			b.Output(b.And(x, y))
+			b.Output(b.Or(x, y))
+			b.Output(b.Xor(x, y))
+			b.Output(b.Not(x))
+		}, row.a, row.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := func(i int) uint64 { v, _ := out[i].Uint64(); return v }
+		if got(0) != row.and || got(1) != row.or || got(2) != row.xor || got(3) != 1-row.a {
+			t.Fatalf("(%d,%d): and=%d or=%d xor=%d not=%d", row.a, row.b, got(0), got(1), got(2), got(3))
+		}
+	}
+}
+
+func TestAssertBoolAndEqual(t *testing.T) {
+	// Valid booleans pass.
+	_, err := evalWith(t, func(b *Builder, x, y Wire) {
+		b.AssertBool(x)
+		b.AssertEqual(x, y)
+		b.Output(x)
+	}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Non-boolean violates.
+	_, err = evalWith(t, func(b *Builder, x, y Wire) {
+		b.AssertBool(x)
+		b.Output(x)
+	}, 2, 0)
+	if err == nil {
+		t.Fatal("AssertBool accepted 2")
+	}
+	// Unequal violates.
+	_, err = evalWith(t, func(b *Builder, x, y Wire) {
+		b.AssertEqual(x, y)
+		b.Output(x)
+	}, 3, 4)
+	if err == nil {
+		t.Fatal("AssertEqual accepted 3 == 4")
+	}
+}
+
+func TestSelectAndSquare(t *testing.T) {
+	out, err := evalWith(t, func(b *Builder, x, y Wire) {
+		one := b.One()
+		zero := b.Const(field.Zero())
+		b.Output(b.Select(one, x, y))  // → x
+		b.Output(b.Select(zero, x, y)) // → y
+		b.Output(b.Square(x))
+	}, 7, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []uint64{7, 9, 49} {
+		if v, _ := out[i].Uint64(); v != want {
+			t.Fatalf("output %d = %d, want %d", i, v, want)
+		}
+	}
+}
+
+func TestInnerProductGadget(t *testing.T) {
+	b := NewBuilder()
+	xs := []Wire{b.PublicInput(), b.PublicInput()}
+	ys := []Wire{b.PublicInput(), b.PublicInput()}
+	ip, err := b.InnerProduct(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Output(ip)
+	if _, err := b.InnerProduct(xs, ys[:1]); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	c, _ := b.Build()
+	w, _ := c.Evaluate([]field.Element{
+		field.NewElement(2), field.NewElement(3),
+		field.NewElement(10), field.NewElement(20),
+	}, nil)
+	out, _ := c.OutputValues(w)
+	if v, _ := out[0].Uint64(); v != 80 {
+		t.Fatalf("2·10 + 3·20 = %d", v)
+	}
+}
+
+func TestExpConstAndHorner(t *testing.T) {
+	out, err := evalWith(t, func(b *Builder, x, y Wire) {
+		b.Output(b.ExpConst(x, 0))
+		b.Output(b.ExpConst(x, 1))
+		b.Output(b.ExpConst(x, 5))
+		// 3 + 2t + t² at t = x
+		coeffs := []Wire{b.Const(field.NewElement(3)), b.Const(field.NewElement(2)), b.One()}
+		b.Output(b.Horner(x, coeffs))
+		b.Output(b.Horner(x, nil))
+	}, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []uint64{1, 3, 243, 3 + 6 + 9, 0} {
+		if v, _ := out[i].Uint64(); v != want {
+			t.Fatalf("output %d = %d, want %d", i, v, want)
+		}
+	}
+}
+
+func TestIsZeroGadget(t *testing.T) {
+	build := func() (*Circuit, Wire) {
+		b := NewBuilder()
+		x := b.PublicInput()
+		inv := b.SecretInput()
+		flag := b.IsZero(x, inv)
+		b.Output(flag)
+		c, _ := b.Build()
+		return c, x
+	}
+	c, _ := build()
+	check := func(x uint64, wantFlag uint64) {
+		var xe field.Element
+		xe.SetUint64(x)
+		hint := IsZeroHint(&xe)
+		w, err := c.Evaluate([]field.Element{xe}, []field.Element{hint})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.CheckWitness(w); err != nil {
+			t.Fatalf("x=%d: %v", x, err)
+		}
+		out, _ := c.OutputValues(w)
+		if v, _ := out[0].Uint64(); v != wantFlag {
+			t.Fatalf("IsZero(%d) = %d", x, v)
+		}
+	}
+	check(0, 1)
+	check(5, 0)
+
+	// A malicious hint must not flip the flag: claim x=5 is zero.
+	var xe field.Element
+	xe.SetUint64(5)
+	bad := field.Zero() // inv = 0 ⇒ flag = 1, but x·flag = 5 ≠ 0
+	w, err := c.Evaluate([]field.Element{xe}, []field.Element{bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckWitness(w); err == nil {
+		t.Fatal("malicious IsZero hint escaped")
+	}
+}
+
+func TestRangeCheckGadget(t *testing.T) {
+	const bits = 8
+	b := NewBuilder()
+	x := b.PublicInput()
+	hints := make([]Wire, bits)
+	for i := range hints {
+		hints[i] = b.SecretInput()
+	}
+	b.RangeCheck(x, hints)
+	b.Output(x)
+	c, _ := b.Build()
+
+	check := func(v uint64) error {
+		var xe field.Element
+		xe.SetUint64(v)
+		w, err := c.Evaluate([]field.Element{xe}, RangeCheckHints(v, bits))
+		if err != nil {
+			return err
+		}
+		return c.CheckWitness(w)
+	}
+	if err := check(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := check(255); err != nil {
+		t.Fatal(err)
+	}
+	// 256 does not fit in 8 bits: every possible hint fails either the
+	// boolean or the recomposition constraint.
+	var xe field.Element
+	xe.SetUint64(256)
+	w, err := c.Evaluate([]field.Element{xe}, RangeCheckHints(256, bits))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CheckWitness(w); err == nil {
+		t.Fatal("RangeCheck accepted 256 in 8 bits")
+	}
+}

@@ -1,0 +1,62 @@
+package circuit
+
+import (
+	"fmt"
+
+	"batchzk/internal/field"
+)
+
+// RemoveSub rewrites a circuit into an equivalent one using only Add and
+// Mul gates: every Sub(a, b) becomes Add(a, Mul(b, −1)). Layered-circuit
+// backends (the GKR prover) support only Add/Mul, so this is the
+// normalization pass in front of gkr.FromCircuit.
+func RemoveSub(c *Circuit) (*Circuit, error) {
+	b := NewBuilder()
+	remap := make(map[Wire]Wire, c.NumWires())
+	remap[0] = 0
+	for i := 0; i < c.NumPublic; i++ {
+		remap[Wire(1+i)] = b.PublicInput()
+	}
+	for i := 0; i < c.NumSecret; i++ {
+		remap[Wire(1+c.NumPublic+i)] = b.SecretInput()
+	}
+	for i, cw := range c.ConstWires {
+		remap[cw] = b.Const(c.Constants[i])
+	}
+	var minusOne field.Element
+	one := field.One()
+	minusOne.Neg(&one)
+	for _, g := range c.Gates {
+		a, okA := remap[g.A]
+		bb, okB := remap[g.B]
+		if !okA || !okB {
+			return nil, fmt.Errorf("circuit: gate output %d references unmapped wire", g.Out)
+		}
+		switch g.Op {
+		case OpAdd:
+			remap[g.Out] = b.Add(a, bb)
+		case OpMul:
+			remap[g.Out] = b.Mul(a, bb)
+		case OpSub:
+			negB := b.Mul(bb, b.Const(minusOne))
+			remap[g.Out] = b.Add(a, negB)
+		default:
+			return nil, fmt.Errorf("circuit: unknown op %v", g.Op)
+		}
+	}
+	for _, o := range c.Outputs {
+		w, ok := remap[o]
+		if !ok {
+			return nil, fmt.Errorf("circuit: output references unmapped wire %d", o)
+		}
+		b.Output(w)
+	}
+	for _, z := range c.ZeroWires {
+		w, ok := remap[z]
+		if !ok {
+			return nil, fmt.Errorf("circuit: zero wire %d unmapped", z)
+		}
+		b.AssertZero(w)
+	}
+	return b.Build()
+}

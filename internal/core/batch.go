@@ -1,0 +1,234 @@
+// Package core implements BatchZK's primary contribution (§4 of the
+// paper): the fully pipelined system for batch generation of
+// zero-knowledge proofs.
+//
+// It has two coupled faces, like the module layer in internal/pipeline:
+//
+//   - BatchProver, a functional streaming prover: proof jobs enter one per
+//     cycle and flow through four stage workers (encode+Merkle commit →
+//     gate sum-check → linear sum-check → opening), each stage busy on a
+//     different proof at any moment, with a bounded number of proofs in
+//     flight (the dynamic-loading discipline). The proofs it emits are
+//     bit-identical to the sequential reference prover in
+//     internal/protocol, which the tests enforce.
+//
+//   - SimulateSystem, the system-level performance model: the per-proof
+//     work of every stage (encoder multiply-adds, Merkle compressions,
+//     sum-check table traffic) is composed into one gpusim pipeline and
+//     evaluated on a device profile, producing the numbers of Tables 7–10.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"batchzk/internal/circuit"
+	"batchzk/internal/field"
+	"batchzk/internal/protocol"
+)
+
+// Job is one proof-generation request: the inputs to the committed
+// function (customer input and model, in the §5 application).
+type Job struct {
+	ID     int
+	Public []field.Element
+	Secret []field.Element
+	// Witness may carry a precomputed wire assignment (e.g. from the ML
+	// engine); when nil, the prover evaluates the circuit itself.
+	Witness circuit.Assignment
+}
+
+// Result pairs a job with its proof or error. Results arrive in
+// completion order, which equals submission order (the pipeline is FIFO).
+type Result struct {
+	ID    int
+	Proof *protocol.Proof
+	Err   error
+}
+
+// StageNames labels the four prover pipeline stages.
+var StageNames = [4]string{"commit", "gate-sumcheck", "linear-sumcheck", "opening"}
+
+// Stats is a point-in-time snapshot of a BatchProver's counters: completed
+// and failed proofs, and the cumulative busy time of each pipeline stage —
+// the software analogue of the paper's per-module amortized-time ratio,
+// which drives its thread allocation (§4).
+type Stats struct {
+	Completed int64
+	Failed    int64
+	StageNs   [4]int64
+}
+
+// StageShare returns stage i's fraction of the total busy time.
+func (s Stats) StageShare(i int) float64 {
+	total := int64(0)
+	for _, ns := range s.StageNs {
+		total += ns
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(s.StageNs[i]) / float64(total)
+}
+
+// BatchProver streams proof jobs through the four prover stages.
+type BatchProver struct {
+	c *circuit.Circuit
+	p *protocol.Params
+	// depth bounds the number of proofs in flight (device-memory budget).
+	depth int
+
+	completed atomic.Int64
+	failed    atomic.Int64
+	stageNs   [4]atomic.Int64
+}
+
+// Stats returns a snapshot of the prover's counters.
+func (bp *BatchProver) Stats() Stats {
+	s := Stats{
+		Completed: bp.completed.Load(),
+		Failed:    bp.failed.Load(),
+	}
+	for i := range s.StageNs {
+		s.StageNs[i] = bp.stageNs[i].Load()
+	}
+	return s
+}
+
+// timeStage accumulates wall time into a stage counter.
+func (bp *BatchProver) timeStage(i int, f func()) {
+	start := time.Now()
+	f()
+	bp.stageNs[i].Add(time.Since(start).Nanoseconds())
+}
+
+// NewBatchProver builds a batch prover for one circuit. depth is the
+// number of proofs in flight (≥ 1); it bounds memory exactly the way the
+// paper's dynamic loading does — one proof's data per pipeline stage.
+func NewBatchProver(c *circuit.Circuit, p *protocol.Params, depth int) (*BatchProver, error) {
+	if c == nil || p == nil {
+		return nil, fmt.Errorf("core: nil circuit or params")
+	}
+	if depth < 1 {
+		return nil, fmt.Errorf("core: pipeline depth %d < 1", depth)
+	}
+	return &BatchProver{c: c, p: p, depth: depth}, nil
+}
+
+// Circuit returns the circuit being proven.
+func (bp *BatchProver) Circuit() *circuit.Circuit { return bp.c }
+
+// Params returns the protocol parameters.
+func (bp *BatchProver) Params() *protocol.Params { return bp.p }
+
+// stageMsg carries an in-flight proof between stage workers.
+type stageMsg struct {
+	id  int
+	f   *protocol.InFlight
+	err error
+}
+
+// Run consumes jobs until the channel closes and emits one Result per job
+// on the returned channel, in submission order. The four stages run
+// concurrently, each on a different proof — the software realization of
+// the full-workload state of §4.
+func (bp *BatchProver) Run(jobs <-chan Job) <-chan Result {
+	results := make(chan Result, bp.depth)
+
+	// Stage 1: witness evaluation + commitment (encoder + Merkle).
+	s1out := make(chan stageMsg, bp.depth)
+	go func() {
+		defer close(s1out)
+		for job := range jobs {
+			var m stageMsg
+			m.id = job.ID
+			bp.timeStage(0, func() {
+				w := job.Witness
+				var err error
+				if w == nil {
+					w, err = bp.c.Evaluate(job.Public, job.Secret)
+				}
+				if err == nil {
+					m.f, err = protocol.StartProof(bp.c, bp.p, w)
+				}
+				m.err = err
+			})
+			s1out <- m
+		}
+	}()
+
+	// Stage 2: gate-consistency (Hadamard) sum-check.
+	s2out := make(chan stageMsg, bp.depth)
+	go func() {
+		defer close(s2out)
+		for m := range s1out {
+			if m.err == nil {
+				bp.timeStage(1, func() { m.err = m.f.RunHadamard() })
+			}
+			s2out <- m
+		}
+	}()
+
+	// Stage 3: batched linear sum-check.
+	s3out := make(chan stageMsg, bp.depth)
+	go func() {
+		defer close(s3out)
+		for m := range s2out {
+			if m.err == nil {
+				bp.timeStage(2, func() { m.err = m.f.RunLinear() })
+			}
+			s3out <- m
+		}
+	}()
+
+	// Stage 4: polynomial-commitment opening + assembly.
+	go func() {
+		defer close(results)
+		for m := range s3out {
+			if m.err != nil {
+				bp.failed.Add(1)
+				results <- Result{ID: m.id, Err: m.err}
+				continue
+			}
+			var proof *protocol.Proof
+			var err error
+			bp.timeStage(3, func() { proof, err = m.f.Finish() })
+			if err != nil {
+				bp.failed.Add(1)
+			} else {
+				bp.completed.Add(1)
+			}
+			results <- Result{ID: m.id, Proof: proof, Err: err}
+		}
+	}()
+	return results
+}
+
+// ProveBatch is the convenience form: submit a slice of jobs, collect all
+// results (in order).
+func (bp *BatchProver) ProveBatch(jobs []Job) []Result {
+	in := make(chan Job)
+	out := bp.Run(in)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	results := make([]Result, 0, len(jobs))
+	go func() {
+		defer wg.Done()
+		for r := range out {
+			results = append(results, r)
+		}
+	}()
+	for _, j := range jobs {
+		in <- j
+	}
+	close(in)
+	wg.Wait()
+	return results
+}
+
+// Verify checks a result produced by this prover.
+func (bp *BatchProver) Verify(public []field.Element, proof *protocol.Proof) error {
+	return protocol.Verify(bp.c, bp.p, public, proof)
+}

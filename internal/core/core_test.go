@@ -1,0 +1,285 @@
+package core
+
+import (
+	"testing"
+
+	"batchzk/internal/circuit"
+	"batchzk/internal/field"
+	"batchzk/internal/perfmodel"
+	"batchzk/internal/protocol"
+)
+
+func testCircuit(t testing.TB) (*circuit.Circuit, *protocol.Params) {
+	t.Helper()
+	c, err := circuit.RandomCircuit(64, 2, 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := protocol.Setup(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, p
+}
+
+func TestNewBatchProverValidation(t *testing.T) {
+	c, p := testCircuit(t)
+	if _, err := NewBatchProver(nil, p, 4); err == nil {
+		t.Fatal("accepted nil circuit")
+	}
+	if _, err := NewBatchProver(c, nil, 4); err == nil {
+		t.Fatal("accepted nil params")
+	}
+	if _, err := NewBatchProver(c, p, 0); err == nil {
+		t.Fatal("accepted zero depth")
+	}
+}
+
+func TestBatchProofsMatchSequential(t *testing.T) {
+	c, p := testCircuit(t)
+	bp, err := NewBatchProver(c, p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []Job
+	for i := 0; i < 8; i++ {
+		jobs = append(jobs, Job{ID: i, Public: field.RandVector(2), Secret: field.RandVector(2)})
+	}
+	results := bp.ProveBatch(jobs)
+	if len(results) != len(jobs) {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+		if r.ID != i {
+			t.Fatalf("results out of order: got ID %d at %d", r.ID, i)
+		}
+		// Identical to the sequential reference prover.
+		want, err := protocol.Prove(c, p, jobs[i].Public, jobs[i].Secret)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Proof.Commitment.Root != want.Commitment.Root {
+			t.Fatalf("job %d: commitment differs from sequential prover", i)
+		}
+		if !r.Proof.OTau.Equal(&want.OTau) || !r.Proof.WSigma.Equal(&want.WSigma) {
+			t.Fatalf("job %d: proof scalars differ from sequential prover", i)
+		}
+		// And it verifies.
+		if err := bp.Verify(jobs[i].Public, r.Proof); err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+	}
+}
+
+func TestBatchWithPrecomputedWitness(t *testing.T) {
+	c, p := testCircuit(t)
+	bp, _ := NewBatchProver(c, p, 2)
+	pub, sec := field.RandVector(2), field.RandVector(2)
+	w, err := c.Evaluate(pub, sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := bp.ProveBatch([]Job{{ID: 0, Public: pub, Witness: w}})
+	if results[0].Err != nil {
+		t.Fatal(results[0].Err)
+	}
+	if err := bp.Verify(pub, results[0].Proof); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchReportsBadJobs(t *testing.T) {
+	c, p := testCircuit(t)
+	bp, _ := NewBatchProver(c, p, 2)
+	jobs := []Job{
+		{ID: 0, Public: field.RandVector(2), Secret: field.RandVector(2)},
+		{ID: 1, Public: field.RandVector(1), Secret: field.RandVector(2)}, // wrong arity
+		{ID: 2, Public: field.RandVector(2), Secret: field.RandVector(2)},
+	}
+	results := bp.ProveBatch(jobs)
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatal("good jobs failed")
+	}
+	if results[1].Err == nil {
+		t.Fatal("bad job did not error")
+	}
+	if err := bp.Verify(jobs[2].Public, results[2].Proof); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamingRun(t *testing.T) {
+	c, p := testCircuit(t)
+	bp, _ := NewBatchProver(c, p, 3)
+	in := make(chan Job)
+	out := bp.Run(in)
+	go func() {
+		for i := 0; i < 5; i++ {
+			in <- Job{ID: i, Public: field.RandVector(2), Secret: field.RandVector(2)}
+		}
+		close(in)
+	}()
+	n := 0
+	for r := range out {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if r.ID != n {
+			t.Fatalf("out of order: %d at %d", r.ID, n)
+		}
+		n++
+	}
+	if n != 5 {
+		t.Fatalf("got %d results", n)
+	}
+}
+
+func TestBatchProverStats(t *testing.T) {
+	c, p := testCircuit(t)
+	bp, _ := NewBatchProver(c, p, 2)
+	if s := bp.Stats(); s.Completed != 0 || s.Failed != 0 {
+		t.Fatal("fresh prover has non-zero counters")
+	}
+	jobs := []Job{
+		{ID: 0, Public: field.RandVector(2), Secret: field.RandVector(2)},
+		{ID: 1, Public: field.RandVector(1)}, // bad arity
+		{ID: 2, Public: field.RandVector(2), Secret: field.RandVector(2)},
+	}
+	bp.ProveBatch(jobs)
+	s := bp.Stats()
+	if s.Completed != 2 || s.Failed != 1 {
+		t.Fatalf("completed=%d failed=%d", s.Completed, s.Failed)
+	}
+	// Every stage must have accumulated some busy time for the good jobs.
+	total := 0.0
+	for i := range s.StageNs {
+		if s.StageNs[i] <= 0 {
+			t.Fatalf("stage %s has no recorded time", StageNames[i])
+		}
+		total += s.StageShare(i)
+	}
+	if total < 0.99 || total > 1.01 {
+		t.Fatalf("stage shares sum to %v", total)
+	}
+	if (Stats{}).StageShare(0) != 0 {
+		t.Fatal("empty stats should have zero shares")
+	}
+}
+
+func TestShapeForScale(t *testing.T) {
+	shape, err := ShapeForScale(1 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shape.NumWires != 2<<10 || shape.NumGates != 2<<10 {
+		t.Fatalf("shape: %+v", shape)
+	}
+	if shape.Rows*shape.Cols != shape.NumWires {
+		t.Fatal("layout does not cover the wire vector")
+	}
+	if shape.CwLen != 4*shape.Cols {
+		t.Fatal("codeword length mismatch")
+	}
+	if _, err := ShapeForScale(100); err == nil {
+		t.Fatal("accepted non-power-of-two scale")
+	}
+	if _, err := ShapeForScale(2); err == nil {
+		t.Fatal("accepted tiny scale")
+	}
+}
+
+func TestSimulateSystem(t *testing.T) {
+	spec := perfmodel.GH200()
+	costs := perfmodel.GPUCosts()
+	rep, err := SimulateSystem(spec, costs, 1<<16, 128, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CycleNs <= 0 || rep.ThroughputPerMs() <= 0 {
+		t.Fatal("degenerate report")
+	}
+	// Breakdown must roughly add up to the amortized proof time.
+	sum := rep.EncoderNs + rep.MerkleNs + rep.SumcheckNs
+	if sum < rep.CycleNs*0.95 || sum > rep.CycleNs*1.05 {
+		t.Fatalf("breakdown %.0f vs cycle %.0f", sum, rep.CycleNs)
+	}
+	// Thread allocation covers the three families and sums below cores.
+	total := 0
+	for _, fam := range []string{"encoder", "merkle", "sumcheck"} {
+		n, ok := rep.ThreadAllocation[fam]
+		if !ok || n <= 0 {
+			t.Fatalf("missing thread allocation for %s", fam)
+		}
+		total += n
+	}
+	if total > spec.Cores {
+		t.Fatalf("allocated %d threads on %d cores", total, spec.Cores)
+	}
+	// Larger scales take longer per proof.
+	rep2, err := SimulateSystem(spec, costs, 1<<18, 128, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.CycleNs <= rep.CycleNs {
+		t.Fatal("larger scale should cost more per proof")
+	}
+	// Memory footprint grows with scale (Table 10's "Ours" row).
+	s1, _ := ShapeForScale(1 << 16)
+	s2, _ := ShapeForScale(1 << 18)
+	if SystemTaskBytes(s2) <= SystemTaskBytes(s1) {
+		t.Fatal("footprint should grow with scale")
+	}
+}
+
+func TestSimulateMultiGPU(t *testing.T) {
+	spec := perfmodel.H100()
+	costs := perfmodel.GPUCosts()
+	one, err := SimulateMultiGPU(spec, 1, costs, 1<<18, 64, 350)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := SimulateMultiGPU(spec, 4, costs, 1<<18, 64, 350)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := four.ThroughputPerMs / one.ThroughputPerMs
+	if ratio < 3.9 || ratio > 4.01 {
+		t.Fatalf("4-GPU scaling = %.2f×", ratio)
+	}
+	// A starved host must cap and never exceed linear scaling.
+	starved, err := SimulateMultiGPU(spec, 16, costs, 1<<18, 64, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !starved.HostBound {
+		t.Fatal("16 GPUs on a 50 GB/s host should be host-bound")
+	}
+	if starved.ThroughputPerMs > 16*one.ThroughputPerMs {
+		t.Fatal("host-bound throughput exceeds linear scaling")
+	}
+	if _, err := SimulateMultiGPU(spec, 0, costs, 1<<18, 64, 350); err == nil {
+		t.Fatal("zero devices accepted")
+	}
+	if _, err := SimulateMultiGPU(spec, 2, costs, 1<<18, 64, 0); err == nil {
+		t.Fatal("zero host bandwidth accepted")
+	}
+}
+
+func TestSimulateSystemOverlapHelps(t *testing.T) {
+	spec := perfmodel.V100()
+	costs := perfmodel.GPUCosts()
+	with, err := SimulateSystem(spec, costs, 1<<16, 64, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := SimulateSystem(spec, costs, 1<<16, 64, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.CycleNs >= without.CycleNs {
+		t.Fatal("multi-stream overlap should reduce the cycle (Table 9)")
+	}
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+
+	"batchzk/internal/field"
+	"batchzk/internal/gkr"
+	"batchzk/internal/pcs"
+	"batchzk/internal/transcript"
+)
+
+// GKRJob is one committed-input GKR proof request.
+type GKRJob struct {
+	ID    int
+	Input []field.Element
+}
+
+// GKRResult pairs a job with its proof, in submission order.
+type GKRResult struct {
+	ID    int
+	Proof *gkr.CommittedProof
+	Err   error
+}
+
+// GKRBatchProver streams committed-input GKR proofs (the Virgo/Orion
+// protocol shape) through a three-stage pipeline: commit (encoder +
+// Merkle), layer sum-checks, and the input opening. Like BatchProver, the
+// emitted proofs are identical to the one-at-a-time gkr.ProveCommitted.
+type GKRBatchProver struct {
+	c      *gkr.Circuit
+	params pcs.Params
+	depth  int
+}
+
+// NewGKRBatchProver builds a batch prover for one layered circuit.
+func NewGKRBatchProver(c *gkr.Circuit, params pcs.Params, depth int) (*GKRBatchProver, error) {
+	if c == nil {
+		return nil, fmt.Errorf("core: nil circuit")
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if depth < 1 {
+		return nil, fmt.Errorf("core: pipeline depth %d < 1", depth)
+	}
+	return &GKRBatchProver{c: c, params: params, depth: depth}, nil
+}
+
+// Run consumes jobs until the channel closes, emitting one result per job
+// in order; the three stages work on different proofs concurrently.
+func (bp *GKRBatchProver) Run(jobs <-chan GKRJob) <-chan GKRResult {
+	results := make(chan GKRResult, bp.depth)
+
+	type inflight struct {
+		id    int
+		tr    *transcript.Transcript
+		st    *pcs.ProverState
+		comm  pcs.Commitment
+		input []field.Element
+		proof *gkr.Proof
+		u, v  []field.Element
+		err   error
+	}
+
+	// Stage 1: commit to the input.
+	s1 := make(chan *inflight, bp.depth)
+	go func() {
+		defer close(s1)
+		for job := range jobs {
+			f := &inflight{id: job.ID, tr: transcript.New(gkr.Domain), input: job.Input}
+			padded := make([]field.Element, bp.c.InputSize)
+			n := copy(padded, job.Input)
+			if n < len(job.Input) {
+				f.err = fmt.Errorf("core: job %d input exceeds circuit input size", job.ID)
+			} else {
+				f.st, f.err = pcs.Commit(padded, bp.params)
+				if f.err == nil {
+					f.comm = f.st.Commitment()
+					f.tr.AppendDigest("gkr/input-commitment", f.comm.Root)
+				}
+			}
+			s1 <- f
+		}
+	}()
+
+	// Stage 2: evaluate + layer sum-checks.
+	s2 := make(chan *inflight, bp.depth)
+	go func() {
+		defer close(s2)
+		for f := range s1 {
+			if f.err == nil {
+				var values [][]field.Element
+				values, f.err = bp.c.Evaluate(f.input)
+				if f.err == nil {
+					f.proof, f.u, f.v, f.err = gkr.ProveFromValues(bp.c, values, f.tr)
+				}
+			}
+			s2 <- f
+		}
+	}()
+
+	// Stage 3: input opening + assembly.
+	go func() {
+		defer close(results)
+		for f := range s2 {
+			if f.err != nil {
+				results <- GKRResult{ID: f.id, Err: f.err}
+				continue
+			}
+			opening, _, err := f.st.ProveEvalMulti([][]field.Element{f.u, f.v}, f.tr)
+			if err != nil {
+				results <- GKRResult{ID: f.id, Err: err}
+				continue
+			}
+			results <- GKRResult{ID: f.id, Proof: &gkr.CommittedProof{
+				GKR: f.proof, Commitment: f.comm, Opening: opening,
+			}}
+		}
+	}()
+	return results
+}
+
+// ProveBatch submits a slice of jobs and collects all results in order.
+func (bp *GKRBatchProver) ProveBatch(jobs []GKRJob) []GKRResult {
+	in := make(chan GKRJob)
+	out := bp.Run(in)
+	done := make(chan []GKRResult)
+	go func() {
+		var results []GKRResult
+		for r := range out {
+			results = append(results, r)
+		}
+		done <- results
+	}()
+	for _, j := range jobs {
+		in <- j
+	}
+	close(in)
+	return <-done
+}
+
+// Verify checks a result against the circuit and parameters.
+func (bp *GKRBatchProver) Verify(proof *gkr.CommittedProof) ([]field.Element, error) {
+	return gkr.VerifyCommitted(bp.c, proof, bp.params, transcript.New(gkr.Domain))
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+
+	"batchzk/internal/encoder"
+	"batchzk/internal/field"
+	"batchzk/internal/gkr"
+	"batchzk/internal/pcs"
+	"batchzk/internal/transcript"
+)
+
+func gkrTestSetup(t testing.TB) (*gkr.Circuit, pcs.Params) {
+	t.Helper()
+	c := &gkr.Circuit{
+		InputSize: 16,
+		Layers: [][]gkr.Gate{
+			{{Op: gkr.Add, In0: 0, In1: 1}, {Op: gkr.Mul, In0: 2, In1: 3}},
+			{{Op: gkr.Mul, In0: 0, In1: 8}, {Op: gkr.Add, In0: 1, In1: 9},
+				{Op: gkr.Mul, In0: 2, In1: 10}, {Op: gkr.Add, In0: 3, In1: 11}},
+		},
+	}
+	params := pcs.Params{NumRows: 1, NumCols: 16, NumOpenings: 8, Enc: encoder.DefaultParams()}
+	return c, params
+}
+
+func TestGKRBatchMatchesSequential(t *testing.T) {
+	c, params := gkrTestSetup(t)
+	bp, err := NewGKRBatchProver(c, params, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := make([]GKRJob, 6)
+	for i := range jobs {
+		jobs[i] = GKRJob{ID: i, Input: field.RandVector(16)}
+	}
+	results := bp.ProveBatch(jobs)
+	if len(results) != len(jobs) {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+		if r.ID != i {
+			t.Fatalf("out of order: %d at %d", r.ID, i)
+		}
+		// Identical to the sequential prover.
+		want, err := gkr.ProveCommitted(c, jobs[i].Input, params, transcript.New(gkr.Domain))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Proof.Commitment.Root != want.Commitment.Root {
+			t.Fatalf("job %d: commitment differs", i)
+		}
+		if !r.Proof.GKR.Layers[0].VU.Equal(&want.GKR.Layers[0].VU) {
+			t.Fatalf("job %d: proof differs from sequential", i)
+		}
+		// And verifies.
+		if _, err := bp.Verify(r.Proof); err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+	}
+}
+
+func TestGKRBatchValidation(t *testing.T) {
+	c, params := gkrTestSetup(t)
+	if _, err := NewGKRBatchProver(nil, params, 2); err == nil {
+		t.Fatal("nil circuit accepted")
+	}
+	if _, err := NewGKRBatchProver(c, params, 0); err == nil {
+		t.Fatal("zero depth accepted")
+	}
+	bad := params
+	bad.NumRows = 3
+	if _, err := NewGKRBatchProver(c, bad, 2); err == nil {
+		t.Fatal("bad params accepted")
+	}
+	bp, _ := NewGKRBatchProver(c, params, 2)
+	results := bp.ProveBatch([]GKRJob{{ID: 0, Input: field.RandVector(99)}})
+	if results[0].Err == nil {
+		t.Fatal("oversized input accepted")
+	}
+}

@@ -1,0 +1,55 @@
+package field
+
+// Batch operations used on the hot paths of provers and verifiers.
+
+// BatchInverse sets dst[i] = v[i]^{-1} for all i using Montgomery's trick:
+// one field inversion plus 3(n−1) multiplications instead of n inversions.
+// Zero entries invert to zero (matching Inverse) and do not disturb the
+// other entries. dst and v may alias.
+func BatchInverse(dst, v []Element) {
+	if len(dst) != len(v) {
+		panic("field: BatchInverse length mismatch")
+	}
+	n := len(v)
+	if n == 0 {
+		return
+	}
+	// Prefix products over the non-zero entries.
+	prefix := make([]Element, n)
+	acc := One()
+	for i := 0; i < n; i++ {
+		prefix[i] = acc
+		if !v[i].IsZero() {
+			acc.Mul(&acc, &v[i])
+		}
+	}
+	var inv Element
+	inv.Inverse(&acc)
+	for i := n - 1; i >= 0; i-- {
+		if v[i].IsZero() {
+			dst[i] = Element{}
+			continue
+		}
+		vi := v[i] // copy before overwriting when aliased
+		dst[i].Mul(&inv, &prefix[i])
+		inv.Mul(&inv, &vi)
+	}
+}
+
+// PowersOf returns [1, x, x², …, x^{n-1}].
+func PowersOf(x *Element, n int) []Element {
+	out := make([]Element, n)
+	if n == 0 {
+		return out
+	}
+	out[0] = One()
+	for i := 1; i < n; i++ {
+		out[i].Mul(&out[i-1], x)
+	}
+	return out
+}
+
+// LinearCombination returns Σ coeffs[i]·vs[i] over equal-length slices.
+func LinearCombination(coeffs, vs []Element) Element {
+	return InnerProduct(coeffs, vs)
+}

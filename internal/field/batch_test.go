@@ -1,0 +1,106 @@
+package field
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBatchInverseMatchesInverse(t *testing.T) {
+	v := RandVector(33)
+	v[7] = Element{} // a zero in the middle
+	v[0] = Element{} // and at the front
+	dst := make([]Element, len(v))
+	BatchInverse(dst, v)
+	for i := range v {
+		var want Element
+		want.Inverse(&v[i])
+		if !dst[i].Equal(&want) {
+			t.Fatalf("entry %d: batch inverse mismatch", i)
+		}
+	}
+}
+
+func TestBatchInverseAliased(t *testing.T) {
+	v := RandVector(16)
+	want := make([]Element, len(v))
+	BatchInverse(want, v)
+	BatchInverse(v, v) // in place
+	if !VectorEqual(v, want) {
+		t.Fatal("aliased batch inverse differs")
+	}
+}
+
+func TestBatchInverseEdges(t *testing.T) {
+	BatchInverse(nil, nil) // no-op
+	all := make([]Element, 5)
+	dst := make([]Element, 5)
+	BatchInverse(dst, all) // all zero
+	for i := range dst {
+		if !dst[i].IsZero() {
+			t.Fatal("inverse of zero should be zero")
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch should panic")
+		}
+	}()
+	BatchInverse(make([]Element, 2), make([]Element, 3))
+}
+
+func TestBatchInverseProperty(t *testing.T) {
+	f := func(a, b, c Element) bool {
+		v := []Element{a, b, c}
+		dst := make([]Element, 3)
+		BatchInverse(dst, v)
+		for i := range v {
+			if v[i].IsZero() {
+				if !dst[i].IsZero() {
+					return false
+				}
+				continue
+			}
+			var p Element
+			p.Mul(&v[i], &dst[i])
+			if !p.IsOne() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowersOf(t *testing.T) {
+	x := NewElement(3)
+	p := PowersOf(&x, 5)
+	want := []uint64{1, 3, 9, 27, 81}
+	for i, w := range want {
+		if v, _ := p[i].Uint64(); v != w {
+			t.Fatalf("3^%d = %d", i, v)
+		}
+	}
+	if len(PowersOf(&x, 0)) != 0 {
+		t.Fatal("n=0 should be empty")
+	}
+}
+
+func TestLinearCombination(t *testing.T) {
+	coeffs := []Element{NewElement(2), NewElement(3)}
+	vs := []Element{NewElement(5), NewElement(7)}
+	got := LinearCombination(coeffs, vs)
+	if v, _ := got.Uint64(); v != 31 {
+		t.Fatalf("2·5 + 3·7 = %d", v)
+	}
+}
+
+func BenchmarkBatchInverse256(b *testing.B) {
+	v := RandVector(256)
+	dst := make([]Element, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BatchInverse(dst, v)
+	}
+}

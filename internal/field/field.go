@@ -1,0 +1,521 @@
+// Package field implements arithmetic in the 254-bit prime field used by
+// BatchZK's ZKP modules.
+//
+// The modulus is the scalar field of the BN254 curve,
+//
+//	r = 21888242871839275222246405745257275088548364400416034343698204186575808495617,
+//
+// the field used by Orion, Arkworks and the other systems the paper
+// compares against. Elements are kept in Montgomery form across four 64-bit
+// limbs (little-endian), so a multiplication is a 4×4 schoolbook multiply
+// followed by a Montgomery reduction — the same representation GPU
+// implementations use with 32-bit lanes.
+//
+// All operations are constant-size (no big.Int on the hot path) and
+// allocation-free; Element is a value type.
+package field
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+	"math/bits"
+)
+
+// Element is a field element in Montgomery form: the limbs hold a·R mod r
+// where R = 2^256. The zero value is the field's zero element.
+type Element [4]uint64
+
+// Limbs of the modulus r (little-endian).
+const (
+	q0 uint64 = 0x43e1f593f0000001
+	q1 uint64 = 0x2833e84879b97091
+	q2 uint64 = 0xb85045b68181585d
+	q3 uint64 = 0x30644e72e131a029
+)
+
+// qInvNeg = -r^{-1} mod 2^64, the Montgomery constant.
+const qInvNeg uint64 = 0xc2e1f593efffffff
+
+var (
+	// qElement is the modulus as limbs, for comparisons.
+	qElement = [4]uint64{q0, q1, q2, q3}
+
+	// rSquare = R^2 mod r, used to convert into Montgomery form.
+	rSquare = Element{
+		0x1bb8e645ae216da7,
+		0x53fe3ab1e35c59e3,
+		0x8c49833d53bb8085,
+		0x0216d0b17f4e44a5,
+	}
+
+	// one is 1 in Montgomery form (R mod r).
+	one = Element{
+		0xac96341c4ffffffb,
+		0x36fc76959f60cd29,
+		0x666ea36f7879462e,
+		0x0e0a77c19a07df2f,
+	}
+
+	// Modulus as big.Int for conversions and tests.
+	modulus, _ = new(big.Int).SetString(
+		"21888242871839275222246405745257275088548364400416034343698204186575808495617", 10)
+)
+
+// Bits is the bit length of the modulus.
+const Bits = 254
+
+// Bytes is the canonical serialized size of an element.
+const Bytes = 32
+
+// Modulus returns a copy of the field modulus.
+func Modulus() *big.Int { return new(big.Int).Set(modulus) }
+
+// Zero returns the additive identity.
+func Zero() Element { return Element{} }
+
+// One returns the multiplicative identity.
+func One() Element { return one }
+
+// NewElement returns v reduced into the field, in Montgomery form.
+func NewElement(v uint64) Element {
+	var e Element
+	e.SetUint64(v)
+	return e
+}
+
+// SetUint64 sets e to v and returns e.
+func (e *Element) SetUint64(v uint64) *Element {
+	*e = Element{v}
+	return e.toMont()
+}
+
+// SetInt64 sets e to v (negative values map to r - |v|) and returns e.
+func (e *Element) SetInt64(v int64) *Element {
+	if v >= 0 {
+		return e.SetUint64(uint64(v))
+	}
+	e.SetUint64(uint64(-v))
+	e.Neg(e)
+	return e
+}
+
+// SetBigInt sets e to v mod r and returns e.
+func (e *Element) SetBigInt(v *big.Int) *Element {
+	var t big.Int
+	t.Mod(v, modulus)
+	*e = Element{}
+	words := t.Bits()
+	for i, w := range words {
+		if i >= 4 {
+			break
+		}
+		e[i] = uint64(w)
+	}
+	return e.toMont()
+}
+
+// SetZero sets e to 0 and returns e.
+func (e *Element) SetZero() *Element { *e = Element{}; return e }
+
+// SetOne sets e to 1 and returns e.
+func (e *Element) SetOne() *Element { *e = one; return e }
+
+// Set copies x into e and returns e.
+func (e *Element) Set(x *Element) *Element { *e = *x; return e }
+
+// IsZero reports whether e is the additive identity.
+func (e *Element) IsZero() bool { return e[0]|e[1]|e[2]|e[3] == 0 }
+
+// IsOne reports whether e is the multiplicative identity.
+func (e *Element) IsOne() bool { return *e == one }
+
+// Equal reports whether e and x represent the same field element.
+func (e *Element) Equal(x *Element) bool { return *e == *x }
+
+// BigInt returns the canonical (non-Montgomery) value of e.
+func (e *Element) BigInt() *big.Int {
+	c := e.fromMont()
+	b := make([]byte, 32)
+	binary.BigEndian.PutUint64(b[0:8], c[3])
+	binary.BigEndian.PutUint64(b[8:16], c[2])
+	binary.BigEndian.PutUint64(b[16:24], c[1])
+	binary.BigEndian.PutUint64(b[24:32], c[0])
+	return new(big.Int).SetBytes(b)
+}
+
+// Uint64 returns the canonical value of e truncated to 64 bits and a flag
+// reporting whether e fits in a uint64.
+func (e *Element) Uint64() (uint64, bool) {
+	c := e.fromMont()
+	return c[0], c[1]|c[2]|c[3] == 0
+}
+
+// String renders the canonical decimal value.
+func (e Element) String() string { return e.BigInt().String() }
+
+// MarshalBinary serializes e canonically as 32 big-endian bytes.
+func (e *Element) MarshalBinary() ([]byte, error) {
+	b := e.ToBytes()
+	return b[:], nil
+}
+
+// UnmarshalBinary parses 32 big-endian bytes; values ≥ r are rejected.
+func (e *Element) UnmarshalBinary(data []byte) error {
+	if len(data) != Bytes {
+		return fmt.Errorf("field: invalid length %d, want %d", len(data), Bytes)
+	}
+	var b [Bytes]byte
+	copy(b[:], data)
+	return e.SetBytes(b)
+}
+
+// ToBytes serializes the canonical value big-endian.
+func (e *Element) ToBytes() [Bytes]byte {
+	c := e.fromMont()
+	var b [Bytes]byte
+	binary.BigEndian.PutUint64(b[0:8], c[3])
+	binary.BigEndian.PutUint64(b[8:16], c[2])
+	binary.BigEndian.PutUint64(b[16:24], c[1])
+	binary.BigEndian.PutUint64(b[24:32], c[0])
+	return b
+}
+
+// ErrNotCanonical is returned when deserializing a value ≥ the modulus.
+var ErrNotCanonical = errors.New("field: encoded value is not canonical (≥ modulus)")
+
+// SetBytes sets e from a canonical big-endian encoding.
+func (e *Element) SetBytes(b [Bytes]byte) error {
+	var c Element
+	c[3] = binary.BigEndian.Uint64(b[0:8])
+	c[2] = binary.BigEndian.Uint64(b[8:16])
+	c[1] = binary.BigEndian.Uint64(b[16:24])
+	c[0] = binary.BigEndian.Uint64(b[24:32])
+	if !lessThanModulus(&c) {
+		return ErrNotCanonical
+	}
+	*e = *c.toMont()
+	return nil
+}
+
+// SetBytesWide reduces an arbitrary big-endian byte string modulo r.
+// It is used to map hash output into the field.
+func (e *Element) SetBytesWide(b []byte) *Element {
+	v := new(big.Int).SetBytes(b)
+	return e.SetBigInt(v)
+}
+
+// Rand sets e to a uniformly random field element using crypto/rand.
+func (e *Element) Rand() *Element {
+	var b [48]byte // 384 bits: negligible sampling bias after reduction
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("field: crypto/rand failure: " + err.Error())
+	}
+	return e.SetBytesWide(b[:])
+}
+
+// lessThanModulus reports whether the non-Montgomery limbs c are < r.
+func lessThanModulus(c *Element) bool {
+	if c[3] != q3 {
+		return c[3] < q3
+	}
+	if c[2] != q2 {
+		return c[2] < q2
+	}
+	if c[1] != q1 {
+		return c[1] < q1
+	}
+	return c[0] < q0
+}
+
+// Add sets e = x + y and returns e.
+func (e *Element) Add(x, y *Element) *Element {
+	var carry uint64
+	e[0], carry = bits.Add64(x[0], y[0], 0)
+	e[1], carry = bits.Add64(x[1], y[1], carry)
+	e[2], carry = bits.Add64(x[2], y[2], carry)
+	e[3], carry = bits.Add64(x[3], y[3], carry)
+	// The modulus leaves two spare bits, so the sum cannot overflow 256 bits
+	// when both inputs are reduced; carry is always 0 here.
+	_ = carry
+	e.reduce()
+	return e
+}
+
+// Double sets e = 2x and returns e.
+func (e *Element) Double(x *Element) *Element { return e.Add(x, x) }
+
+// Sub sets e = x - y and returns e.
+func (e *Element) Sub(x, y *Element) *Element {
+	var borrow uint64
+	e[0], borrow = bits.Sub64(x[0], y[0], 0)
+	e[1], borrow = bits.Sub64(x[1], y[1], borrow)
+	e[2], borrow = bits.Sub64(x[2], y[2], borrow)
+	e[3], borrow = bits.Sub64(x[3], y[3], borrow)
+	if borrow != 0 {
+		var c uint64
+		e[0], c = bits.Add64(e[0], q0, 0)
+		e[1], c = bits.Add64(e[1], q1, c)
+		e[2], c = bits.Add64(e[2], q2, c)
+		e[3], _ = bits.Add64(e[3], q3, c)
+	}
+	return e
+}
+
+// Neg sets e = -x and returns e.
+func (e *Element) Neg(x *Element) *Element {
+	if x.IsZero() {
+		return e.SetZero()
+	}
+	var borrow uint64
+	e[0], borrow = bits.Sub64(q0, x[0], 0)
+	e[1], borrow = bits.Sub64(q1, x[1], borrow)
+	e[2], borrow = bits.Sub64(q2, x[2], borrow)
+	e[3], _ = bits.Sub64(q3, x[3], borrow)
+	return e
+}
+
+// reduce subtracts the modulus once if e ≥ r (inputs are < 2r).
+func (e *Element) reduce() {
+	if !lessThanModulus(e) {
+		var b uint64
+		e[0], b = bits.Sub64(e[0], q0, 0)
+		e[1], b = bits.Sub64(e[1], q1, b)
+		e[2], b = bits.Sub64(e[2], q2, b)
+		e[3], _ = bits.Sub64(e[3], q3, b)
+	}
+}
+
+// Mul sets e = x·y (Montgomery product) and returns e.
+func (e *Element) Mul(x, y *Element) *Element {
+	// CIOS (coarsely integrated operand scanning) Montgomery multiplication.
+	var t [5]uint64
+	for i := 0; i < 4; i++ {
+		// t += x[i] * y
+		var carry uint64
+		xi := x[i]
+		hi, lo := bits.Mul64(xi, y[0])
+		var c uint64
+		t[0], c = bits.Add64(t[0], lo, 0)
+		carry = hi + c
+
+		hi, lo = bits.Mul64(xi, y[1])
+		lo, c = bits.Add64(lo, carry, 0)
+		hi += c
+		t[1], c = bits.Add64(t[1], lo, 0)
+		carry = hi + c
+
+		hi, lo = bits.Mul64(xi, y[2])
+		lo, c = bits.Add64(lo, carry, 0)
+		hi += c
+		t[2], c = bits.Add64(t[2], lo, 0)
+		carry = hi + c
+
+		hi, lo = bits.Mul64(xi, y[3])
+		lo, c = bits.Add64(lo, carry, 0)
+		hi += c
+		t[3], c = bits.Add64(t[3], lo, 0)
+		carry = hi + c
+
+		t[4] += carry
+
+		// Montgomery step: add m·q so the low limb cancels, shift right 64.
+		m := t[0] * qInvNeg
+
+		hi, lo = bits.Mul64(m, q0)
+		_, c = bits.Add64(t[0], lo, 0)
+		carry = hi + c
+
+		hi, lo = bits.Mul64(m, q1)
+		lo, c = bits.Add64(lo, carry, 0)
+		hi += c
+		t[0], c = bits.Add64(t[1], lo, 0)
+		carry = hi + c
+
+		hi, lo = bits.Mul64(m, q2)
+		lo, c = bits.Add64(lo, carry, 0)
+		hi += c
+		t[1], c = bits.Add64(t[2], lo, 0)
+		carry = hi + c
+
+		hi, lo = bits.Mul64(m, q3)
+		lo, c = bits.Add64(lo, carry, 0)
+		hi += c
+		t[2], c = bits.Add64(t[3], lo, 0)
+		carry = hi + c
+
+		t[3], c = bits.Add64(t[4], carry, 0)
+		t[4] = c
+	}
+	e[0], e[1], e[2], e[3] = t[0], t[1], t[2], t[3]
+	// t[4] can be at most 1; fold it by subtracting the modulus, which is
+	// guaranteed to clear it because the result is < 2r.
+	if t[4] != 0 {
+		var b uint64
+		e[0], b = bits.Sub64(e[0], q0, 0)
+		e[1], b = bits.Sub64(e[1], q1, b)
+		e[2], b = bits.Sub64(e[2], q2, b)
+		e[3], _ = bits.Sub64(e[3], q3, b)
+	}
+	e.reduce()
+	return e
+}
+
+// Square sets e = x² and returns e.
+func (e *Element) Square(x *Element) *Element { return e.Mul(x, x) }
+
+// toMont converts canonical limbs to Montgomery form in place.
+func (e *Element) toMont() *Element { return e.Mul(e, &rSquare) }
+
+// fromMont returns the canonical (non-Montgomery) limbs of e.
+func (e *Element) fromMont() Element {
+	var r Element
+	r.Mul(e, &Element{1})
+	return r
+}
+
+// Exp sets e = base^k for a big-integer exponent and returns e.
+func (e *Element) Exp(base *Element, k *big.Int) *Element {
+	if k.Sign() < 0 {
+		var inv Element
+		inv.Inverse(base)
+		return e.Exp(&inv, new(big.Int).Neg(k))
+	}
+	res := one
+	b := *base
+	for i := 0; i < k.BitLen(); i++ {
+		if k.Bit(i) == 1 {
+			res.Mul(&res, &b)
+		}
+		b.Square(&b)
+	}
+	*e = res
+	return e
+}
+
+// ExpUint64 sets e = base^k and returns e.
+func (e *Element) ExpUint64(base *Element, k uint64) *Element {
+	res := one
+	b := *base
+	for k != 0 {
+		if k&1 == 1 {
+			res.Mul(&res, &b)
+		}
+		b.Square(&b)
+		k >>= 1
+	}
+	*e = res
+	return e
+}
+
+// Inverse sets e = x^{-1} using Fermat's little theorem (x^{r-2}) and
+// returns e. The inverse of zero is defined as zero.
+func (e *Element) Inverse(x *Element) *Element {
+	if x.IsZero() {
+		return e.SetZero()
+	}
+	exp := new(big.Int).Sub(modulus, big.NewInt(2))
+	return e.Exp(x, exp)
+}
+
+// Div sets e = x / y and returns e. Division by zero yields zero.
+func (e *Element) Div(x, y *Element) *Element {
+	var inv Element
+	inv.Inverse(y)
+	return e.Mul(x, &inv)
+}
+
+// Halve sets e = x / 2 and returns e.
+func (e *Element) Halve(x *Element) *Element {
+	t := *x
+	if t[0]&1 == 1 { // odd: add modulus first so the shift stays exact
+		var c uint64
+		t[0], c = bits.Add64(t[0], q0, 0)
+		t[1], c = bits.Add64(t[1], q1, c)
+		t[2], c = bits.Add64(t[2], q2, c)
+		t[3], c = bits.Add64(t[3], q3, c)
+		// shift right by 1 including the carry bit
+		t[0] = t[0]>>1 | t[1]<<63
+		t[1] = t[1]>>1 | t[2]<<63
+		t[2] = t[2]>>1 | t[3]<<63
+		t[3] = t[3]>>1 | c<<63
+	} else {
+		t[0] = t[0]>>1 | t[1]<<63
+		t[1] = t[1]>>1 | t[2]<<63
+		t[2] = t[2]>>1 | t[3]<<63
+		t[3] = t[3] >> 1
+	}
+	*e = t
+	return e
+}
+
+// Lerp sets e = (1-t)·a + t·b — the sum-check table-update primitive
+// (line 6 of Algorithm 1 in the paper) — and returns e.
+func (e *Element) Lerp(t, a, b *Element) *Element {
+	var d Element
+	d.Sub(b, a)
+	d.Mul(&d, t)
+	return e.Add(a, &d)
+}
+
+// Vector convenience helpers ------------------------------------------------
+
+// NewVector allocates a zero vector of n elements.
+func NewVector(n int) []Element { return make([]Element, n) }
+
+// RandVector returns n uniformly random elements.
+func RandVector(n int) []Element {
+	v := make([]Element, n)
+	for i := range v {
+		v[i].Rand()
+	}
+	return v
+}
+
+// VectorAdd sets dst[i] = a[i] + b[i]. The slices must have equal length.
+func VectorAdd(dst, a, b []Element) {
+	for i := range dst {
+		dst[i].Add(&a[i], &b[i])
+	}
+}
+
+// VectorScale sets dst[i] = s·a[i]. The slices must have equal length.
+func VectorScale(dst []Element, s *Element, a []Element) {
+	for i := range dst {
+		dst[i].Mul(s, &a[i])
+	}
+}
+
+// VectorSum returns Σ v[i].
+func VectorSum(v []Element) Element {
+	var s Element
+	for i := range v {
+		s.Add(&s, &v[i])
+	}
+	return s
+}
+
+// InnerProduct returns Σ a[i]·b[i]. The slices must have equal length.
+func InnerProduct(a, b []Element) Element {
+	var s, t Element
+	for i := range a {
+		t.Mul(&a[i], &b[i])
+		s.Add(&s, &t)
+	}
+	return s
+}
+
+// VectorEqual reports whether two vectors are element-wise equal.
+func VectorEqual(a, b []Element) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

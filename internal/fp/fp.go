@@ -1,0 +1,279 @@
+// Package fp implements the BN254 *base* field F_p,
+//
+//	p = 21888242871839275222246405745257275088696311157297823662689037894645226208583,
+//
+// used only by the elliptic-curve group that realizes the MSM workload of
+// the Libsnark/Bellperson baselines. BatchZK's own protocol works entirely
+// in the scalar field (package field); G1 points live over F_p so that the
+// curve group has prime order r and scalar arithmetic mod r is the honest
+// group exponent arithmetic.
+//
+// The representation mirrors package field (4×64-limb Montgomery form);
+// the Montgomery constants are derived from the modulus at init time.
+package fp
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"math/big"
+	"math/bits"
+)
+
+// Element is an F_p element in Montgomery form (little-endian limbs).
+type Element [4]uint64
+
+var (
+	// modulus is p as a big integer.
+	modulus, _ = new(big.Int).SetString(
+		"21888242871839275222246405745257275088696311157297823662689037894645226208583", 10)
+
+	q       [4]uint64 // modulus limbs
+	qInvNeg uint64    // -p^{-1} mod 2^64
+	rSquare Element   // R² mod p
+	one     Element   // R mod p
+)
+
+func init() {
+	words := modulus.Bits()
+	for i := 0; i < 4; i++ {
+		q[i] = uint64(words[i])
+	}
+	// Newton iteration for the 64-bit Montgomery constant.
+	inv := q[0]
+	for i := 0; i < 5; i++ {
+		inv *= 2 - q[0]*inv
+	}
+	qInvNeg = -inv
+
+	setFromBig := func(dst *Element, v *big.Int) {
+		var t big.Int
+		t.Mod(v, modulus)
+		*dst = Element{}
+		for i, w := range t.Bits() {
+			if i < 4 {
+				dst[i] = uint64(w)
+			}
+		}
+	}
+	R := new(big.Int).Lsh(big.NewInt(1), 256)
+	setFromBig(&one, R)
+	R2 := new(big.Int).Mul(R, R)
+	setFromBig(&rSquare, R2)
+}
+
+// Modulus returns a copy of p.
+func Modulus() *big.Int { return new(big.Int).Set(modulus) }
+
+// One returns the multiplicative identity.
+func One() Element { return one }
+
+// NewElement returns v as a field element.
+func NewElement(v uint64) Element {
+	var e Element
+	e.SetUint64(v)
+	return e
+}
+
+// SetUint64 sets e to v and returns e.
+func (e *Element) SetUint64(v uint64) *Element {
+	*e = Element{v}
+	return e.Mul(e, &rSquare)
+}
+
+// SetBigInt sets e to v mod p and returns e.
+func (e *Element) SetBigInt(v *big.Int) *Element {
+	var t big.Int
+	t.Mod(v, modulus)
+	*e = Element{}
+	for i, w := range t.Bits() {
+		if i < 4 {
+			e[i] = uint64(w)
+		}
+	}
+	return e.Mul(e, &rSquare)
+}
+
+// BigInt returns the canonical value of e.
+func (e *Element) BigInt() *big.Int {
+	var c Element
+	c.Mul(e, &Element{1})
+	b := make([]byte, 32)
+	binary.BigEndian.PutUint64(b[0:8], c[3])
+	binary.BigEndian.PutUint64(b[8:16], c[2])
+	binary.BigEndian.PutUint64(b[16:24], c[1])
+	binary.BigEndian.PutUint64(b[24:32], c[0])
+	return new(big.Int).SetBytes(b)
+}
+
+// IsZero reports whether e is zero.
+func (e *Element) IsZero() bool { return e[0]|e[1]|e[2]|e[3] == 0 }
+
+// IsOne reports whether e is one.
+func (e *Element) IsOne() bool { return *e == one }
+
+// Equal reports element equality.
+func (e *Element) Equal(x *Element) bool { return *e == *x }
+
+// Rand sets e to a uniform random element.
+func (e *Element) Rand() *Element {
+	var b [48]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("fp: crypto/rand failure: " + err.Error())
+	}
+	return e.SetBigInt(new(big.Int).SetBytes(b[:]))
+}
+
+func lessThanModulus(c *Element) bool {
+	for i := 3; i >= 0; i-- {
+		if c[i] != q[i] {
+			return c[i] < q[i]
+		}
+	}
+	return false
+}
+
+func (e *Element) reduce() {
+	if !lessThanModulus(e) {
+		var b uint64
+		e[0], b = bits.Sub64(e[0], q[0], 0)
+		e[1], b = bits.Sub64(e[1], q[1], b)
+		e[2], b = bits.Sub64(e[2], q[2], b)
+		e[3], _ = bits.Sub64(e[3], q[3], b)
+	}
+}
+
+// Add sets e = x + y and returns e.
+func (e *Element) Add(x, y *Element) *Element {
+	var c uint64
+	e[0], c = bits.Add64(x[0], y[0], 0)
+	e[1], c = bits.Add64(x[1], y[1], c)
+	e[2], c = bits.Add64(x[2], y[2], c)
+	e[3], _ = bits.Add64(x[3], y[3], c)
+	e.reduce()
+	return e
+}
+
+// Double sets e = 2x and returns e.
+func (e *Element) Double(x *Element) *Element { return e.Add(x, x) }
+
+// Sub sets e = x − y and returns e.
+func (e *Element) Sub(x, y *Element) *Element {
+	var b uint64
+	e[0], b = bits.Sub64(x[0], y[0], 0)
+	e[1], b = bits.Sub64(x[1], y[1], b)
+	e[2], b = bits.Sub64(x[2], y[2], b)
+	e[3], b = bits.Sub64(x[3], y[3], b)
+	if b != 0 {
+		var c uint64
+		e[0], c = bits.Add64(e[0], q[0], 0)
+		e[1], c = bits.Add64(e[1], q[1], c)
+		e[2], c = bits.Add64(e[2], q[2], c)
+		e[3], _ = bits.Add64(e[3], q[3], c)
+	}
+	return e
+}
+
+// Neg sets e = −x and returns e.
+func (e *Element) Neg(x *Element) *Element {
+	if x.IsZero() {
+		*e = Element{}
+		return e
+	}
+	var b uint64
+	e[0], b = bits.Sub64(q[0], x[0], 0)
+	e[1], b = bits.Sub64(q[1], x[1], b)
+	e[2], b = bits.Sub64(q[2], x[2], b)
+	e[3], _ = bits.Sub64(q[3], x[3], b)
+	return e
+}
+
+// Mul sets e = x·y (CIOS Montgomery multiplication) and returns e.
+func (e *Element) Mul(x, y *Element) *Element {
+	var t [5]uint64
+	for i := 0; i < 4; i++ {
+		var carry, c uint64
+		xi := x[i]
+		hi, lo := bits.Mul64(xi, y[0])
+		t[0], c = bits.Add64(t[0], lo, 0)
+		carry = hi + c
+
+		hi, lo = bits.Mul64(xi, y[1])
+		lo, c = bits.Add64(lo, carry, 0)
+		hi += c
+		t[1], c = bits.Add64(t[1], lo, 0)
+		carry = hi + c
+
+		hi, lo = bits.Mul64(xi, y[2])
+		lo, c = bits.Add64(lo, carry, 0)
+		hi += c
+		t[2], c = bits.Add64(t[2], lo, 0)
+		carry = hi + c
+
+		hi, lo = bits.Mul64(xi, y[3])
+		lo, c = bits.Add64(lo, carry, 0)
+		hi += c
+		t[3], c = bits.Add64(t[3], lo, 0)
+		carry = hi + c
+
+		t[4] += carry
+
+		m := t[0] * qInvNeg
+
+		hi, lo = bits.Mul64(m, q[0])
+		_, c = bits.Add64(t[0], lo, 0)
+		carry = hi + c
+
+		hi, lo = bits.Mul64(m, q[1])
+		lo, c = bits.Add64(lo, carry, 0)
+		hi += c
+		t[0], c = bits.Add64(t[1], lo, 0)
+		carry = hi + c
+
+		hi, lo = bits.Mul64(m, q[2])
+		lo, c = bits.Add64(lo, carry, 0)
+		hi += c
+		t[1], c = bits.Add64(t[2], lo, 0)
+		carry = hi + c
+
+		hi, lo = bits.Mul64(m, q[3])
+		lo, c = bits.Add64(lo, carry, 0)
+		hi += c
+		t[2], c = bits.Add64(t[3], lo, 0)
+		carry = hi + c
+
+		t[3], c = bits.Add64(t[4], carry, 0)
+		t[4] = c
+	}
+	e[0], e[1], e[2], e[3] = t[0], t[1], t[2], t[3]
+	if t[4] != 0 {
+		var b uint64
+		e[0], b = bits.Sub64(e[0], q[0], 0)
+		e[1], b = bits.Sub64(e[1], q[1], b)
+		e[2], b = bits.Sub64(e[2], q[2], b)
+		e[3], _ = bits.Sub64(e[3], q[3], b)
+	}
+	e.reduce()
+	return e
+}
+
+// Square sets e = x² and returns e.
+func (e *Element) Square(x *Element) *Element { return e.Mul(x, x) }
+
+// Inverse sets e = x^{-1} (zero maps to zero) and returns e.
+func (e *Element) Inverse(x *Element) *Element {
+	if x.IsZero() {
+		*e = Element{}
+		return e
+	}
+	exp := new(big.Int).Sub(modulus, big.NewInt(2))
+	res := one
+	b := *x
+	for i := 0; i < exp.BitLen(); i++ {
+		if exp.Bit(i) == 1 {
+			res.Mul(&res, &b)
+		}
+		b.Square(&b)
+	}
+	*e = res
+	return e
+}

@@ -1,0 +1,94 @@
+package fp
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func randElem(r *rand.Rand) Element {
+	var e Element
+	e.SetBigInt(new(big.Int).Rand(r, Modulus()))
+	return e
+}
+
+func TestMontgomeryConstants(t *testing.T) {
+	// one must round-trip to 1.
+	o := One()
+	if got := o.BigInt(); got.Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("One() = %v", got)
+	}
+	e := NewElement(12345)
+	if got := e.BigInt(); got.Cmp(big.NewInt(12345)) != 0 {
+		t.Fatalf("NewElement round trip = %v", got)
+	}
+}
+
+func TestArithmeticMatchesBigInt(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		a, b := randElem(r), randElem(r)
+		var sum, diff, prod Element
+		sum.Add(&a, &b)
+		diff.Sub(&a, &b)
+		prod.Mul(&a, &b)
+		mod := Modulus()
+		ws := new(big.Int).Add(a.BigInt(), b.BigInt())
+		ws.Mod(ws, mod)
+		wd := new(big.Int).Sub(a.BigInt(), b.BigInt())
+		wd.Mod(wd, mod)
+		wp := new(big.Int).Mul(a.BigInt(), b.BigInt())
+		wp.Mod(wp, mod)
+		if sum.BigInt().Cmp(ws) != 0 || diff.BigInt().Cmp(wd) != 0 || prod.BigInt().Cmp(wp) != 0 {
+			t.Fatalf("arithmetic mismatch at trial %d", i)
+		}
+	}
+}
+
+func TestInverseAndNeg(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	a := randElem(r)
+	var inv, prod Element
+	inv.Inverse(&a)
+	prod.Mul(&a, &inv)
+	if !prod.IsOne() {
+		t.Fatal("a · a^{-1} != 1")
+	}
+	var z Element
+	inv.Inverse(&z)
+	if !inv.IsZero() {
+		t.Fatal("inverse of zero should be zero")
+	}
+	var n, s Element
+	n.Neg(&a)
+	s.Add(&a, &n)
+	if !s.IsZero() {
+		t.Fatal("a + (-a) != 0")
+	}
+	n.Neg(&z)
+	if !n.IsZero() {
+		t.Fatal("-0 != 0")
+	}
+}
+
+func TestSquareDoubleRand(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	a := randElem(r)
+	var sq, mm Element
+	sq.Square(&a)
+	mm.Mul(&a, &a)
+	if !sq.Equal(&mm) {
+		t.Fatal("square != self-multiply")
+	}
+	var d, s Element
+	d.Double(&a)
+	s.Add(&a, &a)
+	if !d.Equal(&s) {
+		t.Fatal("double != self-add")
+	}
+	var e Element
+	e.Rand()
+	if e.BigInt().Cmp(Modulus()) >= 0 {
+		t.Fatal("Rand produced unreduced value")
+	}
+}

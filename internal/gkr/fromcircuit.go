@@ -1,0 +1,140 @@
+package gkr
+
+import (
+	"fmt"
+
+	"batchzk/internal/circuit"
+	"batchzk/internal/field"
+)
+
+// FromCircuit compiles a general (DAG-shaped) arithmetic circuit into a
+// layered GKR circuit, for delegating the circuit's *evaluation* to the
+// GKR prover (output/zero-wire constraints are the front-end protocol's
+// concern, not GKR's).
+//
+// The layering is layout-preserving and deliberately simple: every layer
+// has one lane per circuit wire (padded to a power of two, plus a
+// guaranteed-zero lane); a wire's value appears in its lane from its
+// level onward, carried by pass-through Add(w, zero) gates. Production
+// compilers do liveness analysis to shrink layers; this one optimizes for
+// auditability.
+//
+// Sub gates are not supported — run circuit.RemoveSub first.
+type CompiledCircuit struct {
+	GKR *Circuit
+	// src is the original circuit, for input-vector construction.
+	src *circuit.Circuit
+	// outputLanes maps GKR output positions to circuit outputs.
+	outputLanes []int
+	width       int
+	zeroLane    int
+}
+
+// FromCircuit builds the layered form of c.
+func FromCircuit(c *circuit.Circuit) (*CompiledCircuit, error) {
+	// Level of each wire: inputs/constants at 0, gate outputs at
+	// 1 + max(level of operands).
+	level := make([]int, c.NumWires())
+	isGate := make([]bool, c.NumWires())
+	gateFor := make([]circuit.Gate, c.NumWires())
+	maxLevel := 0
+	for _, g := range c.Gates {
+		if g.Op == circuit.OpSub {
+			return nil, fmt.Errorf("gkr: Sub gates unsupported; run circuit.RemoveSub first")
+		}
+		l := 1 + maxI(level[g.A], level[g.B])
+		level[g.Out] = l
+		isGate[g.Out] = true
+		gateFor[g.Out] = g
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	if maxLevel == 0 {
+		return nil, fmt.Errorf("gkr: circuit has no gates")
+	}
+
+	// Lane layout: lane w = wire w; one extra guaranteed-zero lane; pad
+	// to a power of two.
+	width := nextPow2(c.NumWires() + 1)
+	zeroLane := width - 1 // padding lanes are zero; use the last one
+
+	cc := &CompiledCircuit{src: c, width: width, zeroLane: zeroLane}
+	gc := &Circuit{InputSize: width}
+	// Layers are output-first: layer index i corresponds to level
+	// maxLevel − i.
+	for l := maxLevel; l >= 1; l-- {
+		layer := make([]Gate, width)
+		for w := 0; w < width; w++ {
+			switch {
+			case w < c.NumWires() && isGate[w] && level[w] == l:
+				g := gateFor[w]
+				op := Add
+				if g.Op == circuit.OpMul {
+					op = Mul
+				}
+				layer[w] = Gate{Op: op, In0: int(g.A), In1: int(g.B)}
+			case w < c.NumWires() && level[w] < l:
+				// Carry the value forward (inputs have level 0, so they
+				// are carried from the base layer up).
+				layer[w] = Gate{Op: Add, In0: w, In1: zeroLane}
+			default:
+				// Not yet defined at this level, or a padding lane: zero.
+				layer[w] = Gate{Op: Add, In0: zeroLane, In1: zeroLane}
+			}
+		}
+		gc.Layers = append(gc.Layers, layer)
+	}
+	cc.GKR = gc
+	for _, o := range c.Outputs {
+		cc.outputLanes = append(cc.outputLanes, int(o))
+	}
+	return cc, nil
+}
+
+// InputVector lays the circuit inputs out as the GKR base layer: the
+// constant-one wire, public inputs, secret inputs and declared constants
+// in their wire lanes, zero elsewhere.
+func (cc *CompiledCircuit) InputVector(public, secret []field.Element) ([]field.Element, error) {
+	c := cc.src
+	if len(public) != c.NumPublic || len(secret) != c.NumSecret {
+		return nil, fmt.Errorf("gkr: want %d public / %d secret inputs, got %d / %d",
+			c.NumPublic, c.NumSecret, len(public), len(secret))
+	}
+	in := make([]field.Element, cc.width)
+	in[0] = field.One()
+	copy(in[1:], public)
+	copy(in[1+c.NumPublic:], secret)
+	for i, cw := range c.ConstWires {
+		in[cw] = c.Constants[i]
+	}
+	return in, nil
+}
+
+// Outputs extracts the circuit's declared outputs from the GKR proof's
+// (width-sized) output layer.
+func (cc *CompiledCircuit) Outputs(gkrOutputs []field.Element) ([]field.Element, error) {
+	if len(gkrOutputs) != cc.width {
+		return nil, fmt.Errorf("gkr: output layer has %d lanes, want %d", len(gkrOutputs), cc.width)
+	}
+	out := make([]field.Element, len(cc.outputLanes))
+	for i, lane := range cc.outputLanes {
+		out[i] = gkrOutputs[lane]
+	}
+	return out, nil
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,167 @@
+package gkr
+
+import (
+	"testing"
+
+	"batchzk/internal/circuit"
+	"batchzk/internal/field"
+	"batchzk/internal/transcript"
+)
+
+// buildDAG returns y = (x + w)·w − 3 (contains a Sub, add, mul, const).
+func buildDAG(t testing.TB) *circuit.Circuit {
+	t.Helper()
+	b := circuit.NewBuilder()
+	x := b.PublicInput()
+	w := b.SecretInput()
+	s := b.Add(x, w)
+	m := b.Mul(s, w)
+	y := b.Sub(m, b.Const(field.NewElement(3)))
+	b.Output(y)
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRemoveSub(t *testing.T) {
+	c := buildDAG(t)
+	flat, err := circuit.RemoveSub(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range flat.Gates {
+		if g.Op == circuit.OpSub {
+			t.Fatal("Sub gate survived")
+		}
+	}
+	// Same function: y = (4+6)·6 − 3 = 57.
+	pub := []field.Element{field.NewElement(4)}
+	sec := []field.Element{field.NewElement(6)}
+	w1, err := c.Evaluate(pub, sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := flat.Evaluate(pub, sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1, _ := c.OutputValues(w1)
+	o2, _ := flat.OutputValues(w2)
+	if !o1[0].Equal(&o2[0]) {
+		t.Fatal("RemoveSub changed the function")
+	}
+	if err := flat.CheckWitness(w2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveSubPreservesConstraints(t *testing.T) {
+	b := circuit.NewBuilder()
+	x := b.PublicInput()
+	y := b.PublicInput()
+	b.AssertZero(b.Sub(x, y)) // x == y via a Sub-based zero wire
+	b.Output(b.Mul(x, y))
+	c, _ := b.Build()
+	flat, err := circuit.RemoveSub(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flat.ZeroWires) != len(c.ZeroWires) {
+		t.Fatal("zero wires lost")
+	}
+	same := []field.Element{field.NewElement(5), field.NewElement(5)}
+	w, _ := flat.Evaluate(same, nil)
+	if err := flat.CheckWitness(w); err != nil {
+		t.Fatal(err)
+	}
+	diff := []field.Element{field.NewElement(5), field.NewElement(6)}
+	w, _ = flat.Evaluate(diff, nil)
+	if err := flat.CheckWitness(w); err == nil {
+		t.Fatal("violated constraint survived RemoveSub")
+	}
+}
+
+func TestFromCircuitEvaluation(t *testing.T) {
+	c := buildDAG(t)
+	flat, err := circuit.RemoveSub(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := FromCircuit(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.GKR.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	pub := []field.Element{field.NewElement(4)}
+	sec := []field.Element{field.NewElement(6)}
+	in, err := cc.InputVector(pub, sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	values, err := cc.GKR.Evaluate(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := cc.Outputs(values[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := outs[0].Uint64(); v != 57 {
+		t.Fatalf("GKR evaluation = %d, want 57", v)
+	}
+	// Sub circuits are rejected without normalization.
+	if _, err := FromCircuit(c); err == nil {
+		t.Fatal("Sub circuit accepted")
+	}
+	if _, err := cc.InputVector(nil, sec); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+	if _, err := cc.Outputs(values[1]); err == nil && len(values[1]) != cc.width {
+		t.Fatal("wrong layer width accepted")
+	}
+}
+
+func TestFromCircuitProveVerify(t *testing.T) {
+	// End to end: random DAG circuit → layered form → GKR proof.
+	c, err := circuit.RandomCircuit(24, 2, 2, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := circuit.RemoveSub(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := FromCircuit(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, sec := field.RandVector(2), field.RandVector(2)
+	in, err := cc.InputVector(pub, sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, _, _, err := Prove(cc.GKR, in, transcript.New(Domain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gkrOuts, err := VerifyPublic(cc.GKR, in, proof, transcript.New(Domain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := cc.Outputs(gkrOuts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Matches direct circuit evaluation.
+	w, _ := flat.Evaluate(pub, sec)
+	want, _ := flat.OutputValues(w)
+	for i := range outs {
+		if !outs[i].Equal(&want[i]) {
+			t.Fatalf("output %d differs from circuit evaluation", i)
+		}
+	}
+}

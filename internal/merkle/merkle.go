@@ -1,0 +1,207 @@
+// Package merkle implements the Merkle-tree commitment module of BatchZK
+// (§2.2, §3.1 of the paper).
+//
+// Leaves are 512-bit data blocks hashed with the raw SHA-256 compression
+// function; interior nodes hash the concatenation of their two children
+// with one further compression (sha2.Compress2). A tree over N blocks
+// therefore costs exactly 2N−1 compressions — the figure the paper's
+// thread-allocation scheme (N + N/2 + … + 1 ≈ 2N) is built on.
+//
+// The package provides single-tree construction, authentication-path
+// proofs, verification, and helpers to commit vectors of field elements
+// (used by the polynomial commitment, where each column of the encoded
+// matrix becomes one leaf).
+package merkle
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"batchzk/internal/field"
+	"batchzk/internal/sha2"
+)
+
+// Block is a 512-bit input block, the unit the paper's Merkle module
+// consumes.
+type Block [sha2.BlockSize]byte
+
+// Tree is a fully materialized Merkle tree. Layer 0 holds the leaf
+// digests; the last layer holds the single root.
+type Tree struct {
+	layers [][]sha2.Digest
+}
+
+// ErrEmpty is returned when building a tree over no data.
+var ErrEmpty = errors.New("merkle: empty input")
+
+// Build constructs a tree over 512-bit blocks. The block count must be a
+// positive power of two (pad with PadBlocks if needed).
+func Build(blocks []Block) (*Tree, error) {
+	n := len(blocks)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	if n&(n-1) != 0 {
+		return nil, fmt.Errorf("merkle: %d blocks is not a power of two", n)
+	}
+	leaves := make([]sha2.Digest, n)
+	for i := range blocks {
+		b := blocks[i]
+		leaves[i] = sha2.Compress((*[sha2.BlockSize]byte)(&b))
+	}
+	return fromLeaves(leaves), nil
+}
+
+// BuildFromDigests constructs a tree whose leaves are pre-computed digests
+// (e.g. the roots of subtree commitments, as in the system's second-level
+// tree in §4). The count must be a positive power of two.
+func BuildFromDigests(leaves []sha2.Digest) (*Tree, error) {
+	n := len(leaves)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	if n&(n-1) != 0 {
+		return nil, fmt.Errorf("merkle: %d leaves is not a power of two", n)
+	}
+	cp := make([]sha2.Digest, n)
+	copy(cp, leaves)
+	return fromLeaves(cp), nil
+}
+
+// HashElements maps a vector of field elements to one leaf digest by
+// hashing their canonical encodings. It is how the polynomial commitment
+// turns a matrix column into a Merkle leaf.
+func HashElements(es []field.Element) sha2.Digest {
+	h := sha2.NewHasher()
+	for i := range es {
+		b := es[i].ToBytes()
+		h.Write(b[:])
+	}
+	return h.Sum()
+}
+
+// BuildFromColumns commits to a matrix given by its columns: each column
+// is hashed to a leaf and the tree built above them. Column count must be
+// a power of two.
+func BuildFromColumns(cols [][]field.Element) (*Tree, error) {
+	leaves := make([]sha2.Digest, len(cols))
+	for i, c := range cols {
+		leaves[i] = HashElements(c)
+	}
+	return BuildFromDigests(leaves)
+}
+
+// PadBlocks appends zero blocks until the length is a power of two.
+func PadBlocks(blocks []Block) []Block {
+	n := len(blocks)
+	if n == 0 {
+		return blocks
+	}
+	want := 1
+	for want < n {
+		want <<= 1
+	}
+	for len(blocks) < want {
+		blocks = append(blocks, Block{})
+	}
+	return blocks
+}
+
+func fromLeaves(leaves []sha2.Digest) *Tree {
+	t := &Tree{layers: [][]sha2.Digest{leaves}}
+	cur := leaves
+	for len(cur) > 1 {
+		next := make([]sha2.Digest, len(cur)/2)
+		for i := range next {
+			next[i] = sha2.Compress2(&cur[2*i], &cur[2*i+1])
+		}
+		t.layers = append(t.layers, next)
+		cur = next
+	}
+	return t
+}
+
+// Root returns the Merkle root.
+func (t *Tree) Root() sha2.Digest {
+	top := t.layers[len(t.layers)-1]
+	return top[0]
+}
+
+// NumLeaves returns the leaf count.
+func (t *Tree) NumLeaves() int { return len(t.layers[0]) }
+
+// Depth returns the number of hashing layers above the leaves (log2 N).
+func (t *Tree) Depth() int { return len(t.layers) - 1 }
+
+// Leaf returns the digest of leaf i.
+func (t *Tree) Leaf(i int) (sha2.Digest, error) {
+	if i < 0 || i >= t.NumLeaves() {
+		return sha2.Digest{}, fmt.Errorf("merkle: leaf %d out of range [0,%d)", i, t.NumLeaves())
+	}
+	return t.layers[0][i], nil
+}
+
+// NumCompressions reports how many compression-function calls were needed
+// to build this tree from digests upward; trees built from raw blocks add
+// one compression per leaf. Used by the performance model for calibration.
+func (t *Tree) NumCompressions() int {
+	total := 0
+	for _, l := range t.layers[1:] {
+		total += len(l)
+	}
+	return total
+}
+
+// Proof is an authentication path proving that a leaf digest belongs to a
+// root. Siblings are ordered leaf-to-root.
+type Proof struct {
+	Index    int
+	Leaf     sha2.Digest
+	Siblings []sha2.Digest
+}
+
+// Prove returns the authentication path for leaf i.
+func (t *Tree) Prove(i int) (*Proof, error) {
+	if i < 0 || i >= t.NumLeaves() {
+		return nil, fmt.Errorf("merkle: leaf %d out of range [0,%d)", i, t.NumLeaves())
+	}
+	p := &Proof{Index: i, Leaf: t.layers[0][i]}
+	idx := i
+	for l := 0; l < t.Depth(); l++ {
+		p.Siblings = append(p.Siblings, t.layers[l][idx^1])
+		idx >>= 1
+	}
+	return p, nil
+}
+
+// Verify checks an authentication path against a root.
+func Verify(root sha2.Digest, p *Proof) bool {
+	if p == nil || p.Index < 0 {
+		return false
+	}
+	if uint(bits.Len(uint(p.Index))) > uint(len(p.Siblings)) {
+		return false // index does not fit in the claimed tree depth
+	}
+	cur := p.Leaf
+	idx := p.Index
+	for _, sib := range p.Siblings {
+		s := sib
+		if idx&1 == 0 {
+			cur = sha2.Compress2(&cur, &s)
+		} else {
+			cur = sha2.Compress2(&s, &cur)
+		}
+		idx >>= 1
+	}
+	return cur == root
+}
+
+// VerifyElements checks that a claimed column of field elements is the
+// preimage of the proof's leaf and that the path is valid.
+func VerifyElements(root sha2.Digest, p *Proof, column []field.Element) bool {
+	if p == nil || HashElements(column) != p.Leaf {
+		return false
+	}
+	return Verify(root, p)
+}

@@ -1,0 +1,173 @@
+// Package msm implements multi-scalar multiplication Σ kᵢ·Pᵢ with
+// Pippenger's bucket algorithm — the dominant operation of the
+// Groth16-family baselines (Libsnark, Bellperson, GZKP) that BatchZK's
+// Table 7 compares against.
+//
+// The window size follows the usual ln(n)-style heuristic; Parallel
+// variants shard the scalars across goroutines the way Bellperson shards
+// across GPU thread blocks, which the performance model uses to derive the
+// baseline's core utilization.
+package msm
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+
+	"batchzk/internal/curve"
+	"batchzk/internal/field"
+)
+
+// WindowBits picks the Pippenger window size c for n points (≈ log₂n − 3,
+// clamped to [2, 16]).
+func WindowBits(n int) int {
+	if n <= 1 {
+		return 2
+	}
+	c := bits.Len(uint(n)) - 3
+	if c < 2 {
+		c = 2
+	}
+	if c > 16 {
+		c = 16
+	}
+	return c
+}
+
+// Naive computes Σ kᵢ·Pᵢ by independent scalar multiplications; the
+// reference the tests compare Pippenger against.
+func Naive(points []curve.AffinePoint, scalars []field.Element) (curve.AffinePoint, error) {
+	if len(points) != len(scalars) {
+		return curve.AffinePoint{}, fmt.Errorf("msm: %d points vs %d scalars", len(points), len(scalars))
+	}
+	var acc, term curve.JacobianPoint
+	for i := range points {
+		term.ScalarMul(&points[i], &scalars[i])
+		acc.Add(&acc, &term)
+	}
+	return acc.ToAffine(), nil
+}
+
+// Pippenger computes Σ kᵢ·Pᵢ with the bucket method.
+func Pippenger(points []curve.AffinePoint, scalars []field.Element) (curve.AffinePoint, error) {
+	if len(points) != len(scalars) {
+		return curve.AffinePoint{}, fmt.Errorf("msm: %d points vs %d scalars", len(points), len(scalars))
+	}
+	if len(points) == 0 {
+		return curve.Identity(), nil
+	}
+	c := WindowBits(len(points))
+	numWindows := (field.Bits + c - 1) / c
+
+	// Decompose scalars into c-bit digits, most significant window first.
+	digits := make([][]uint32, len(scalars))
+	for i := range scalars {
+		digits[i] = scalarDigits(&scalars[i], c, numWindows)
+	}
+
+	var result curve.JacobianPoint
+	buckets := make([]curve.JacobianPoint, 1<<c)
+	for w := numWindows - 1; w >= 0; w-- {
+		for s := 0; s < c; s++ {
+			result.Double(&result)
+		}
+		for i := range buckets {
+			buckets[i] = curve.JacobianPoint{}
+		}
+		for i := range points {
+			d := digits[i][w]
+			if d != 0 {
+				buckets[d].AddMixed(&buckets[d], &points[i])
+			}
+		}
+		// Running-sum trick: Σ d·bucket[d] via two sweeps.
+		var running, windowSum curve.JacobianPoint
+		for d := len(buckets) - 1; d >= 1; d-- {
+			running.Add(&running, &buckets[d])
+			windowSum.Add(&windowSum, &running)
+		}
+		result.Add(&result, &windowSum)
+	}
+	return result.ToAffine(), nil
+}
+
+// scalarDigits splits the canonical value of k into numWindows little-
+// endian groups of c bits; index w holds bits [w·c, (w+1)·c).
+func scalarDigits(k *field.Element, c, numWindows int) []uint32 {
+	b := k.ToBytes() // big-endian
+	out := make([]uint32, numWindows)
+	for w := 0; w < numWindows; w++ {
+		lo := w * c
+		var v uint32
+		for bit := 0; bit < c; bit++ {
+			idx := lo + bit
+			if idx >= 256 {
+				break
+			}
+			byteIdx := 31 - idx/8
+			if b[byteIdx]>>(uint(idx)%8)&1 == 1 {
+				v |= 1 << uint(bit)
+			}
+		}
+		out[w] = v
+	}
+	return out
+}
+
+// Parallel computes the MSM by splitting the input across workers and
+// summing the partial results; workers ≤ 0 selects GOMAXPROCS.
+func Parallel(points []curve.AffinePoint, scalars []field.Element, workers int) (curve.AffinePoint, error) {
+	if len(points) != len(scalars) {
+		return curve.AffinePoint{}, fmt.Errorf("msm: %d points vs %d scalars", len(points), len(scalars))
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	if workers <= 1 {
+		return Pippenger(points, scalars)
+	}
+	partials := make([]curve.AffinePoint, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	chunk := (len(points) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(points))
+		if lo >= hi {
+			partials[w] = curve.Identity()
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			partials[w], errs[w] = Pippenger(points[lo:hi], scalars[lo:hi])
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var acc curve.JacobianPoint
+	for w := range partials {
+		if errs[w] != nil {
+			return curve.AffinePoint{}, errs[w]
+		}
+		pj := partials[w].ToJacobian()
+		acc.Add(&acc, &pj)
+	}
+	return acc.ToAffine(), nil
+}
+
+// WorkPointOps estimates the group-operation count of a Pippenger MSM over
+// n points — the quantity the Bellperson/Libsnark performance models
+// charge. Each window processes n bucket additions plus ~2^{c+1} sweep
+// additions, and there are ⌈254/c⌉ windows (plus 254 doublings).
+func WorkPointOps(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	c := WindowBits(n)
+	numWindows := (field.Bits + c - 1) / c
+	return numWindows*(n+2<<uint(c)) + field.Bits
+}

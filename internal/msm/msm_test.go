@@ -1,0 +1,132 @@
+package msm
+
+import (
+	"testing"
+
+	"batchzk/internal/curve"
+	"batchzk/internal/field"
+)
+
+func randInput(n int) ([]curve.AffinePoint, []field.Element) {
+	pts := make([]curve.AffinePoint, n)
+	for i := range pts {
+		pts[i] = curve.RandPoint()
+	}
+	return pts, field.RandVector(n)
+}
+
+func TestPippengerMatchesNaive(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 33, 100} {
+		pts, scalars := randInput(n)
+		want, err := Naive(pts, scalars)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Pippenger(pts, scalars)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(&want) {
+			t.Fatalf("n=%d: Pippenger != naive", n)
+		}
+		if !got.IsOnCurve() {
+			t.Fatalf("n=%d: result off curve", n)
+		}
+	}
+}
+
+func TestEmptyAndMismatch(t *testing.T) {
+	got, err := Pippenger(nil, nil)
+	if err != nil || !got.Infinity {
+		t.Fatalf("empty MSM: %v %v", got, err)
+	}
+	pts, scalars := randInput(4)
+	if _, err := Pippenger(pts, scalars[:3]); err == nil {
+		t.Fatal("accepted mismatched lengths")
+	}
+	if _, err := Naive(pts, scalars[:3]); err == nil {
+		t.Fatal("naive accepted mismatched lengths")
+	}
+	if _, err := Parallel(pts, scalars[:3], 2); err == nil {
+		t.Fatal("parallel accepted mismatched lengths")
+	}
+}
+
+func TestZeroScalars(t *testing.T) {
+	pts, _ := randInput(10)
+	scalars := make([]field.Element, 10)
+	got, err := Pippenger(pts, scalars)
+	if err != nil || !got.Infinity {
+		t.Fatalf("all-zero MSM should be identity: %v %v", got, err)
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	pts, scalars := randInput(64)
+	want, _ := Pippenger(pts, scalars)
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		got, err := Parallel(pts, scalars, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(&want) {
+			t.Fatalf("workers=%d mismatch", workers)
+		}
+	}
+}
+
+func TestWindowBits(t *testing.T) {
+	if WindowBits(0) != 2 || WindowBits(1) != 2 {
+		t.Fatal("tiny inputs should clamp to 2")
+	}
+	if WindowBits(1<<20) <= 2 {
+		t.Fatal("large inputs should widen the window")
+	}
+	if WindowBits(1<<30) > 16 {
+		t.Fatal("window must clamp at 16")
+	}
+}
+
+func TestWorkPointOps(t *testing.T) {
+	if WorkPointOps(0) != 0 {
+		t.Fatal("zero points should cost nothing")
+	}
+	small, large := WorkPointOps(1<<10), WorkPointOps(1<<16)
+	if large <= small {
+		t.Fatal("work must grow with n")
+	}
+	// Pippenger is subquadratic: 64× the points must cost far less than
+	// 64× naive scalar muls would suggest relative to window growth.
+	if large > 64*small {
+		t.Fatal("work growth looks superlinear beyond windowing gains")
+	}
+}
+
+func TestScalarDigitsReconstruction(t *testing.T) {
+	var k field.Element
+	k.Rand()
+	c := 7
+	numWindows := (field.Bits + c - 1) / c
+	digits := scalarDigits(&k, c, numWindows)
+	// Σ digit[w]·2^{cw} must reproduce the canonical scalar value.
+	recon := field.Zero()
+	radix := field.NewElement(1 << uint(c))
+	for w := numWindows - 1; w >= 0; w-- {
+		recon.Mul(&recon, &radix)
+		d := field.NewElement(uint64(digits[w]))
+		recon.Add(&recon, &d)
+	}
+	if !recon.Equal(&k) {
+		t.Fatal("digit decomposition does not reconstruct the scalar")
+	}
+}
+
+func BenchmarkPippenger256(b *testing.B) {
+	pts, scalars := randInput(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Pippenger(pts, scalars); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

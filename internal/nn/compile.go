@@ -1,0 +1,526 @@
+package nn
+
+import (
+	"fmt"
+
+	"batchzk/internal/circuit"
+	"batchzk/internal/field"
+)
+
+// HintBits is the bit width used by the nonlinearity gadgets: every value
+// entering a ReLU/max comparison must fit in (−2^(HintBits−1), 2^(HintBits−1)).
+const HintBits = 26
+
+// Compiled is a network compiled to an arithmetic circuit, following the
+// verifiable-ML compilation approach of the paper's references (zkCNN,
+// ZKML, ZENO): linear layers become multiply–add gates over the secret
+// weights; nonlinearities (ReLU, max) and fixed-point rescaling become
+// bit-decomposition gadgets whose decompositions the prover supplies as
+// secret hint inputs, pinned by bit constraints b·(b−1) = 0 and
+// recomposition equalities.
+type Compiled struct {
+	Net     *Network
+	Circuit *circuit.Circuit
+	// NumPixels public inputs (the customer's image), then the secret
+	// inputs: the model parameters followed by the gadget hints.
+	NumPixels int
+	NumParams int
+	NumHints  int
+	// Bound reports whether the circuit's last output is the model-binding
+	// Horner hash (see CompileBound).
+	Bound bool
+}
+
+// compiler carries the two-pass state: pass 1 (hints=nil) only counts
+// hint values; pass 2 consumes them while emitting gates.
+type compiler struct {
+	b        *circuit.Builder
+	counting bool
+	numHints int
+
+	hintWires []circuit.Wire // pass 2: hint inputs in consumption order
+	hintIdx   int
+}
+
+// nextHint returns the next hint wire (pass 2) or just counts (pass 1).
+func (cp *compiler) nextHint() circuit.Wire {
+	cp.numHints++
+	if cp.counting {
+		return 0
+	}
+	w := cp.hintWires[cp.hintIdx]
+	cp.hintIdx++
+	return w
+}
+
+// powerOfTwo returns the constant wire 2^k.
+func (cp *compiler) powerOfTwo(k int) circuit.Wire {
+	if cp.counting {
+		return 0
+	}
+	var v field.Element
+	v.SetUint64(1)
+	two := field.NewElement(2)
+	for i := 0; i < k; i++ {
+		v.Mul(&v, &two)
+	}
+	return cp.b.Const(v)
+}
+
+// decompose takes the hint bits of u = v + 2^(HintBits−1), pins every bit
+// with the constraint b·(b−1) = 0, recomposes u, asserts
+// u − 2^(HintBits−1) − v = 0, and returns the sign indicator (1 when
+// v ≥ 0). Every constraint is an individually pinned zero wire, so the
+// protocol's random-coefficient batching enforces each one separately.
+func (cp *compiler) decompose(v circuit.Wire) (sign circuit.Wire) {
+	bits := make([]circuit.Wire, HintBits)
+	for i := range bits {
+		bits[i] = cp.nextHint()
+	}
+	if cp.counting {
+		return 0
+	}
+	b := cp.b
+	one := b.One()
+	for _, bit := range bits {
+		bm1 := b.Sub(bit, one)
+		b.AssertZero(b.Mul(bit, bm1)) // 0 iff bit ∈ {0,1}
+	}
+	// Recompose u and check u − 2^(HintBits−1) − v = 0.
+	u := b.Const(field.Zero())
+	for i, bit := range bits {
+		u = b.Add(u, b.Mul(bit, cp.powerOfTwo(i)))
+	}
+	shifted := b.Sub(u, cp.powerOfTwo(HintBits-1))
+	b.AssertZero(b.Sub(shifted, v))
+	return bits[HintBits-1]
+}
+
+// relu returns max(v, 0) using a sign gadget: s = sign(v), out = s·v.
+func (cp *compiler) relu(v circuit.Wire) circuit.Wire {
+	s := cp.decompose(v)
+	if cp.counting {
+		return 0
+	}
+	return cp.b.Mul(s, v)
+}
+
+// maxWire returns max(a, b) = b + relu(a − b).
+func (cp *compiler) maxWire(a, bw circuit.Wire) circuit.Wire {
+	if cp.counting {
+		cp.relu(0)
+		return 0
+	}
+	d := cp.b.Sub(a, bw)
+	return cp.b.Add(bw, cp.relu(d))
+}
+
+// rescale divides v by 2^FracBits with floor semantics: the prover hints
+// the quotient q and the FracBits remainder bits; the circuit checks
+// v = q·2^F + Σ r_i·2^i with boolean r_i.
+func (cp *compiler) rescale(v circuit.Wire) circuit.Wire {
+	q := cp.nextHint()
+	rbits := make([]circuit.Wire, FracBits)
+	for i := range rbits {
+		rbits[i] = cp.nextHint()
+	}
+	if cp.counting {
+		return 0
+	}
+	b := cp.b
+	one := b.One()
+	r := b.Const(field.Zero())
+	for i, bit := range rbits {
+		bm1 := b.Sub(bit, one)
+		b.AssertZero(b.Mul(bit, bm1))
+		r = b.Add(r, b.Mul(bit, cp.powerOfTwo(i)))
+	}
+	recon := b.Add(b.Mul(q, cp.powerOfTwo(FracBits)), r)
+	b.AssertZero(b.Sub(recon, v))
+	return q
+}
+
+// CompileBound compiles the network with a model-binding output: the
+// circuit additionally computes the Horner hash H = Σ params[i]·ρ^i and
+// exposes it as the last output. With ρ derived by Fiat–Shamir from the
+// model's Merkle root (vml does this), H binds the proof to the committed
+// parameters: a prover substituting a different model would have to find
+// a second parameter vector with the same ρ-evaluation, which
+// Schwartz–Zippel rules out for random ρ. This realizes §5's "prove that
+// this Merkle root is correctly calculated from the committed model"
+// without hashing inside the circuit.
+func CompileBound(n *Network, rho field.Element) (*Compiled, error) {
+	return compile(n, &rho)
+}
+
+// Compile translates a network into a circuit. Two passes: the first
+// counts hint inputs, the second emits gates.
+func Compile(n *Network) (*Compiled, error) {
+	return compile(n, nil)
+}
+
+func compile(n *Network, rho *field.Element) (*Compiled, error) {
+	// Pass 1: count hints.
+	counter := &compiler{counting: true}
+	if err := buildGates(counter, n, nil, nil, nil); err != nil {
+		return nil, err
+	}
+	numHints := counter.numHints
+
+	// Pass 2: declare inputs, then emit gates.
+	b := circuit.NewBuilder()
+	numPixels := n.InC * n.InH * n.InW
+	pixels := make([]circuit.Wire, numPixels)
+	for i := range pixels {
+		pixels[i] = b.PublicInput()
+	}
+	params := n.Parameters()
+	paramWires := make([]circuit.Wire, len(params))
+	for i := range paramWires {
+		paramWires[i] = b.SecretInput()
+	}
+	hintWires := make([]circuit.Wire, numHints)
+	for i := range hintWires {
+		hintWires[i] = b.SecretInput()
+	}
+	cp := &compiler{b: b, hintWires: hintWires}
+	if err := buildGates(cp, n, pixels, paramWires, nil); err != nil {
+		return nil, err
+	}
+	if cp.hintIdx != numHints {
+		return nil, fmt.Errorf("nn: hint count mismatch: declared %d, consumed %d", numHints, cp.hintIdx)
+	}
+	bound := false
+	if rho != nil {
+		// Horner hash over the parameter wires, exposed as the final
+		// output: H = ((p_0·ρ + p_1)·ρ + p_2)·ρ + …
+		rhoW := b.Const(*rho)
+		h := b.Const(field.Zero())
+		for _, pw := range paramWires {
+			h = b.Add(b.Mul(h, rhoW), pw)
+		}
+		b.Output(h)
+		bound = true
+	}
+	c, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{
+		Net: n, Circuit: c,
+		NumPixels: numPixels, NumParams: len(params), NumHints: numHints,
+		Bound: bound,
+	}, nil
+}
+
+// ParamsHash computes the Horner hash H = Σ params[i]·ρ^i of a parameter
+// vector — what the bound circuit's final output must equal.
+func ParamsHash(params []int64, rho field.Element) field.Element {
+	var h, p field.Element
+	for _, v := range params {
+		h.Mul(&h, &rho)
+		p.SetInt64(v)
+		h.Add(&h, &p)
+	}
+	return h
+}
+
+// buildGates walks the network, emitting (or counting) gates. outWires
+// is unused and reserved for future multi-head networks.
+func buildGates(cp *compiler, n *Network, pixels, paramWires []circuit.Wire, _ []circuit.Wire) error {
+	// Current activation grid as wires, plus shape.
+	var cur []circuit.Wire
+	c, h, w := n.InC, n.InH, n.InW
+	if !cp.counting {
+		cur = pixels
+	} else {
+		cur = make([]circuit.Wire, c*h*w)
+	}
+	at := func(grid []circuit.Wire, gw, gc, gy, gx int) circuit.Wire {
+		return grid[(gc*h+gy)*gw+gx]
+	}
+	paramIdx := 0
+	takeParams := func(k int) []circuit.Wire {
+		if cp.counting {
+			paramIdx += k
+			return make([]circuit.Wire, k)
+		}
+		out := paramWires[paramIdx : paramIdx+k]
+		paramIdx += k
+		return out
+	}
+
+	for _, layer := range n.Layers {
+		switch l := layer.(type) {
+		case *Conv2D:
+			weights := takeParams(len(l.Weights))
+			biases := takeParams(len(l.Biases))
+			next := make([]circuit.Wire, l.OutC*h*w)
+			pad := l.K / 2
+			for o := 0; o < l.OutC && !cp.counting; o++ {
+				for y := 0; y < h; y++ {
+					for x := 0; x < w; x++ {
+						acc := cp.b.Mul(biases[o], cp.powerOfTwo(FracBits))
+						for i := 0; i < l.InC; i++ {
+							for ky := 0; ky < l.K; ky++ {
+								sy := y + ky - pad
+								if sy < 0 || sy >= h {
+									continue
+								}
+								for kx := 0; kx < l.K; kx++ {
+									sx := x + kx - pad
+									if sx < 0 || sx >= w {
+										continue
+									}
+									wi := weights[((o*l.InC+i)*l.K+ky)*l.K+kx]
+									prod := cp.b.Mul(wi, at(cur, w, i, sy, sx))
+									acc = cp.b.Add(acc, prod)
+								}
+							}
+						}
+						next[(o*h+y)*w+x] = acc
+					}
+				}
+			}
+			// Rescale every output back to FracBits.
+			for i := range next {
+				next[i] = cp.rescale(next[i])
+			}
+			cur, c = next, l.OutC
+
+		case ReLU:
+			next := make([]circuit.Wire, len(cur))
+			for i := range cur {
+				next[i] = cp.relu(cur[i])
+			}
+			cur = next
+
+		case MaxPool2:
+			if h%2 != 0 || w%2 != 0 {
+				return fmt.Errorf("nn: maxpool2 needs even dims")
+			}
+			next := make([]circuit.Wire, c*(h/2)*(w/2))
+			for cc := 0; cc < c; cc++ {
+				for y := 0; y < h/2; y++ {
+					for x := 0; x < w/2; x++ {
+						var a, b2, c2, d circuit.Wire
+						if !cp.counting {
+							a = at(cur, w, cc, 2*y, 2*x)
+							b2 = at(cur, w, cc, 2*y, 2*x+1)
+							c2 = at(cur, w, cc, 2*y+1, 2*x)
+							d = at(cur, w, cc, 2*y+1, 2*x+1)
+						}
+						m1 := cp.maxWire(a, b2)
+						m2 := cp.maxWire(c2, d)
+						m := cp.maxWire(m1, m2)
+						if !cp.counting {
+							next[(cc*(h/2)+y)*(w/2)+x] = m
+						}
+					}
+				}
+			}
+			cur, h, w = next, h/2, w/2
+
+		case *Linear:
+			weights := takeParams(len(l.Weights))
+			biases := takeParams(len(l.Biases))
+			next := make([]circuit.Wire, l.Out)
+			for o := 0; o < l.Out && !cp.counting; o++ {
+				acc := cp.b.Mul(biases[o], cp.powerOfTwo(FracBits))
+				for i := 0; i < l.In; i++ {
+					acc = cp.b.Add(acc, cp.b.Mul(weights[o*l.In+i], cur[i]))
+				}
+				next[o] = acc
+			}
+			for i := range next {
+				next[i] = cp.rescale(next[i])
+			}
+			cur, c, h, w = next, l.Out, 1, 1
+
+		default:
+			return fmt.Errorf("nn: cannot compile layer %s", layer.Name())
+		}
+	}
+	// Expose the logits as public outputs.
+	if !cp.counting {
+		for _, wv := range cur {
+			cp.b.Output(wv)
+		}
+	}
+	return nil
+}
+
+// BuildInputs runs the fixed-point engine to produce the circuit inputs
+// for one image: the public pixels and the secret vector (parameters then
+// gadget hints, in the order Compile consumes them).
+func (cc *Compiled) BuildInputs(img *Tensor) (public, secret []field.Element, err error) {
+	n := cc.Net
+	if img.C != n.InC || img.H != n.InH || img.W != n.InW {
+		return nil, nil, fmt.Errorf("nn: image shape %dx%dx%d, want %dx%dx%d",
+			img.C, img.H, img.W, n.InC, n.InH, n.InW)
+	}
+	public = make([]field.Element, img.Len())
+	for i, v := range img.Data {
+		public[i].SetInt64(v)
+	}
+	secret = make([]field.Element, 0, cc.NumParams+cc.NumHints)
+	for _, p := range n.Parameters() {
+		var e field.Element
+		e.SetInt64(p)
+		secret = append(secret, e)
+	}
+
+	// Replay inference, emitting hints in gate order.
+	hints := &hintEmitter{}
+	cur := img
+	for _, layer := range n.Layers {
+		switch l := layer.(type) {
+		case *Conv2D:
+			raw, err := l.forwardRaw(cur)
+			if err != nil {
+				return nil, nil, err
+			}
+			out := NewTensor(l.OutC, cur.H, cur.W)
+			for i, v := range raw.Data {
+				out.Data[i] = hints.rescale(v)
+			}
+			cur = out
+		case ReLU:
+			out := NewTensor(cur.C, cur.H, cur.W)
+			for i, v := range cur.Data {
+				out.Data[i] = hints.relu(v)
+			}
+			cur = out
+		case MaxPool2:
+			out := NewTensor(cur.C, cur.H/2, cur.W/2)
+			for ch := 0; ch < cur.C; ch++ {
+				for y := 0; y < cur.H/2; y++ {
+					for x := 0; x < cur.W/2; x++ {
+						a := cur.At(ch, 2*y, 2*x)
+						b := cur.At(ch, 2*y, 2*x+1)
+						c := cur.At(ch, 2*y+1, 2*x)
+						d := cur.At(ch, 2*y+1, 2*x+1)
+						m1 := hints.max(a, b)
+						m2 := hints.max(c, d)
+						out.Set(ch, y, x, hints.max(m1, m2))
+					}
+				}
+			}
+			cur = out
+		case *Linear:
+			raw, err := l.forwardRaw(cur)
+			if err != nil {
+				return nil, nil, err
+			}
+			out := NewTensor(l.Out, 1, 1)
+			for i, v := range raw.Data {
+				out.Data[i] = hints.rescale(v)
+			}
+			cur = out
+		default:
+			return nil, nil, fmt.Errorf("nn: cannot hint layer %s", layer.Name())
+		}
+	}
+	if len(hints.vals) != cc.NumHints {
+		return nil, nil, fmt.Errorf("nn: produced %d hints, circuit wants %d", len(hints.vals), cc.NumHints)
+	}
+	secret = append(secret, hints.vals...)
+	return public, secret, nil
+}
+
+// hintEmitter mirrors the gadget order of the compiler, producing the
+// secret hint values.
+type hintEmitter struct {
+	vals []field.Element
+}
+
+func (h *hintEmitter) emitInt(v int64) {
+	var e field.Element
+	e.SetInt64(v)
+	h.vals = append(h.vals, e)
+}
+
+// decomposeBits emits the HintBits bits of u = v + 2^(HintBits−1) and
+// returns the sign (1 if v ≥ 0).
+func (h *hintEmitter) decomposeBits(v int64) int64 {
+	u := v + 1<<(HintBits-1)
+	if u < 0 || u >= 1<<HintBits {
+		panic(fmt.Sprintf("nn: value %d exceeds the %d-bit gadget range", v, HintBits))
+	}
+	for i := 0; i < HintBits; i++ {
+		h.emitInt(u >> uint(i) & 1)
+	}
+	if v >= 0 {
+		return 1
+	}
+	return 0
+}
+
+func (h *hintEmitter) relu(v int64) int64 {
+	s := h.decomposeBits(v)
+	return s * v
+}
+
+func (h *hintEmitter) max(a, b int64) int64 {
+	return b + h.relu(a-b)
+}
+
+func (h *hintEmitter) rescale(v int64) int64 {
+	q := v >> FracBits // arithmetic shift = floor division
+	r := v - q<<FracBits
+	h.emitInt(q)
+	for i := 0; i < FracBits; i++ {
+		h.emitInt(r >> uint(i) & 1)
+	}
+	return q
+}
+
+// forwardRaw computes a convolution without the final rescale (the
+// circuit rescales explicitly via the gadget).
+func (c *Conv2D) forwardRaw(in *Tensor) (*Tensor, error) {
+	if in.C != c.InC {
+		return nil, fmt.Errorf("nn: %s: input has %d channels", c.Name(), in.C)
+	}
+	out := NewTensor(c.OutC, in.H, in.W)
+	pad := c.K / 2
+	for o := 0; o < c.OutC; o++ {
+		for y := 0; y < in.H; y++ {
+			for x := 0; x < in.W; x++ {
+				acc := c.Biases[o] << FracBits
+				for i := 0; i < c.InC; i++ {
+					for ky := 0; ky < c.K; ky++ {
+						sy := y + ky - pad
+						if sy < 0 || sy >= in.H {
+							continue
+						}
+						for kx := 0; kx < c.K; kx++ {
+							sx := x + kx - pad
+							if sx < 0 || sx >= in.W {
+								continue
+							}
+							acc += c.weight(o, i, ky, kx) * in.At(i, sy, sx)
+						}
+					}
+				}
+				out.Set(o, y, x, acc)
+			}
+		}
+	}
+	return out, nil
+}
+
+// forwardRaw computes the FC layer without the final rescale.
+func (l *Linear) forwardRaw(in *Tensor) (*Tensor, error) {
+	if in.Len() != l.In {
+		return nil, fmt.Errorf("nn: %s: input has %d values", l.Name(), in.Len())
+	}
+	out := NewTensor(l.Out, 1, 1)
+	for o := 0; o < l.Out; o++ {
+		acc := l.Biases[o] << FracBits
+		for i := 0; i < l.In; i++ {
+			acc += l.Weights[o*l.In+i] * in.Data[i]
+		}
+		out.Data[o] = acc
+	}
+	return out, nil
+}

@@ -1,0 +1,93 @@
+package nn
+
+import (
+	"testing"
+
+	"batchzk/internal/field"
+)
+
+func compileTiny(t testing.TB) (*Compiled, *Tensor) {
+	t.Helper()
+	net := TinyCNN(13)
+	cc, err := Compile(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := RandImage(1, 8, 8, 21)
+	return cc, img
+}
+
+func TestCompiledCircuitMatchesEngine(t *testing.T) {
+	cc, img := compileTiny(t)
+	public, secret, err := cc.BuildInputs(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(public) != cc.NumPixels {
+		t.Fatalf("public inputs %d, want %d", len(public), cc.NumPixels)
+	}
+	if len(secret) != cc.NumParams+cc.NumHints {
+		t.Fatalf("secret inputs %d, want %d", len(secret), cc.NumParams+cc.NumHints)
+	}
+	w, err := cc.Circuit.Evaluate(public, secret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.Circuit.CheckWitness(w); err != nil {
+		t.Fatalf("gadget constraints unsatisfied: %v", err)
+	}
+	// Circuit outputs (logits) must match the fixed-point engine exactly.
+	outs, err := cc.Circuit.OutputValues(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engineOut, _, err := cc.Net.Forward(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != engineOut.Len() {
+		t.Fatalf("%d circuit outputs vs %d logits", len(outs), engineOut.Len())
+	}
+	for i, v := range engineOut.Data {
+		var want field.Element
+		want.SetInt64(v)
+		if !outs[i].Equal(&want) {
+			t.Fatalf("logit %d: circuit %v, engine %d", i, outs[i].String(), v)
+		}
+	}
+}
+
+func TestCompiledRejectsBadHints(t *testing.T) {
+	cc, img := compileTiny(t)
+	public, secret, _ := cc.BuildInputs(img)
+	// Corrupt one hint bit: the zero-wire constraints must break.
+	bad := append([]field.Element{}, secret...)
+	idx := cc.NumParams + cc.NumHints/2
+	bad[idx] = field.NewElement(7) // not a bit
+	w, err := cc.Circuit.Evaluate(public, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.Circuit.CheckWitness(w); err == nil {
+		t.Fatal("tampered hint escaped the zero-wire constraints")
+	}
+}
+
+func TestCompiledRejectsWrongImage(t *testing.T) {
+	cc, _ := compileTiny(t)
+	if _, _, err := cc.BuildInputs(RandImage(3, 8, 8, 1)); err == nil {
+		t.Fatal("accepted wrong image shape")
+	}
+}
+
+func TestCompiledScaleAccounting(t *testing.T) {
+	cc, _ := compileTiny(t)
+	if cc.Circuit.NumMulGates() == 0 {
+		t.Fatal("no multiplication gates")
+	}
+	if cc.NumHints == 0 || cc.NumParams == 0 {
+		t.Fatal("hint/parameter accounting empty")
+	}
+	t.Logf("TinyCNN circuit: %d wires, %d mul gates, %d hints, %d zero wires",
+		cc.Circuit.NumWires(), cc.Circuit.NumMulGates(), cc.NumHints, len(cc.Circuit.ZeroWires))
+}

@@ -1,0 +1,406 @@
+// Package nn is the machine-learning engine of the paper's §5
+// application: a fixed-point convolutional-network inference engine with
+// the exact VGG-16 layer shapes for 32×32×3 (CIFAR-10-sized) inputs, plus
+// a compiler from small networks to arithmetic circuits so the inference
+// can be proven end to end with the batch prover.
+//
+// Substitution note (DESIGN.md): the paper uses a PyTorch-trained VGG-16
+// reaching 93.93% accuracy. Proof-generation cost depends only on the
+// circuit's shape — the number of multiplications — not on the learned
+// weight values, so this package generates deterministic synthetic weights
+// and reports the accuracy row of Table 11 as not reproducible.
+//
+// Values are fixed-point integers with FracBits fractional bits. Every
+// layer rescales its output back to FracBits, matching how verifiable-ML
+// systems quantize (zkCNN, ZENO).
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// FracBits is the fixed-point precision (scale = 2^FracBits).
+const FracBits = 8
+
+// Scale is the fixed-point scaling factor.
+const Scale = 1 << FracBits
+
+// Tensor is a 3-D fixed-point tensor (channels × height × width),
+// flattened row-major as [c][h][w].
+type Tensor struct {
+	C, H, W int
+	Data    []int64
+}
+
+// NewTensor allocates a zero tensor.
+func NewTensor(c, h, w int) *Tensor {
+	return &Tensor{C: c, H: h, W: w, Data: make([]int64, c*h*w)}
+}
+
+// At returns the element at (c, h, w).
+func (t *Tensor) At(c, h, w int) int64 {
+	return t.Data[(c*t.H+h)*t.W+w]
+}
+
+// Set writes the element at (c, h, w).
+func (t *Tensor) Set(c, h, w int, v int64) {
+	t.Data[(c*t.H+h)*t.W+w] = v
+}
+
+// Len returns the element count.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Layer is one network layer.
+type Layer interface {
+	// Forward computes the layer output and returns it.
+	Forward(in *Tensor) (*Tensor, error)
+	// MulCount returns the number of fixed-point multiplications the
+	// layer performs on an input of the given shape — the quantity that
+	// sets the proof-generation circuit scale.
+	MulCount(c, h, w int) int
+	// OutShape maps an input shape to the output shape.
+	OutShape(c, h, w int) (int, int, int)
+	// Name describes the layer.
+	Name() string
+}
+
+// Conv2D is a 3×3 (or k×k) same-padding convolution.
+type Conv2D struct {
+	InC, OutC, K int
+	Stride       int
+	// Weights[o][i][ky][kx] and Biases[o], fixed-point.
+	Weights []int64
+	Biases  []int64
+}
+
+// NewConv2D builds a convolution with deterministic synthetic weights.
+func NewConv2D(inC, outC, k int, rng *rand.Rand) *Conv2D {
+	c := &Conv2D{InC: inC, OutC: outC, K: k, Stride: 1}
+	c.Weights = make([]int64, outC*inC*k*k)
+	for i := range c.Weights {
+		// Small weights in (−1, 1) keep fixed-point accumulations sane.
+		c.Weights[i] = int64(rng.Intn(Scale/2)) - Scale/4
+	}
+	c.Biases = make([]int64, outC)
+	for i := range c.Biases {
+		c.Biases[i] = int64(rng.Intn(Scale)) - Scale/2
+	}
+	return c
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return fmt.Sprintf("conv%dx%d(%d→%d)", c.K, c.K, c.InC, c.OutC) }
+
+// OutShape implements Layer (same padding, stride 1).
+func (c *Conv2D) OutShape(_, h, w int) (int, int, int) { return c.OutC, h, w }
+
+// MulCount implements Layer.
+func (c *Conv2D) MulCount(_, h, w int) int {
+	return c.OutC * c.InC * c.K * c.K * h * w
+}
+
+// weight indexes Weights[o][i][ky][kx].
+func (c *Conv2D) weight(o, i, ky, kx int) int64 {
+	return c.Weights[((o*c.InC+i)*c.K+ky)*c.K+kx]
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(in *Tensor) (*Tensor, error) {
+	if in.C != c.InC {
+		return nil, fmt.Errorf("nn: %s: input has %d channels", c.Name(), in.C)
+	}
+	out := NewTensor(c.OutC, in.H, in.W)
+	pad := c.K / 2
+	for o := 0; o < c.OutC; o++ {
+		for y := 0; y < in.H; y++ {
+			for x := 0; x < in.W; x++ {
+				acc := c.Biases[o] << FracBits
+				for i := 0; i < c.InC; i++ {
+					for ky := 0; ky < c.K; ky++ {
+						sy := y + ky - pad
+						if sy < 0 || sy >= in.H {
+							continue
+						}
+						for kx := 0; kx < c.K; kx++ {
+							sx := x + kx - pad
+							if sx < 0 || sx >= in.W {
+								continue
+							}
+							acc += c.weight(o, i, ky, kx) * in.At(i, sy, sx)
+						}
+					}
+				}
+				out.Set(o, y, x, acc>>FracBits) // rescale to FracBits
+			}
+		}
+	}
+	return out, nil
+}
+
+// ReLU is the rectifier nonlinearity.
+type ReLU struct{}
+
+// Name implements Layer.
+func (ReLU) Name() string { return "relu" }
+
+// OutShape implements Layer.
+func (ReLU) OutShape(c, h, w int) (int, int, int) { return c, h, w }
+
+// MulCount implements Layer: nonlinearities are proven with
+// bit-decomposition gadgets costing ≈ one constraint per value bit; we
+// charge 16 multiplications per activation.
+func (ReLU) MulCount(c, h, w int) int { return 16 * c * h * w }
+
+// Forward implements Layer.
+func (ReLU) Forward(in *Tensor) (*Tensor, error) {
+	out := NewTensor(in.C, in.H, in.W)
+	for i, v := range in.Data {
+		if v > 0 {
+			out.Data[i] = v
+		}
+	}
+	return out, nil
+}
+
+// MaxPool2 is 2×2 max pooling with stride 2.
+type MaxPool2 struct{}
+
+// Name implements Layer.
+func (MaxPool2) Name() string { return "maxpool2" }
+
+// OutShape implements Layer.
+func (MaxPool2) OutShape(c, h, w int) (int, int, int) { return c, h / 2, w / 2 }
+
+// MulCount implements Layer: comparisons cost like ReLU gadgets, three
+// per output value.
+func (MaxPool2) MulCount(c, h, w int) int { return 3 * 16 * c * (h / 2) * (w / 2) }
+
+// Forward implements Layer.
+func (MaxPool2) Forward(in *Tensor) (*Tensor, error) {
+	if in.H%2 != 0 || in.W%2 != 0 {
+		return nil, fmt.Errorf("nn: maxpool2 needs even dims, got %dx%d", in.H, in.W)
+	}
+	out := NewTensor(in.C, in.H/2, in.W/2)
+	for c := 0; c < in.C; c++ {
+		for y := 0; y < in.H/2; y++ {
+			for x := 0; x < in.W/2; x++ {
+				m := in.At(c, 2*y, 2*x)
+				for _, v := range []int64{in.At(c, 2*y, 2*x+1), in.At(c, 2*y+1, 2*x), in.At(c, 2*y+1, 2*x+1)} {
+					if v > m {
+						m = v
+					}
+				}
+				out.Set(c, y, x, m)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Linear is a fully connected layer over the flattened input.
+type Linear struct {
+	In, Out int
+	Weights []int64 // [out][in]
+	Biases  []int64
+}
+
+// NewLinear builds a fully connected layer with synthetic weights.
+func NewLinear(in, out int, rng *rand.Rand) *Linear {
+	l := &Linear{In: in, Out: out}
+	l.Weights = make([]int64, in*out)
+	for i := range l.Weights {
+		l.Weights[i] = int64(rng.Intn(Scale/2)) - Scale/4
+	}
+	l.Biases = make([]int64, out)
+	for i := range l.Biases {
+		l.Biases[i] = int64(rng.Intn(Scale)) - Scale/2
+	}
+	return l
+}
+
+// Name implements Layer.
+func (l *Linear) Name() string { return fmt.Sprintf("fc(%d→%d)", l.In, l.Out) }
+
+// OutShape implements Layer.
+func (l *Linear) OutShape(int, int, int) (int, int, int) { return l.Out, 1, 1 }
+
+// MulCount implements Layer.
+func (l *Linear) MulCount(int, int, int) int { return l.In * l.Out }
+
+// Forward implements Layer.
+func (l *Linear) Forward(in *Tensor) (*Tensor, error) {
+	if in.Len() != l.In {
+		return nil, fmt.Errorf("nn: %s: input has %d values", l.Name(), in.Len())
+	}
+	out := NewTensor(l.Out, 1, 1)
+	for o := 0; o < l.Out; o++ {
+		acc := l.Biases[o] << FracBits
+		for i := 0; i < l.In; i++ {
+			acc += l.Weights[o*l.In+i] * in.Data[i]
+		}
+		out.Data[o] = acc >> FracBits
+	}
+	return out, nil
+}
+
+// Network is a sequential model.
+type Network struct {
+	Name   string
+	InC    int
+	InH    int
+	InW    int
+	Layers []Layer
+}
+
+// Forward runs inference, returning the output tensor and every
+// intermediate activation (the "intermediate results" the ZKP system
+// consumes, §4/§5).
+func (n *Network) Forward(input *Tensor) (*Tensor, []*Tensor, error) {
+	if input.C != n.InC || input.H != n.InH || input.W != n.InW {
+		return nil, nil, fmt.Errorf("nn: %s expects %dx%dx%d input, got %dx%dx%d",
+			n.Name, n.InC, n.InH, n.InW, input.C, input.H, input.W)
+	}
+	cur := input
+	intermediates := make([]*Tensor, 0, len(n.Layers))
+	for _, l := range n.Layers {
+		next, err := l.Forward(cur)
+		if err != nil {
+			return nil, nil, fmt.Errorf("nn: %s: %w", l.Name(), err)
+		}
+		intermediates = append(intermediates, next)
+		cur = next
+	}
+	return cur, intermediates, nil
+}
+
+// Classify returns the argmax class of the network output.
+func (n *Network) Classify(input *Tensor) (int, error) {
+	out, _, err := n.Forward(input)
+	if err != nil {
+		return 0, err
+	}
+	best := 0
+	for i := 1; i < out.Len(); i++ {
+		if out.Data[i] > out.Data[best] {
+			best = i
+		}
+	}
+	return best, nil
+}
+
+// MulCount totals the multiplication count of one inference — the circuit
+// scale the verifiable-ML proof must cover.
+func (n *Network) MulCount() int {
+	total := 0
+	c, h, w := n.InC, n.InH, n.InW
+	for _, l := range n.Layers {
+		total += l.MulCount(c, h, w)
+		c, h, w = l.OutShape(c, h, w)
+	}
+	return total
+}
+
+// NumParameters counts the weight/bias values — the model commitment's
+// input size.
+func (n *Network) NumParameters() int {
+	total := 0
+	for _, l := range n.Layers {
+		switch v := l.(type) {
+		case *Conv2D:
+			total += len(v.Weights) + len(v.Biases)
+		case *Linear:
+			total += len(v.Weights) + len(v.Biases)
+		}
+	}
+	return total
+}
+
+// Parameters returns all weights and biases in a flat deterministic order.
+func (n *Network) Parameters() []int64 {
+	var out []int64
+	for _, l := range n.Layers {
+		switch v := l.(type) {
+		case *Conv2D:
+			out = append(out, v.Weights...)
+			out = append(out, v.Biases...)
+		case *Linear:
+			out = append(out, v.Weights...)
+			out = append(out, v.Biases...)
+		}
+	}
+	return out
+}
+
+// VGG16 builds the VGG-16 architecture for 32×32×3 inputs and 10 classes
+// (the CIFAR-10 configuration of the paper's Table 11) with deterministic
+// synthetic weights.
+func VGG16(seed int64) *Network {
+	rng := rand.New(rand.NewSource(seed))
+	cfg := []interface{}{
+		64, 64, "M",
+		128, 128, "M",
+		256, 256, 256, "M",
+		512, 512, 512, "M",
+		512, 512, 512, "M",
+	}
+	n := &Network{Name: "VGG-16", InC: 3, InH: 32, InW: 32}
+	inC := 3
+	for _, item := range cfg {
+		switch v := item.(type) {
+		case int:
+			n.Layers = append(n.Layers, NewConv2D(inC, v, 3, rng), ReLU{})
+			inC = v
+		case string:
+			n.Layers = append(n.Layers, MaxPool2{})
+		}
+	}
+	// Classifier: 512 → 512 → 10 (the compact CIFAR-10 head).
+	n.Layers = append(n.Layers,
+		NewLinear(512, 512, rng), ReLU{},
+		NewLinear(512, 10, rng),
+	)
+	return n
+}
+
+// TinyCNN builds a small CNN (8×8×1 input, one conv, pool, one FC) whose
+// inference is compiled to a circuit and proven end to end in tests and
+// examples.
+func TinyCNN(seed int64) *Network {
+	rng := rand.New(rand.NewSource(seed))
+	return &Network{
+		Name: "TinyCNN", InC: 1, InH: 8, InW: 8,
+		Layers: []Layer{
+			NewConv2D(1, 4, 3, rng),
+			ReLU{},
+			MaxPool2{},
+			NewLinear(4*4*4, 10, rng),
+		},
+	}
+}
+
+// TinyMLP builds a small fully connected network (16-dim input, one
+// hidden layer) — the second provable model, exercising the Linear/ReLU
+// compilation path without convolutions.
+func TinyMLP(seed int64) *Network {
+	rng := rand.New(rand.NewSource(seed))
+	return &Network{
+		Name: "TinyMLP", InC: 1, InH: 4, InW: 4,
+		Layers: []Layer{
+			NewLinear(16, 12, rng),
+			ReLU{},
+			NewLinear(12, 4, rng),
+		},
+	}
+}
+
+// RandImage generates a deterministic synthetic input image in the
+// fixed-point [0, 1) range.
+func RandImage(c, h, w int, seed int64) *Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	t := NewTensor(c, h, w)
+	for i := range t.Data {
+		t.Data[i] = int64(rng.Intn(Scale))
+	}
+	return t
+}

@@ -1,0 +1,140 @@
+package nn
+
+import (
+	"testing"
+)
+
+func TestTensorBasics(t *testing.T) {
+	tt := NewTensor(2, 3, 4)
+	tt.Set(1, 2, 3, 42)
+	if tt.At(1, 2, 3) != 42 {
+		t.Fatal("At/Set mismatch")
+	}
+	if tt.Len() != 24 {
+		t.Fatalf("Len = %d", tt.Len())
+	}
+}
+
+func TestConvShapesAndDeterminism(t *testing.T) {
+	net := TinyCNN(7)
+	img := RandImage(1, 8, 8, 3)
+	out1, inter, err := net.Forward(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1.Len() != 10 {
+		t.Fatalf("output length %d", out1.Len())
+	}
+	if len(inter) != len(net.Layers) {
+		t.Fatalf("%d intermediates for %d layers", len(inter), len(net.Layers))
+	}
+	// Deterministic across reconstructions.
+	net2 := TinyCNN(7)
+	out2, _, _ := net2.Forward(img)
+	for i := range out1.Data {
+		if out1.Data[i] != out2.Data[i] {
+			t.Fatal("inference not deterministic")
+		}
+	}
+	// Wrong input shape rejected.
+	if _, _, err := net.Forward(RandImage(3, 8, 8, 1)); err == nil {
+		t.Fatal("accepted wrong shape")
+	}
+}
+
+func TestReLUAndPool(t *testing.T) {
+	in := NewTensor(1, 2, 2)
+	in.Data = []int64{-5, 3, 0, -1}
+	out, err := (ReLU{}).Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 3, 0, 0}
+	for i := range want {
+		if out.Data[i] != want[i] {
+			t.Fatalf("relu[%d] = %d", i, out.Data[i])
+		}
+	}
+	p, err := (MaxPool2{}).Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 1 || p.Data[0] != 3 {
+		t.Fatalf("maxpool = %v", p.Data)
+	}
+	odd := NewTensor(1, 3, 3)
+	if _, err := (MaxPool2{}).Forward(odd); err == nil {
+		t.Fatal("accepted odd dims")
+	}
+}
+
+func TestVGG16Architecture(t *testing.T) {
+	net := VGG16(1)
+	// 13 conv + 13 relu + 5 pool + 2 fc + 1 relu + ... = count: cfg has
+	// 13 convs each followed by ReLU (26) + 5 pools + fc,relu,fc (3).
+	if len(net.Layers) != 26+5+3 {
+		t.Fatalf("layer count = %d", len(net.Layers))
+	}
+	// Parameter count: VGG-16 CIFAR variant ≈ 14.7M weights.
+	params := net.NumParameters()
+	if params < 14_000_000 || params > 16_000_000 {
+		t.Fatalf("parameters = %d, want ≈14.7M", params)
+	}
+	// Multiplication count ≈ 313M MACs plus gadget costs.
+	muls := net.MulCount()
+	if muls < 300_000_000 {
+		t.Fatalf("mul count = %d, want > 300M", muls)
+	}
+	if len(net.Parameters()) != params {
+		t.Fatal("Parameters() length mismatch")
+	}
+}
+
+func TestVGG16ForwardSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("VGG-16 inference is slow in -short mode")
+	}
+	net := VGG16(1)
+	img := RandImage(3, 32, 32, 5)
+	class, err := net.Classify(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if class < 0 || class >= 10 {
+		t.Fatalf("class = %d", class)
+	}
+}
+
+func TestMulCountsPerLayer(t *testing.T) {
+	conv := &Conv2D{InC: 3, OutC: 8, K: 3}
+	if got := conv.MulCount(3, 16, 16); got != 8*3*9*16*16 {
+		t.Fatalf("conv mul count = %d", got)
+	}
+	fc := &Linear{In: 100, Out: 10}
+	if got := fc.MulCount(0, 0, 0); got != 1000 {
+		t.Fatalf("fc mul count = %d", got)
+	}
+	if got := (ReLU{}).MulCount(2, 4, 4); got != 16*32 {
+		t.Fatalf("relu mul count = %d", got)
+	}
+}
+
+func TestForwardRawMatchesRescaledForward(t *testing.T) {
+	// Conv2D.Forward must equal forwardRaw followed by arithmetic shift.
+	net := TinyCNN(9)
+	conv := net.Layers[0].(*Conv2D)
+	img := RandImage(1, 8, 8, 11)
+	full, err := conv.Forward(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := conv.forwardRaw(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range raw.Data {
+		if raw.Data[i]>>FracBits != full.Data[i] {
+			t.Fatalf("element %d: raw>>F=%d, forward=%d", i, raw.Data[i]>>FracBits, full.Data[i])
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package ntt implements the number-theoretic transform over the 254-bit
+// field — the other expensive operation (besides MSM) that dominates the
+// Groth16/Plonk-family baselines in the paper's Table 1.
+//
+// The BN254 scalar field has 2-adicity 28 (r − 1 = 2²⁸·odd), so radix-2
+// transforms exist for every size up to 2²⁸. The root of unity is derived
+// from the multiplicative generator 5 at package init and verified.
+package ntt
+
+import (
+	"fmt"
+	"math/big"
+	"math/bits"
+
+	"batchzk/internal/field"
+)
+
+// MaxLogSize is the field's 2-adicity: the largest supported transform is
+// 2^MaxLogSize points.
+const MaxLogSize = 28
+
+// rootOfUnity is a primitive 2^28-th root of unity.
+var rootOfUnity field.Element
+
+func init() {
+	// ω = g^((r−1)/2^28) for the multiplicative generator g = 5.
+	exp := new(big.Int).Sub(field.Modulus(), big.NewInt(1))
+	exp.Rsh(exp, MaxLogSize)
+	g := field.NewElement(5)
+	rootOfUnity.Exp(&g, exp)
+	// Verify: ω^(2^28) = 1 and ω^(2^27) ≠ 1.
+	var check field.Element
+	check = rootOfUnity
+	for i := 0; i < MaxLogSize-1; i++ {
+		check.Square(&check)
+	}
+	if check.IsOne() {
+		panic("ntt: root of unity has order < 2^28")
+	}
+	check.Square(&check)
+	if !check.IsOne() {
+		panic("ntt: root of unity has order > 2^28")
+	}
+}
+
+// RootOfUnity returns a primitive n-th root of unity for power-of-two n.
+func RootOfUnity(n int) (field.Element, error) {
+	if n <= 0 || n&(n-1) != 0 {
+		return field.Element{}, fmt.Errorf("ntt: size %d is not a positive power of two", n)
+	}
+	logN := bits.TrailingZeros(uint(n))
+	if logN > MaxLogSize {
+		return field.Element{}, fmt.Errorf("ntt: size 2^%d exceeds the field's 2-adicity %d", logN, MaxLogSize)
+	}
+	w := rootOfUnity
+	for i := 0; i < MaxLogSize-logN; i++ {
+		w.Square(&w)
+	}
+	return w, nil
+}
+
+// Forward computes the in-place NTT of a (length a power of two):
+// a[k] ← Σ_j a[j]·ω^{jk}.
+func Forward(a []field.Element) error {
+	w, err := RootOfUnity(len(a))
+	if err != nil {
+		return err
+	}
+	transform(a, w)
+	return nil
+}
+
+// Inverse computes the in-place inverse NTT.
+func Inverse(a []field.Element) error {
+	w, err := RootOfUnity(len(a))
+	if err != nil {
+		return err
+	}
+	var wInv field.Element
+	wInv.Inverse(&w)
+	transform(a, wInv)
+	var nInv field.Element
+	nInv.SetUint64(uint64(len(a)))
+	nInv.Inverse(&nInv)
+	for i := range a {
+		a[i].Mul(&a[i], &nInv)
+	}
+	return nil
+}
+
+// transform is the iterative Cooley–Tukey butterfly network.
+func transform(a []field.Element, w field.Element) {
+	n := len(a)
+	bitReverse(a)
+	for length := 2; length <= n; length <<= 1 {
+		// ω_length = w^(n/length)
+		wl := w
+		for m := n; m > length; m >>= 1 {
+			wl.Square(&wl)
+		}
+		half := length / 2
+		for start := 0; start < n; start += length {
+			wj := field.One()
+			for j := 0; j < half; j++ {
+				var t field.Element
+				t.Mul(&wj, &a[start+j+half])
+				var u field.Element
+				u = a[start+j]
+				a[start+j].Add(&u, &t)
+				a[start+j+half].Sub(&u, &t)
+				wj.Mul(&wj, &wl)
+			}
+		}
+	}
+}
+
+func bitReverse(a []field.Element) {
+	n := len(a)
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+}
+
+// PolyMul multiplies two coefficient vectors via NTT (cyclic-free: the
+// result length is padded to the next power of two ≥ len(a)+len(b)−1).
+func PolyMul(a, b []field.Element) ([]field.Element, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return nil, nil
+	}
+	outLen := len(a) + len(b) - 1
+	n := 1
+	for n < outLen {
+		n <<= 1
+	}
+	fa := make([]field.Element, n)
+	fb := make([]field.Element, n)
+	copy(fa, a)
+	copy(fb, b)
+	if err := Forward(fa); err != nil {
+		return nil, err
+	}
+	if err := Forward(fb); err != nil {
+		return nil, err
+	}
+	for i := range fa {
+		fa[i].Mul(&fa[i], &fb[i])
+	}
+	if err := Inverse(fa); err != nil {
+		return nil, err
+	}
+	return fa[:outLen], nil
+}
+
+// WorkButterflies returns the butterfly count of one size-n transform
+// (n/2·log₂n), the unit the Libsnark/Bellperson cost models charge.
+func WorkButterflies(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return n / 2 * bits.Len(uint(n-1))
+}

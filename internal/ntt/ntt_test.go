@@ -1,0 +1,152 @@
+package ntt
+
+import (
+	"testing"
+
+	"batchzk/internal/field"
+)
+
+func TestRootOfUnityOrders(t *testing.T) {
+	for _, n := range []int{2, 4, 1024} {
+		w, err := RootOfUnity(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// w^n = 1, w^{n/2} = −1.
+		var p field.Element
+		p.ExpUint64(&w, uint64(n))
+		if !p.IsOne() {
+			t.Fatalf("n=%d: w^n != 1", n)
+		}
+		p.ExpUint64(&w, uint64(n/2))
+		var minusOne field.Element
+		one := field.One()
+		minusOne.Neg(&one)
+		if !p.Equal(&minusOne) {
+			t.Fatalf("n=%d: w^(n/2) != -1", n)
+		}
+	}
+	if _, err := RootOfUnity(3); err == nil {
+		t.Fatal("accepted non-power-of-two")
+	}
+	if _, err := RootOfUnity(1 << 29); err == nil {
+		t.Fatal("accepted size beyond 2-adicity")
+	}
+	if _, err := RootOfUnity(0); err == nil {
+		t.Fatal("accepted zero")
+	}
+}
+
+func TestForwardInverseRoundTrip(t *testing.T) {
+	for _, n := range []int{2, 8, 64, 512} {
+		orig := field.RandVector(n)
+		a := append([]field.Element{}, orig...)
+		if err := Forward(a); err != nil {
+			t.Fatal(err)
+		}
+		if field.VectorEqual(a, orig) {
+			t.Fatalf("n=%d: transform was identity", n)
+		}
+		if err := Inverse(a); err != nil {
+			t.Fatal(err)
+		}
+		if !field.VectorEqual(a, orig) {
+			t.Fatalf("n=%d: INTT(NTT(x)) != x", n)
+		}
+	}
+}
+
+func TestForwardMatchesDirectEvaluation(t *testing.T) {
+	// NTT output k must equal p(ω^k) for the coefficient polynomial p.
+	n := 8
+	coeffs := field.RandVector(n)
+	a := append([]field.Element{}, coeffs...)
+	if err := Forward(a); err != nil {
+		t.Fatal(err)
+	}
+	w, _ := RootOfUnity(n)
+	for k := 0; k < n; k++ {
+		var x, acc field.Element
+		x.ExpUint64(&w, uint64(k))
+		for j := n - 1; j >= 0; j-- {
+			acc.Mul(&acc, &x)
+			acc.Add(&acc, &coeffs[j])
+		}
+		if !acc.Equal(&a[k]) {
+			t.Fatalf("NTT[%d] != p(w^%d)", k, k)
+		}
+	}
+}
+
+func TestPolyMulMatchesSchoolbook(t *testing.T) {
+	a := field.RandVector(5)
+	b := field.RandVector(9)
+	got, err := PolyMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]field.Element, len(a)+len(b)-1)
+	var t1 field.Element
+	for i := range a {
+		for j := range b {
+			t1.Mul(&a[i], &b[j])
+			want[i+j].Add(&want[i+j], &t1)
+		}
+	}
+	if !field.VectorEqual(got, want) {
+		t.Fatal("PolyMul != schoolbook")
+	}
+	if out, err := PolyMul(nil, b); err != nil || out != nil {
+		t.Fatal("empty input should give nil, nil")
+	}
+}
+
+func TestLinearity(t *testing.T) {
+	n := 32
+	x := field.RandVector(n)
+	y := field.RandVector(n)
+	var alpha field.Element
+	alpha.Rand()
+	// NTT(x + α·y) == NTT(x) + α·NTT(y)
+	comb := make([]field.Element, n)
+	var t1 field.Element
+	for i := range comb {
+		t1.Mul(&alpha, &y[i])
+		comb[i].Add(&x[i], &t1)
+	}
+	fx := append([]field.Element{}, x...)
+	fy := append([]field.Element{}, y...)
+	fc := append([]field.Element{}, comb...)
+	Forward(fx)
+	Forward(fy)
+	Forward(fc)
+	for i := range fc {
+		t1.Mul(&alpha, &fy[i])
+		t1.Add(&t1, &fx[i])
+		if !t1.Equal(&fc[i]) {
+			t.Fatal("NTT is not linear")
+		}
+	}
+}
+
+func TestWorkButterflies(t *testing.T) {
+	if WorkButterflies(1) != 0 {
+		t.Fatal("size-1 transform should be free")
+	}
+	if got := WorkButterflies(8); got != 12 { // 8/2 * 3
+		t.Fatalf("WorkButterflies(8) = %d", got)
+	}
+	if got := WorkButterflies(1 << 20); got != (1<<19)*20 {
+		t.Fatalf("WorkButterflies(2^20) = %d", got)
+	}
+}
+
+func BenchmarkForward4096(b *testing.B) {
+	a := field.RandVector(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Forward(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package pcs
+
+import (
+	"errors"
+	"testing"
+
+	"batchzk/internal/field"
+	"batchzk/internal/poly"
+	"batchzk/internal/transcript"
+)
+
+func TestCompactEvalRoundTrip(t *testing.T) {
+	p := testParams(10)
+	values := field.RandVector(1 << 10)
+	st, err := Commit(values, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	point := field.RandVector(10)
+	proof, value, err := st.ProveEvalCompact(point, transcript.New("pcsc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := poly.NewMultilinear(values)
+	want, _ := m.Evaluate(point)
+	if !want.Equal(&value) {
+		t.Fatal("compact value != MLE evaluation")
+	}
+	if err := VerifyEvalCompact(st.Commitment(), point, value, proof, p, transcript.New("pcsc")); err != nil {
+		t.Fatal(err)
+	}
+	// The shared paths must be strictly smaller than independent ones.
+	compact, independent := proof.PathDigests()
+	if compact >= independent {
+		t.Fatalf("shared paths (%d digests) not smaller than independent (%d)", compact, independent)
+	}
+	t.Logf("path digests: %d shared vs %d independent (%.0f%% saved)",
+		compact, independent, 100*(1-float64(compact)/float64(independent)))
+}
+
+func TestCompactEvalRejections(t *testing.T) {
+	p := testParams(10)
+	values := field.RandVector(1 << 10)
+	st, _ := Commit(values, p)
+	point := field.RandVector(10)
+	proof, value, _ := st.ProveEvalCompact(point, transcript.New("pcsc"))
+	comm := st.Commitment()
+
+	var bad field.Element
+	bad.Add(&value, &values[0])
+	bad.Add(&bad, &values[1]) // very unlikely to equal value
+	if err := VerifyEvalCompact(comm, point, bad, proof, p, transcript.New("pcsc")); err == nil {
+		t.Fatal("wrong value accepted")
+	}
+
+	tampered := *proof
+	tampered.ColumnValues = append([][]field.Element{}, proof.ColumnValues...)
+	tampered.ColumnValues[1] = append([]field.Element{}, proof.ColumnValues[1]...)
+	tampered.ColumnValues[1][0] = field.NewElement(9)
+	if err := VerifyEvalCompact(comm, point, value, &tampered, p, transcript.New("pcsc")); !errors.Is(err, ErrReject) {
+		t.Fatal("tampered column accepted")
+	}
+
+	tampered = *proof
+	tampered.ColumnIndex = append([]int{}, proof.ColumnIndex...)
+	tampered.ColumnIndex[0] = tampered.ColumnIndex[0] + 1
+	if err := VerifyEvalCompact(comm, point, value, &tampered, p, transcript.New("pcsc")); err == nil {
+		t.Fatal("wrong index set accepted")
+	}
+
+	tampered = *proof
+	mp := *proof.Paths
+	mp.Siblings = append(mp.Siblings[:0:0], proof.Paths.Siblings...)
+	mp.Siblings[0][3] ^= 1
+	tampered.Paths = &mp
+	if err := VerifyEvalCompact(comm, point, value, &tampered, p, transcript.New("pcsc")); err == nil {
+		t.Fatal("tampered shared path accepted")
+	}
+
+	if err := VerifyEvalCompact(comm, point, value, nil, p, transcript.New("pcsc")); err == nil {
+		t.Fatal("nil proof accepted")
+	}
+	badRoot := comm
+	badRoot.Root[2] ^= 1
+	if err := VerifyEvalCompact(badRoot, point, value, proof, p, transcript.New("pcsc")); err == nil {
+		t.Fatal("wrong root accepted")
+	}
+	if err := VerifyEvalCompact(comm, point[:3], value, proof, p, transcript.New("pcsc")); err == nil {
+		t.Fatal("short point accepted")
+	}
+}
+
+func TestCompactMatchesRegularValue(t *testing.T) {
+	p := testParams(8)
+	values := field.RandVector(1 << 8)
+	st, _ := Commit(values, p)
+	point := field.RandVector(8)
+	_, v1, err := st.ProveEval(point, transcript.New("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, v2, err := st.ProveEvalCompact(point, transcript.New("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v1.Equal(&v2) {
+		t.Fatal("compact and regular values differ")
+	}
+}

@@ -1,0 +1,154 @@
+package pcs
+
+import (
+	"fmt"
+
+	"batchzk/internal/encoder"
+	"batchzk/internal/field"
+	"batchzk/internal/merkle"
+	"batchzk/internal/transcript"
+)
+
+// MultiEvalProof proves evaluations of the committed polynomial at
+// several points while sharing one proximity test and one set of opened
+// columns across all of them — the batched-opening optimization that
+// keeps the proof's Merkle part constant as the number of query points
+// grows.
+type MultiEvalProof struct {
+	TestRow      []field.Element
+	CombinedRows [][]field.Element // one eqHiᵀ·M row per point
+	Columns      []OpenedColumn
+}
+
+// ProveEvalMulti produces one batched proof for all points (each of
+// arity NumVars, x_1..x_n order) and returns the evaluation values.
+func (s *ProverState) ProveEvalMulti(points [][]field.Element, tr *transcript.Transcript) (*MultiEvalProof, []field.Element, error) {
+	if len(points) == 0 {
+		return nil, nil, fmt.Errorf("pcs: no evaluation points")
+	}
+	n := s.comm.NumVars()
+	tr.AppendDigest("pcs/root", s.comm.Root)
+	tr.AppendUint64("pcs/numpoints", uint64(len(points)))
+	for _, pt := range points {
+		if len(pt) != n {
+			return nil, nil, fmt.Errorf("pcs: point arity %d, want %d", len(pt), n)
+		}
+		tr.AppendElements("pcs/point", pt)
+	}
+
+	gamma := tr.ChallengeElements("pcs/gamma", s.params.NumRows)
+	testRow := combineRows(gamma, s.rows, s.params.NumCols)
+	tr.AppendElements("pcs/testrow", testRow)
+
+	proof := &MultiEvalProof{TestRow: testRow}
+	values := make([]field.Element, len(points))
+	for i, pt := range points {
+		lo, hi := splitPoint(pt, s.params.NumCols)
+		eqHi := eqTableOf(hi)
+		combined := combineRows(eqHi, s.rows, s.params.NumCols)
+		tr.AppendElements("pcs/evalrow", combined)
+		proof.CombinedRows = append(proof.CombinedRows, combined)
+		values[i] = field.InnerProduct(combined, eqTableOf(lo))
+	}
+
+	idx := tr.ChallengeIndices("pcs/cols", s.params.NumOpenings, s.enc.CodewordLen())
+	for _, j := range idx {
+		col := make([]field.Element, s.params.NumRows)
+		for r := 0; r < s.params.NumRows; r++ {
+			col[r] = s.encoded[r][j]
+		}
+		mp, err := s.tree.Prove(j)
+		if err != nil {
+			return nil, nil, err
+		}
+		proof.Columns = append(proof.Columns, OpenedColumn{Index: j, Values: col, Proof: mp})
+	}
+	return proof, values, nil
+}
+
+// VerifyEvalMulti checks a batched evaluation proof against a commitment,
+// the points, and the claimed values.
+func VerifyEvalMulti(comm Commitment, points [][]field.Element, values []field.Element, proof *MultiEvalProof, params Params, tr *transcript.Transcript) error {
+	if err := params.Validate(); err != nil {
+		return err
+	}
+	if len(points) == 0 || len(points) != len(values) {
+		return fmt.Errorf("pcs: %d points vs %d values", len(points), len(values))
+	}
+	if proof == nil || len(proof.CombinedRows) != len(points) || len(proof.TestRow) != params.NumCols {
+		return fmt.Errorf("%w: malformed multi-eval proof", ErrReject)
+	}
+	if comm.NumRows != params.NumRows || comm.NumCols != params.NumCols {
+		return fmt.Errorf("pcs: commitment layout mismatch")
+	}
+	enc, err := encoder.New(params.NumCols, params.Enc)
+	if err != nil {
+		return err
+	}
+
+	n := comm.NumVars()
+	tr.AppendDigest("pcs/root", comm.Root)
+	tr.AppendUint64("pcs/numpoints", uint64(len(points)))
+	for _, pt := range points {
+		if len(pt) != n {
+			return fmt.Errorf("pcs: point arity %d, want %d", len(pt), n)
+		}
+		tr.AppendElements("pcs/point", pt)
+	}
+	gamma := tr.ChallengeElements("pcs/gamma", params.NumRows)
+	tr.AppendElements("pcs/testrow", proof.TestRow)
+
+	encRows := make([][]field.Element, 0, len(points)+1)
+	encTest, err := enc.Encode(proof.TestRow)
+	if err != nil {
+		return err
+	}
+	encRows = append(encRows, encTest)
+	eqHis := make([][]field.Element, len(points))
+	for i, pt := range points {
+		if len(proof.CombinedRows[i]) != params.NumCols {
+			return fmt.Errorf("%w: eval row %d malformed", ErrReject, i)
+		}
+		tr.AppendElements("pcs/evalrow", proof.CombinedRows[i])
+		encEval, err := enc.Encode(proof.CombinedRows[i])
+		if err != nil {
+			return err
+		}
+		encRows = append(encRows, encEval)
+		_, hi := splitPoint(pt, params.NumCols)
+		eqHis[i] = eqTableOf(hi)
+	}
+
+	idx := tr.ChallengeIndices("pcs/cols", params.NumOpenings, enc.CodewordLen())
+	if len(proof.Columns) != len(idx) {
+		return fmt.Errorf("%w: %d opened columns, want %d", ErrReject, len(proof.Columns), len(idx))
+	}
+	for k, col := range proof.Columns {
+		if col.Index != idx[k] || len(col.Values) != params.NumRows ||
+			col.Proof == nil || col.Proof.Index != col.Index {
+			return fmt.Errorf("%w: column %d malformed", ErrReject, k)
+		}
+		if !merkle.VerifyElements(comm.Root, col.Proof, col.Values) {
+			return fmt.Errorf("%w: column %d Merkle path invalid", ErrReject, k)
+		}
+		got := field.InnerProduct(gamma, col.Values)
+		if !got.Equal(&encRows[0][col.Index]) {
+			return fmt.Errorf("%w: column %d fails proximity check", ErrReject, k)
+		}
+		for i := range points {
+			got := field.InnerProduct(eqHis[i], col.Values)
+			if !got.Equal(&encRows[i+1][col.Index]) {
+				return fmt.Errorf("%w: column %d fails evaluation check for point %d", ErrReject, k, i)
+			}
+		}
+	}
+
+	for i, pt := range points {
+		lo, _ := splitPoint(pt, params.NumCols)
+		want := field.InnerProduct(proof.CombinedRows[i], eqTableOf(lo))
+		if !want.Equal(&values[i]) {
+			return fmt.Errorf("%w: point %d value mismatch", ErrReject, i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+// Package perfmodel centralizes every calibration constant of the
+// reproduction's performance model: the hardware profiles of the GPUs the
+// paper evaluates (Table 8) and the CPU baselines run on, and the
+// per-operation core-cycle costs of the primitive operations.
+//
+// Keeping all constants in one auditable place is what separates a model
+// from a fudge: the module and system simulations in internal/pipeline and
+// internal/baselines combine *real work counts* (hash compressions,
+// multiply-adds, bytes moved — measured from the actual Go implementations)
+// with these constants and the mechanisms in internal/gpusim. Nothing else
+// in the repository contains timing numbers.
+package perfmodel
+
+import (
+	"fmt"
+
+	"batchzk/internal/gpusim"
+)
+
+// OpCosts are per-operation costs in core cycles on one execution lane.
+type OpCosts struct {
+	// FieldMulCycles is one 254-bit Montgomery multiplication.
+	FieldMulCycles float64
+	// FieldAddCycles is one 254-bit modular addition.
+	FieldAddCycles float64
+	// HashCycles is one SHA-256 compression (512→256 bits).
+	HashCycles float64
+	// PointOpCycles is one elliptic-curve Jacobian add/double
+	// (≈16 base-field multiplications).
+	PointOpCycles float64
+	// ButterflyCycles is one NTT butterfly (1 mul + 2 add).
+	ButterflyCycles float64
+}
+
+// GPUCosts models a single CUDA thread: 254-bit arithmetic is built from
+// 32-bit lanes, so field operations cost far more cycles per thread than
+// on a 64-bit CPU core; SHA-256 runs entirely in registers (§3.1).
+func GPUCosts() OpCosts {
+	return OpCosts{
+		FieldMulCycles:  300,
+		FieldAddCycles:  40,
+		HashCycles:      2500,
+		PointOpCycles:   16 * 300,
+		ButterflyCycles: 300 + 2*40,
+	}
+}
+
+// CPUCosts models one x86-64 core with 64-bit multipliers and SHA
+// extensions.
+func CPUCosts() OpCosts {
+	return OpCosts{
+		FieldMulCycles:  45,
+		FieldAddCycles:  8,
+		HashCycles:      250,
+		PointOpCycles:   16 * 45,
+		ButterflyCycles: 45 + 2*8,
+	}
+}
+
+const gib = int64(1) << 30
+
+// V100 is the NVIDIA Tesla V100 (5120 CUDA cores, PCIe 3.0 x16) — the
+// card the paper's resource-allocation example (§4) and Table 8 use.
+func V100() gpusim.DeviceSpec {
+	return gpusim.DeviceSpec{
+		Name: "V100", Cores: 5120, ClockGHz: 1.53,
+		MemBandwidthGBs: 700, LinkGBs: 14, DeviceMemBytes: 32 * gib,
+		KernelLaunchNs: 5000, SIMDWidth: 32,
+	}
+}
+
+// A100 is the NVIDIA A100 (6912 cores, PCIe 4.0 x16).
+func A100() gpusim.DeviceSpec {
+	return gpusim.DeviceSpec{
+		Name: "A100", Cores: 6912, ClockGHz: 1.41,
+		MemBandwidthGBs: 1200, LinkGBs: 30, DeviceMemBytes: 40 * gib,
+		KernelLaunchNs: 5000, SIMDWidth: 32,
+	}
+}
+
+// RTX3090Ti is the NVIDIA RTX 3090 Ti (10752 cores, PCIe 4.0 x16) used
+// for the paper's utilization study (Figure 9).
+func RTX3090Ti() gpusim.DeviceSpec {
+	return gpusim.DeviceSpec{
+		Name: "3090Ti", Cores: 10752, ClockGHz: 1.86,
+		MemBandwidthGBs: 800, LinkGBs: 30, DeviceMemBytes: 24 * gib,
+		KernelLaunchNs: 5000, SIMDWidth: 32,
+	}
+}
+
+// H100 is the NVIDIA H100 (16896 cores, PCIe 5.0 x16).
+func H100() gpusim.DeviceSpec {
+	return gpusim.DeviceSpec{
+		Name: "H100", Cores: 16896, ClockGHz: 1.75,
+		MemBandwidthGBs: 2000, LinkGBs: 65, DeviceMemBytes: 80 * gib,
+		KernelLaunchNs: 5000, SIMDWidth: 32,
+	}
+}
+
+// GH200 is the NVIDIA GH200 Grace Hopper Superchip (96 GB device memory,
+// 480 GB host memory) — the paper's primary evaluation platform.
+func GH200() gpusim.DeviceSpec {
+	// LinkGBs reflects the Grace-Hopper NVLink-C2C interconnect (450 GB/s
+	// nominal, ~60% achievable); MemBandwidthGBs is the effective HBM3
+	// bandwidth for the strided access patterns of the ZKP modules.
+	return gpusim.DeviceSpec{
+		Name: "GH200", Cores: 16896, ClockGHz: 1.83,
+		MemBandwidthGBs: 1200, LinkGBs: 400, DeviceMemBytes: 96 * gib,
+		KernelLaunchNs: 5000, SIMDWidth: 32,
+	}
+}
+
+// CPUc5a is the Amazon EC2 c5a.8xlarge instance (32 vCPU, 64 GB) the
+// paper runs its CPU baselines on. The published baselines (Orion,
+// Arkworks, Libsnark) are single-threaded; callers model that by passing
+// Threads: 1 in the run options.
+func CPUc5a() gpusim.DeviceSpec {
+	return gpusim.DeviceSpec{
+		Name: "c5a.8xlarge", Cores: 32, ClockGHz: 3.3,
+		MemBandwidthGBs: 50, LinkGBs: 50, DeviceMemBytes: 64 * gib,
+		KernelLaunchNs: 0, SIMDWidth: 1,
+	}
+}
+
+// GraceCPU is the 72-core Arm CPU of the GH200 platform.
+func GraceCPU() gpusim.DeviceSpec {
+	return gpusim.DeviceSpec{
+		Name: "Grace", Cores: 72, ClockGHz: 3.1,
+		MemBandwidthGBs: 300, LinkGBs: 65, DeviceMemBytes: 480 * gib,
+		KernelLaunchNs: 0, SIMDWidth: 1,
+	}
+}
+
+// GPUs returns the evaluation GPUs in the order of the paper's Table 8.
+func GPUs() []gpusim.DeviceSpec {
+	return []gpusim.DeviceSpec{V100(), A100(), RTX3090Ti(), H100()}
+}
+
+// DeviceByName resolves a device profile by its table name.
+func DeviceByName(name string) (gpusim.DeviceSpec, error) {
+	all := append(GPUs(), GH200(), CPUc5a(), GraceCPU())
+	for _, d := range all {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return gpusim.DeviceSpec{}, fmt.Errorf("perfmodel: unknown device %q", name)
+}
+
+// FieldBytes is the storage size of one field element.
+const FieldBytes = 32
+
+// HashBlockBytes / HashDigestBytes are the SHA-256 I/O sizes.
+const (
+	HashBlockBytes  = 64
+	HashDigestBytes = 32
+)

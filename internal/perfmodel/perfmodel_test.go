@@ -1,0 +1,77 @@
+package perfmodel
+
+import "testing"
+
+func TestDeviceCatalog(t *testing.T) {
+	for _, name := range []string{"V100", "A100", "3090Ti", "H100", "GH200", "c5a.8xlarge", "Grace"} {
+		spec, err := DeviceByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := DeviceByName("TPU"); err == nil {
+		t.Fatal("unknown device accepted")
+	}
+}
+
+func TestDeviceOrdering(t *testing.T) {
+	// Peak compute (cores × clock) must be ordered as the hardware is:
+	// V100 < A100 < 3090Ti < H100 ≤ GH200.
+	gpus := GPUs()
+	if len(gpus) != 4 {
+		t.Fatalf("GPUs() returned %d", len(gpus))
+	}
+	prev := 0.0
+	for _, g := range gpus {
+		peak := float64(g.Cores) * g.ClockGHz
+		if peak <= prev {
+			t.Fatalf("%s peak %.0f not increasing", g.Name, peak)
+		}
+		prev = peak
+	}
+	gh := GH200()
+	if float64(gh.Cores)*gh.ClockGHz < prev {
+		t.Fatal("GH200 should be at least H100-class")
+	}
+	// PCIe bandwidths follow the generations of Table 9.
+	if V100().LinkGBs >= A100().LinkGBs || A100().LinkGBs >= H100().LinkGBs {
+		t.Fatal("link bandwidths out of order")
+	}
+}
+
+func TestCostModels(t *testing.T) {
+	gpu, cpu := GPUCosts(), CPUCosts()
+	// Per-lane, a GPU thread is slower at wide arithmetic than a 64-bit
+	// CPU core — the throughput comes from lane count.
+	if gpu.FieldMulCycles <= cpu.FieldMulCycles {
+		t.Fatal("GPU per-thread field mul should cost more cycles than CPU")
+	}
+	if gpu.HashCycles <= cpu.HashCycles {
+		t.Fatal("GPU per-thread hash should cost more cycles than CPU (SHA extensions)")
+	}
+	// Internal consistency: a point op is ≈16 field muls; a butterfly is
+	// 1 mul + 2 adds.
+	if gpu.PointOpCycles != 16*gpu.FieldMulCycles {
+		t.Fatal("GPU point-op cost inconsistent")
+	}
+	if cpu.ButterflyCycles != cpu.FieldMulCycles+2*cpu.FieldAddCycles {
+		t.Fatal("CPU butterfly cost inconsistent")
+	}
+}
+
+func TestCPUProfiles(t *testing.T) {
+	c5a := CPUc5a()
+	if c5a.Cores != 32 {
+		t.Fatalf("c5a.8xlarge has 32 vCPU, profile says %d", c5a.Cores)
+	}
+	if c5a.SIMDWidth != 1 {
+		t.Fatal("CPU profile should not model warps")
+	}
+	grace := GraceCPU()
+	if grace.Cores != 72 {
+		t.Fatalf("Grace has 72 cores, profile says %d", grace.Cores)
+	}
+}

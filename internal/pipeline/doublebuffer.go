@@ -1,0 +1,78 @@
+// Package pipeline implements §3 of the BatchZK paper: the pipelined GPU
+// modules for Merkle trees, sum-check proofs, and linear-time codes.
+//
+// Each module exists in two coupled forms:
+//
+//   - a *functional* batch executor that really computes the batch in
+//     pipeline order — stage-per-kernel, one task advancing per cycle,
+//     sum-check rounds alternating between two recyclable buffers — and is
+//     tested to produce bit-identical results to the direct (sequential)
+//     implementations in internal/merkle, internal/sumcheck and
+//     internal/encoder;
+//
+//   - a *performance model* that feeds the same modules' real work counts
+//     (hash compressions per layer, multiply-adds per sparse-matrix level,
+//     bytes touched per round) into the gpusim engine, yielding the
+//     throughput/latency/utilization/memory numbers of Tables 3–6, 9, 10
+//     and Figure 9.
+package pipeline
+
+import "fmt"
+
+// DoubleBuffer realizes the sum-check memory discipline of §3.2 (Figure
+// 5): two recyclable buffers where odd periods read from the lower buffer
+// and write to the upper, and even periods do the reverse, so a read and a
+// write never target the same buffer in one period.
+type DoubleBuffer[T any] struct {
+	lower, upper []T
+	period       int
+	// access log of the current period, for the disjointness invariant
+	readLower, readUpper   bool
+	writeLower, writeUpper bool
+}
+
+// NewDoubleBuffer allocates both buffers with the given capacity.
+func NewDoubleBuffer[T any](capacity int) *DoubleBuffer[T] {
+	return &DoubleBuffer[T]{
+		lower: make([]T, capacity),
+		upper: make([]T, capacity),
+	}
+}
+
+// Period returns the current period number (starting at 0 — an "odd time
+// period" in the paper's figure, reading lower / writing upper).
+func (d *DoubleBuffer[T]) Period() int { return d.period }
+
+// ReadBuf returns the buffer to read during the current period.
+func (d *DoubleBuffer[T]) ReadBuf() []T {
+	if d.period%2 == 0 {
+		d.readLower = true
+		return d.lower
+	}
+	d.readUpper = true
+	return d.upper
+}
+
+// WriteBuf returns the buffer to write during the current period.
+func (d *DoubleBuffer[T]) WriteBuf() []T {
+	if d.period%2 == 0 {
+		d.writeUpper = true
+		return d.upper
+	}
+	d.writeLower = true
+	return d.lower
+}
+
+// Advance ends the period, checking the no-race invariant: within one
+// period, no buffer may be both read and written.
+func (d *DoubleBuffer[T]) Advance() error {
+	if d.readLower && d.writeLower {
+		return fmt.Errorf("pipeline: lower buffer read and written in period %d", d.period)
+	}
+	if d.readUpper && d.writeUpper {
+		return fmt.Errorf("pipeline: upper buffer read and written in period %d", d.period)
+	}
+	d.readLower, d.readUpper, d.writeLower, d.writeUpper = false, false, false, false
+	d.period++
+	return nil
+}

@@ -1,0 +1,294 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"batchzk/internal/field"
+	"batchzk/internal/merkle"
+	"batchzk/internal/pcs"
+	"batchzk/internal/sha2"
+	"batchzk/internal/sumcheck"
+)
+
+// Binary proof encoding. The format is versioned and length-prefixed:
+//
+//	magic "BZK1" | commitment | outputs | o_tau | hadamard rounds |
+//	l_rho | r_rho | linear rounds | w_sigma | pcs proof
+//
+// All integers are little-endian uint32 (lengths) and field elements are
+// 32-byte canonical big-endian. The dominant contribution is the opened
+// columns of the polynomial commitment — the proofs of this protocol
+// family "reach several MB" (paper §2.1), which TestProofSize verifies.
+
+var proofMagic = [4]byte{'B', 'Z', 'K', '1'}
+
+// maxLen bounds every length field to keep a corrupt stream from
+// triggering huge allocations.
+const maxLen = 1 << 28
+
+type encoder struct {
+	w   io.Writer
+	err error
+}
+
+func (e *encoder) u32(v int) {
+	if e.err != nil {
+		return
+	}
+	if v < 0 || v > maxLen {
+		e.err = fmt.Errorf("protocol: length %d out of range", v)
+		return
+	}
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(v))
+	_, e.err = e.w.Write(b[:])
+}
+
+func (e *encoder) elem(x *field.Element) {
+	if e.err != nil {
+		return
+	}
+	b := x.ToBytes()
+	_, e.err = e.w.Write(b[:])
+}
+
+func (e *encoder) elems(xs []field.Element) {
+	e.u32(len(xs))
+	for i := range xs {
+		e.elem(&xs[i])
+	}
+}
+
+func (e *encoder) digest(d sha2.Digest) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.Write(d[:])
+}
+
+type decoder struct {
+	r   io.Reader
+	err error
+}
+
+func (d *decoder) u32() int {
+	if d.err != nil {
+		return 0
+	}
+	var b [4]byte
+	if _, err := io.ReadFull(d.r, b[:]); err != nil {
+		d.err = fmt.Errorf("protocol: truncated proof: %w", err)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(b[:])
+	if v > maxLen {
+		d.err = fmt.Errorf("protocol: length %d out of range", v)
+		return 0
+	}
+	return int(v)
+}
+
+func (d *decoder) elem(x *field.Element) {
+	if d.err != nil {
+		return
+	}
+	var b [field.Bytes]byte
+	if _, err := io.ReadFull(d.r, b[:]); err != nil {
+		d.err = fmt.Errorf("protocol: truncated proof: %w", err)
+		return
+	}
+	if err := x.SetBytes(b); err != nil {
+		d.err = err
+	}
+}
+
+func (d *decoder) elems() []field.Element {
+	n := d.u32()
+	if d.err != nil {
+		return nil
+	}
+	out := make([]field.Element, n)
+	for i := range out {
+		d.elem(&out[i])
+	}
+	return out
+}
+
+func (d *decoder) digest() sha2.Digest {
+	var out sha2.Digest
+	if d.err != nil {
+		return out
+	}
+	if _, err := io.ReadFull(d.r, out[:]); err != nil {
+		d.err = fmt.Errorf("protocol: truncated proof: %w", err)
+	}
+	return out
+}
+
+// WriteTo serializes the proof.
+func (p *Proof) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	e := &encoder{w: cw}
+	if _, err := cw.Write(proofMagic[:]); err != nil {
+		return cw.n, err
+	}
+	e.digest(p.Commitment.Root)
+	e.u32(p.Commitment.NumRows)
+	e.u32(p.Commitment.NumCols)
+	e.elems(p.Outputs)
+	e.elem(&p.OTau)
+	if p.Hadamard == nil || p.Linear == nil || p.PCSProof == nil {
+		return cw.n, fmt.Errorf("protocol: cannot serialize incomplete proof")
+	}
+	e.u32(len(p.Hadamard.Rounds))
+	for i := range p.Hadamard.Rounds {
+		for j := range p.Hadamard.Rounds[i].At {
+			e.elem(&p.Hadamard.Rounds[i].At[j])
+		}
+	}
+	e.elem(&p.LRho)
+	e.elem(&p.RRho)
+	e.u32(len(p.Linear.Rounds))
+	for i := range p.Linear.Rounds {
+		rd := &p.Linear.Rounds[i]
+		e.elem(&rd.At0)
+		e.elem(&rd.At1)
+		e.elem(&rd.At2)
+	}
+	e.elem(&p.WSigma)
+	e.elems(p.PCSProof.TestRow)
+	e.elems(p.PCSProof.CombinedRow)
+	e.u32(len(p.PCSProof.Columns))
+	for i := range p.PCSProof.Columns {
+		col := &p.PCSProof.Columns[i]
+		e.u32(col.Index)
+		e.elems(col.Values)
+		if col.Proof == nil {
+			return cw.n, fmt.Errorf("protocol: column %d missing Merkle proof", i)
+		}
+		e.u32(col.Proof.Index)
+		e.digest(col.Proof.Leaf)
+		e.u32(len(col.Proof.Siblings))
+		for _, s := range col.Proof.Siblings {
+			e.digest(s)
+		}
+	}
+	return cw.n, e.err
+}
+
+// ReadFrom deserializes a proof written by WriteTo.
+func (p *Proof) ReadFrom(r io.Reader) (int64, error) {
+	cr := &countingReader{r: r}
+	d := &decoder{r: cr}
+	var magic [4]byte
+	if _, err := io.ReadFull(cr, magic[:]); err != nil {
+		return cr.n, fmt.Errorf("protocol: truncated proof: %w", err)
+	}
+	if magic != proofMagic {
+		return cr.n, fmt.Errorf("protocol: bad magic %q", magic)
+	}
+	p.Commitment = pcs.Commitment{
+		Root:    d.digest(),
+		NumRows: d.u32(),
+		NumCols: d.u32(),
+	}
+	p.Outputs = d.elems()
+	d.elem(&p.OTau)
+	p.Hadamard = &sumcheck.TripleProof{Rounds: make([]sumcheck.TripleRound, d.u32())}
+	for i := range p.Hadamard.Rounds {
+		for j := range p.Hadamard.Rounds[i].At {
+			d.elem(&p.Hadamard.Rounds[i].At[j])
+		}
+	}
+	d.elem(&p.LRho)
+	d.elem(&p.RRho)
+	p.Linear = &sumcheck.ProductProof{Rounds: make([]sumcheck.ProductRound, d.u32())}
+	for i := range p.Linear.Rounds {
+		rd := &p.Linear.Rounds[i]
+		d.elem(&rd.At0)
+		d.elem(&rd.At1)
+		d.elem(&rd.At2)
+	}
+	d.elem(&p.WSigma)
+	p.PCSProof = &pcs.EvalProof{
+		TestRow:     d.elems(),
+		CombinedRow: d.elems(),
+	}
+	numCols := d.u32()
+	if d.err != nil {
+		return cr.n, d.err
+	}
+	p.PCSProof.Columns = make([]pcs.OpenedColumn, numCols)
+	for i := range p.PCSProof.Columns {
+		col := &p.PCSProof.Columns[i]
+		col.Index = d.u32()
+		col.Values = d.elems()
+		mp := &merkle.Proof{Index: d.u32(), Leaf: d.digest()}
+		nSib := d.u32()
+		if d.err != nil {
+			return cr.n, d.err
+		}
+		mp.Siblings = make([]sha2.Digest, nSib)
+		for s := range mp.Siblings {
+			mp.Siblings[s] = d.digest()
+		}
+		col.Proof = mp
+	}
+	return cr.n, d.err
+}
+
+// MarshalBinary serializes the proof to a byte slice.
+func (p *Proof) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary parses a proof serialized by MarshalBinary, rejecting
+// trailing garbage.
+func (p *Proof) UnmarshalBinary(data []byte) error {
+	r := bytes.NewReader(data)
+	if _, err := p.ReadFrom(r); err != nil {
+		return err
+	}
+	if r.Len() != 0 {
+		return fmt.Errorf("protocol: %d trailing bytes after proof", r.Len())
+	}
+	return nil
+}
+
+// Size returns the serialized proof size in bytes.
+func (p *Proof) Size() (int, error) {
+	b, err := p.MarshalBinary()
+	if err != nil {
+		return 0, err
+	}
+	return len(b), nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,453 @@
+// Package protocol implements the single-proof zero-knowledge argument
+// whose batch generation BatchZK accelerates: an Orion/Brakedown-family
+// protocol built from exactly the three modules of the paper's Table 1 —
+// linear-time encoder + Merkle tree (the polynomial commitment) and the
+// sum-check protocol (the circuit-satisfaction argument). No NTT, no MSM.
+//
+// For a circuit C with public inputs x, secret inputs w and outputs y, the
+// prover shows knowledge of a full wire assignment W satisfying every gate
+// and consistent with (x, y):
+//
+//  1. Commit. The padded wire vector is committed with the pcs package
+//     (encode rows → Merkle-hash columns), yielding root R — the
+//     encoder/Merkle stage of the paper's Figure 7 pipeline.
+//  2. Hadamard check. Gate semantics are flattened to L ∘ R = O over the
+//     gate hypercube (add/sub gates take right-operand 1). A random τ
+//     reduces this to the claim Σ_b eq(τ,b)·L(b)·R(b) = Õ(τ), settled by
+//     a degree-3 sum-check.
+//  3. Linear check. The sum-check leaves claims L(ρ), R(ρ), Õ(τ); together
+//     with the public-input/output wire claims they are all inner products
+//     ⟨v, W⟩ with publicly computable vectors v. A random combination
+//     batches them into one degree-2 product sum-check.
+//  4. Opening. The final sum-check point requires one evaluation of W,
+//     proven through the polynomial commitment.
+//
+// The verifier runs in O(|C|) time (it evaluates the public combination
+// vector's MLE itself), matching the paper's protocol family, whose proofs
+// are "relatively larger and reach several MB" with linear-time verifiers.
+package protocol
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"batchzk/internal/circuit"
+	"batchzk/internal/field"
+	"batchzk/internal/pcs"
+	"batchzk/internal/poly"
+	"batchzk/internal/sumcheck"
+	"batchzk/internal/transcript"
+)
+
+// Domain is the Fiat–Shamir domain label of the protocol.
+const Domain = "batchzk/protocol"
+
+// Params fixes the commitment layout for a circuit.
+type Params struct {
+	PCS      pcs.Params
+	NumWires int // padded wire-vector length (power of two)
+	NumGates int // padded gate count (power of two)
+	wireVars int
+	gateVars int
+}
+
+// Setup derives protocol parameters from a circuit.
+func Setup(c *circuit.Circuit) (*Params, error) {
+	if c.NumWires() == 0 || len(c.Gates) == 0 {
+		return nil, fmt.Errorf("protocol: empty circuit")
+	}
+	nw := nextPow2(c.NumWires())
+	if nw < 16 {
+		nw = 16 // the PCS needs at least one encoder base row
+	}
+	ng := nextPow2(len(c.Gates))
+	if ng < 2 {
+		ng = 2 // at least one sum-check round
+	}
+	p := &Params{
+		PCS:      pcs.NewParams(log2(nw)),
+		NumWires: nw,
+		NumGates: ng,
+		wireVars: log2(nw),
+		gateVars: log2(ng),
+	}
+	return p, nil
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func log2(n int) int { return bits.TrailingZeros(uint(n)) }
+
+// Proof is a complete non-interactive argument.
+type Proof struct {
+	Commitment pcs.Commitment
+	Outputs    []field.Element // claimed circuit outputs
+
+	OTau     field.Element // claimed Õ(τ)
+	Hadamard *sumcheck.TripleProof
+	LRho     field.Element // claimed L(ρ)
+	RRho     field.Element // claimed R(ρ)
+
+	Linear   *sumcheck.ProductProof
+	WSigma   field.Element // claimed W(σ)
+	PCSProof *pcs.EvalProof
+}
+
+// gateVectors derives the padded L, R, O tables from a witness.
+func gateVectors(c *circuit.Circuit, w circuit.Assignment, numGates int) (l, r, o []field.Element) {
+	l = make([]field.Element, numGates)
+	r = make([]field.Element, numGates)
+	o = make([]field.Element, numGates)
+	one := field.One()
+	for g, gate := range c.Gates {
+		switch gate.Op {
+		case circuit.OpMul:
+			l[g] = w[gate.A]
+			r[g] = w[gate.B]
+		case circuit.OpAdd:
+			l[g].Add(&w[gate.A], &w[gate.B])
+			r[g] = one
+		case circuit.OpSub:
+			l[g].Sub(&w[gate.A], &w[gate.B])
+			r[g] = one
+		}
+		o[g] = w[gate.Out]
+	}
+	return l, r, o
+}
+
+// publicCombination builds the batched linear-check vector
+// V = α0·vL(ρ) + α1·vR(ρ) + α2·vO(τ) + Σ αk·e_{public wires},
+// where vL, vR, vO are the transposes of the gate wiring maps applied to
+// the eq tables — computable by prover AND verifier in O(|C|).
+// It also returns the list of public wire indices in claim order.
+func publicCombination(c *circuit.Circuit, p *Params, eqRho, eqTau, alphas []field.Element) ([]field.Element, []int) {
+	v := make([]field.Element, p.NumWires)
+	var t field.Element
+	for g, gate := range c.Gates {
+		switch gate.Op {
+		case circuit.OpMul:
+			// vL[A] += α0·eqρ[g]; vR[B] += α1·eqρ[g]
+			t.Mul(&alphas[0], &eqRho[g])
+			v[gate.A].Add(&v[gate.A], &t)
+			t.Mul(&alphas[1], &eqRho[g])
+			v[gate.B].Add(&v[gate.B], &t)
+		case circuit.OpAdd:
+			t.Mul(&alphas[0], &eqRho[g])
+			v[gate.A].Add(&v[gate.A], &t)
+			v[gate.B].Add(&v[gate.B], &t)
+			t.Mul(&alphas[1], &eqRho[g])
+			v[0].Add(&v[0], &t)
+		case circuit.OpSub:
+			t.Mul(&alphas[0], &eqRho[g])
+			v[gate.A].Add(&v[gate.A], &t)
+			v[gate.B].Sub(&v[gate.B], &t)
+			t.Mul(&alphas[1], &eqRho[g])
+			v[0].Add(&v[0], &t)
+		}
+		// vO[Out] += α2·eqτ[g]
+		t.Mul(&alphas[2], &eqTau[g])
+		v[gate.Out].Add(&v[gate.Out], &t)
+	}
+	// Public wires: the constant-one wire, public inputs, constants, and
+	// output wires, each pinned with its own α.
+	wires := publicWires(c)
+	for k, wi := range wires {
+		v[wi].Add(&v[wi], &alphas[3+k])
+	}
+	return v, wires
+}
+
+// publicWires lists the wires whose values the verifier pins: wire 0,
+// public inputs, declared constants, circuit outputs, and the declared
+// zero wires (gadget constraints).
+func publicWires(c *circuit.Circuit) []int {
+	wires := []int{0}
+	for i := 0; i < c.NumPublic; i++ {
+		wires = append(wires, 1+i)
+	}
+	for _, cw := range c.ConstWires {
+		wires = append(wires, int(cw))
+	}
+	for _, o := range c.Outputs {
+		wires = append(wires, int(o))
+	}
+	for _, z := range c.ZeroWires {
+		wires = append(wires, int(z))
+	}
+	return wires
+}
+
+// publicWireValues returns the expected values of publicWires given the
+// public inputs and claimed outputs.
+func publicWireValues(c *circuit.Circuit, public, outputs []field.Element) []field.Element {
+	vals := []field.Element{field.One()}
+	vals = append(vals, public...)
+	vals = append(vals, c.Constants...)
+	vals = append(vals, outputs...)
+	vals = append(vals, make([]field.Element, len(c.ZeroWires))...)
+	return vals
+}
+
+// Prove evaluates the circuit on (public, secret) and produces a proof of
+// correct execution. The returned proof carries the circuit outputs.
+func Prove(c *circuit.Circuit, p *Params, public, secret []field.Element) (*Proof, error) {
+	w, err := c.Evaluate(public, secret)
+	if err != nil {
+		return nil, err
+	}
+	return ProveWitness(c, p, w)
+}
+
+// ProveWitness proves a precomputed witness (callers that already ran the
+// function, e.g. the ML engine of §5, reuse their wire values). It runs
+// the four pipeline stages back to back; the batch system in internal/core
+// streams many proofs through the same stages concurrently.
+func ProveWitness(c *circuit.Circuit, p *Params, w circuit.Assignment) (*Proof, error) {
+	f, err := StartProof(c, p, w)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.RunHadamard(); err != nil {
+		return nil, err
+	}
+	if err := f.RunLinear(); err != nil {
+		return nil, err
+	}
+	return f.Finish()
+}
+
+// InFlight is a proof under construction, moving through the prover's
+// pipeline stages: StartProof (encode + Merkle commit) → RunHadamard
+// (gate-consistency sum-check) → RunLinear (batched linear sum-check) →
+// Finish (polynomial-commitment opening). Each stage matches one module
+// family of the paper's Figure 7 pipeline.
+type InFlight struct {
+	c      *circuit.Circuit
+	p      *Params
+	w      circuit.Assignment
+	padded []field.Element
+	st     *pcs.ProverState
+	tr     *transcript.Transcript
+	proof  *Proof
+
+	tau, rho, sigma []field.Element
+}
+
+// StartProof runs the commitment stage: the padded wire vector is encoded
+// row by row (linear-time encoder) and its columns Merkle-hashed.
+func StartProof(c *circuit.Circuit, p *Params, w circuit.Assignment) (*InFlight, error) {
+	if len(w) != c.NumWires() {
+		return nil, fmt.Errorf("protocol: witness length %d, want %d", len(w), c.NumWires())
+	}
+	padded := make([]field.Element, p.NumWires)
+	copy(padded, w)
+	st, err := pcs.Commit(padded, p.PCS)
+	if err != nil {
+		return nil, err
+	}
+	f := &InFlight{
+		c: c, p: p, w: w, padded: padded, st: st,
+		tr:    transcript.New(Domain),
+		proof: &Proof{Commitment: st.Commitment()},
+	}
+	f.proof.Outputs, err = c.OutputValues(w)
+	if err != nil {
+		return nil, err
+	}
+	f.tr.AppendDigest("commit", f.proof.Commitment.Root)
+	f.tr.AppendElements("outputs", f.proof.Outputs)
+	return f, nil
+}
+
+// RunHadamard runs the gate-consistency stage: the claim L ∘ R = O over
+// the gate hypercube is reduced at a random τ and settled by a degree-3
+// sum-check.
+func (f *InFlight) RunHadamard() error {
+	l, r, o := gateVectors(f.c, f.w, f.p.NumGates)
+	f.tau = f.tr.ChallengeElements("tau", f.p.gateVars)
+	oPoly, err := poly.NewMultilinear(o)
+	if err != nil {
+		return err
+	}
+	f.proof.OTau, err = oPoly.Evaluate(f.tau)
+	if err != nil {
+		return err
+	}
+	f.tr.AppendElement("o_tau", &f.proof.OTau)
+
+	eqTauPoly, err := poly.NewMultilinear(poly.EqTable(f.tau))
+	if err != nil {
+		return err
+	}
+	lPoly, _ := poly.NewMultilinear(l)
+	rPoly, _ := poly.NewMultilinear(r)
+	had, rho, hadClaim, finals, err := sumcheck.ProveTriple(eqTauPoly, lPoly, rPoly, f.tr)
+	if err != nil {
+		return err
+	}
+	if !hadClaim.Equal(&f.proof.OTau) {
+		return fmt.Errorf("protocol: Σ eq·L·R != Õ(τ); witness does not satisfy the circuit")
+	}
+	f.rho = rho
+	f.proof.Hadamard = had
+	f.proof.LRho = finals[1]
+	f.proof.RRho = finals[2]
+	f.tr.AppendElement("l_rho", &f.proof.LRho)
+	f.tr.AppendElement("r_rho", &f.proof.RRho)
+	return nil
+}
+
+// RunLinear runs the batched linear-check stage: the sum-check's leftover
+// claims and the public-wire claims become one product sum-check.
+func (f *InFlight) RunLinear() error {
+	wires := publicWires(f.c)
+	alphas := f.tr.ChallengeElements("alpha", 3+len(wires))
+	eqRho := poly.EqTable(f.rho)
+	eqTau := poly.EqTable(f.tau)
+	v, _ := publicCombination(f.c, f.p, eqRho, eqTau, alphas)
+	vPoly, err := poly.NewMultilinear(v)
+	if err != nil {
+		return err
+	}
+	wPoly, err := poly.NewMultilinear(f.padded)
+	if err != nil {
+		return err
+	}
+	lin, sigma, _, linFinals, err := sumcheck.ProveProduct(vPoly, wPoly, f.tr)
+	if err != nil {
+		return err
+	}
+	f.sigma = sigma
+	f.proof.Linear = lin
+	f.proof.WSigma = linFinals[1]
+	f.tr.AppendElement("w_sigma", &f.proof.WSigma)
+	return nil
+}
+
+// Finish runs the opening stage and assembles the proof.
+func (f *InFlight) Finish() (*Proof, error) {
+	var err error
+	f.proof.PCSProof, _, err = f.st.ProveEval(f.sigma, f.tr)
+	if err != nil {
+		return nil, err
+	}
+	return f.proof, nil
+}
+
+// ErrReject is returned when a proof fails verification.
+var ErrReject = errors.New("protocol: proof rejected")
+
+// VerifyBatch verifies many proofs concurrently (verification of
+// independent proofs is embarrassingly parallel, unlike generation, which
+// is what the paper pipelines). It returns one error slot per proof.
+func VerifyBatch(c *circuit.Circuit, p *Params, publics [][]field.Element, proofs []*Proof) []error {
+	errs := make([]error, len(proofs))
+	var wg sync.WaitGroup
+	for i := range proofs {
+		if i >= len(publics) {
+			errs[i] = fmt.Errorf("protocol: missing public inputs for proof %d", i)
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = Verify(c, p, publics[i], proofs[i])
+		}(i)
+	}
+	wg.Wait()
+	return errs
+}
+
+// Verify checks a proof against the circuit and public inputs; the claimed
+// outputs are carried in the proof and validated as part of verification.
+func Verify(c *circuit.Circuit, p *Params, public []field.Element, proof *Proof) error {
+	if proof == nil || proof.Hadamard == nil || proof.Linear == nil || proof.PCSProof == nil {
+		return fmt.Errorf("%w: missing components", ErrReject)
+	}
+	if len(public) != c.NumPublic {
+		return fmt.Errorf("protocol: %d public inputs, want %d", len(public), c.NumPublic)
+	}
+	if len(proof.Outputs) != len(c.Outputs) {
+		return fmt.Errorf("%w: %d outputs, want %d", ErrReject, len(proof.Outputs), len(c.Outputs))
+	}
+	if proof.Commitment.NumRows != p.PCS.NumRows || proof.Commitment.NumCols != p.PCS.NumCols {
+		return fmt.Errorf("%w: commitment layout mismatch", ErrReject)
+	}
+	tr := transcript.New(Domain)
+	tr.AppendDigest("commit", proof.Commitment.Root)
+	tr.AppendElements("outputs", proof.Outputs)
+
+	// 2. Hadamard sum-check against the claimed Õ(τ).
+	tau := tr.ChallengeElements("tau", p.gateVars)
+	tr.AppendElement("o_tau", &proof.OTau)
+	rho, finalTriple, err := sumcheck.VerifyTriple(proof.OTau, proof.Hadamard, tr)
+	if err != nil {
+		return fmt.Errorf("%w: hadamard: %v", ErrReject, err)
+	}
+	tr.AppendElement("l_rho", &proof.LRho)
+	tr.AppendElement("r_rho", &proof.RRho)
+	// eq(τ, ρ)·L(ρ)·R(ρ) must equal the sum-check's final value.
+	eqAt, err := poly.EqEval(tau, rho)
+	if err != nil {
+		return err
+	}
+	var prod field.Element
+	prod.Mul(&eqAt, &proof.LRho)
+	prod.Mul(&prod, &proof.RRho)
+	if !prod.Equal(&finalTriple) {
+		return fmt.Errorf("%w: hadamard final check", ErrReject)
+	}
+
+	// 3. Linear check: batched claim value.
+	wires := publicWires(c)
+	alphas := tr.ChallengeElements("alpha", 3+len(wires))
+	vals := publicWireValues(c, public, proof.Outputs)
+	var claim, t field.Element
+	t.Mul(&alphas[0], &proof.LRho)
+	claim.Add(&claim, &t)
+	t.Mul(&alphas[1], &proof.RRho)
+	claim.Add(&claim, &t)
+	t.Mul(&alphas[2], &proof.OTau)
+	claim.Add(&claim, &t)
+	for k := range wires {
+		t.Mul(&alphas[3+k], &vals[k])
+		claim.Add(&claim, &t)
+	}
+	sigma, finalLin, err := sumcheck.VerifyProduct(claim, proof.Linear, tr)
+	if err != nil {
+		return fmt.Errorf("%w: linear: %v", ErrReject, err)
+	}
+	tr.AppendElement("w_sigma", &proof.WSigma)
+	// The verifier evaluates Ṽ(σ) itself (O(|C|)) and checks
+	// Ṽ(σ)·W(σ) == final.
+	eqRho := poly.EqTable(rho)
+	eqTau := poly.EqTable(tau)
+	v, _ := publicCombination(c, p, eqRho, eqTau, alphas)
+	vPoly, err := poly.NewMultilinear(v)
+	if err != nil {
+		return err
+	}
+	vSigma, err := vPoly.Evaluate(sigma)
+	if err != nil {
+		return err
+	}
+	prod.Mul(&vSigma, &proof.WSigma)
+	if !prod.Equal(&finalLin) {
+		return fmt.Errorf("%w: linear final check", ErrReject)
+	}
+
+	// 4. PCS opening of W(σ).
+	if err := pcs.VerifyEval(proof.Commitment, sigma, proof.WSigma, proof.PCSProof, p.PCS, tr); err != nil {
+		return fmt.Errorf("%w: opening: %v", ErrReject, err)
+	}
+	return nil
+}

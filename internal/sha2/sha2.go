@@ -1,0 +1,205 @@
+// Package sha2 is a from-scratch SHA-256 implementation specialized for the
+// Merkle-tree workload of BatchZK.
+//
+// The paper's Merkle module converts 512-bit blocks into 256-bit digests
+// with the raw SHA-256 compression function, keeping the sixteen 32-bit
+// message chunks in GPU registers (§3.1). This package exposes exactly that
+// primitive — Compress, a single-block 512→256-bit compression with the
+// standard IV — alongside a full streaming implementation (Sum256) that is
+// cross-checked against crypto/sha256 in the tests.
+//
+// Merkle interior nodes use Compress2, which packs two 256-bit child
+// digests into one 512-bit block; this is one compression call per node,
+// matching the cost model used throughout the benchmarks.
+package sha2
+
+import "encoding/binary"
+
+// Size is the digest size in bytes.
+const Size = 32
+
+// BlockSize is the compression-function input size in bytes.
+const BlockSize = 64
+
+// Digest is a 256-bit hash value.
+type Digest [Size]byte
+
+// iv is the SHA-256 initial hash value (FIPS 180-4 §5.3.3).
+var iv = [8]uint32{
+	0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+	0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+}
+
+// k holds the SHA-256 round constants.
+var k = [64]uint32{
+	0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+	0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+	0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+	0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+	0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+	0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+	0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+	0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+}
+
+func rotr(x uint32, n uint) uint32 { return x>>n | x<<(32-n) }
+
+// compressBlock runs the 64 SHA-256 rounds over one 512-bit block, updating
+// the eight working state words h in place. The sixteen message chunks live
+// in the w schedule array — the structure the paper maps onto GPU registers.
+func compressBlock(h *[8]uint32, block *[BlockSize]byte) {
+	var w [64]uint32
+	for i := 0; i < 16; i++ {
+		w[i] = binary.BigEndian.Uint32(block[i*4:])
+	}
+	for i := 16; i < 64; i++ {
+		s0 := rotr(w[i-15], 7) ^ rotr(w[i-15], 18) ^ w[i-15]>>3
+		s1 := rotr(w[i-2], 17) ^ rotr(w[i-2], 19) ^ w[i-2]>>10
+		w[i] = w[i-16] + s0 + w[i-7] + s1
+	}
+
+	a, b, c, d, e, f, g, hh := h[0], h[1], h[2], h[3], h[4], h[5], h[6], h[7]
+	for i := 0; i < 64; i++ {
+		s1 := rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25)
+		ch := e&f ^ ^e&g
+		t1 := hh + s1 + ch + k[i] + w[i]
+		s0 := rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22)
+		maj := a&b ^ a&c ^ b&c
+		t2 := s0 + maj
+		hh, g, f, e, d, c, b, a = g, f, e, d+t1, c, b, a, t1+t2
+	}
+	h[0] += a
+	h[1] += b
+	h[2] += c
+	h[3] += d
+	h[4] += e
+	h[5] += f
+	h[6] += g
+	h[7] += hh
+}
+
+// Compress applies the raw SHA-256 compression function (with the standard
+// IV, no length padding) to one 512-bit block. This is the Merkle-leaf
+// primitive from the paper: a fixed 512-bit block in, a 256-bit digest out.
+func Compress(block *[BlockSize]byte) Digest {
+	h := iv
+	compressBlock(&h, block)
+	var d Digest
+	for i, v := range h {
+		binary.BigEndian.PutUint32(d[i*4:], v)
+	}
+	return d
+}
+
+// Compress2 hashes two child digests into a parent digest with a single
+// compression call (left ‖ right as the 512-bit block).
+func Compress2(left, right *Digest) Digest {
+	var block [BlockSize]byte
+	copy(block[:Size], left[:])
+	copy(block[Size:], right[:])
+	return Compress(&block)
+}
+
+// Sum256 computes the full (padded, length-strengthened) SHA-256 digest of
+// data, bit-compatible with crypto/sha256.
+func Sum256(data []byte) Digest {
+	h := iv
+	var block [BlockSize]byte
+
+	full := len(data) / BlockSize
+	for i := 0; i < full; i++ {
+		copy(block[:], data[i*BlockSize:])
+		compressBlock(&h, &block)
+	}
+
+	// Padding: 0x80, zeros, 64-bit big-endian bit length.
+	rem := data[full*BlockSize:]
+	var pad [2 * BlockSize]byte
+	n := copy(pad[:], rem)
+	pad[n] = 0x80
+	padLen := BlockSize
+	if n+1+8 > BlockSize {
+		padLen = 2 * BlockSize
+	}
+	binary.BigEndian.PutUint64(pad[padLen-8:], uint64(len(data))*8)
+	for off := 0; off < padLen; off += BlockSize {
+		copy(block[:], pad[off:])
+		compressBlock(&h, &block)
+	}
+
+	var d Digest
+	for i, v := range h {
+		binary.BigEndian.PutUint32(d[i*4:], v)
+	}
+	return d
+}
+
+// Hasher is an incremental SHA-256 writer (unpadded Compress semantics are
+// available through Compress/Compress2; Hasher matches crypto/sha256).
+type Hasher struct {
+	h      [8]uint32
+	buf    [BlockSize]byte
+	n      int    // bytes buffered in buf
+	length uint64 // total bytes written
+}
+
+// NewHasher returns a Hasher initialized with the standard IV.
+func NewHasher() *Hasher {
+	return &Hasher{h: iv}
+}
+
+// Reset restores the initial state.
+func (s *Hasher) Reset() {
+	s.h = iv
+	s.n = 0
+	s.length = 0
+}
+
+// Write absorbs p; it never fails.
+func (s *Hasher) Write(p []byte) (int, error) {
+	total := len(p)
+	s.length += uint64(total)
+	if s.n > 0 {
+		c := copy(s.buf[s.n:], p)
+		s.n += c
+		p = p[c:]
+		if s.n == BlockSize {
+			compressBlock(&s.h, &s.buf)
+			s.n = 0
+		}
+		if len(p) == 0 {
+			return total, nil
+		}
+	}
+	for len(p) >= BlockSize {
+		copy(s.buf[:], p[:BlockSize])
+		compressBlock(&s.h, &s.buf)
+		p = p[BlockSize:]
+	}
+	s.n = copy(s.buf[:], p)
+	return total, nil
+}
+
+// Sum finalizes a copy of the state and returns the digest; the Hasher can
+// continue to absorb afterwards.
+func (s *Hasher) Sum() Digest {
+	c := *s // copy so finalization does not disturb the stream
+	var pad [2 * BlockSize]byte
+	copy(pad[:], c.buf[:c.n])
+	pad[c.n] = 0x80
+	padLen := BlockSize
+	if c.n+1+8 > BlockSize {
+		padLen = 2 * BlockSize
+	}
+	binary.BigEndian.PutUint64(pad[padLen-8:], c.length*8)
+	for off := 0; off < padLen; off += BlockSize {
+		var block [BlockSize]byte
+		copy(block[:], pad[off:])
+		compressBlock(&c.h, &block)
+	}
+	var d Digest
+	for i, v := range c.h {
+		binary.BigEndian.PutUint32(d[i*4:], v)
+	}
+	return d
+}

@@ -1,0 +1,132 @@
+package sha2
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSum256MatchesStdlib(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte(""),
+		[]byte("abc"),
+		[]byte("The quick brown fox jumps over the lazy dog"),
+		bytes.Repeat([]byte{0xaa}, 55), // padding fits in one block
+		bytes.Repeat([]byte{0xbb}, 56), // padding spills to a second block
+		bytes.Repeat([]byte{0xcc}, 63),
+		bytes.Repeat([]byte{0xdd}, 64),
+		bytes.Repeat([]byte{0xee}, 65),
+		bytes.Repeat([]byte{0x11}, 1000),
+	}
+	for i, c := range cases {
+		got := Sum256(c)
+		want := sha256.Sum256(c)
+		if got != Digest(want) {
+			t.Fatalf("case %d: Sum256 mismatch", i)
+		}
+	}
+}
+
+func TestSum256MatchesStdlibProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		got := Sum256(data)
+		want := sha256.Sum256(data)
+		return got == Digest(want)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHasherMatchesSum256(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	data := make([]byte, 3000)
+	r.Read(data)
+	h := NewHasher()
+	// Write in irregular pieces to stress buffering.
+	for i := 0; i < len(data); {
+		n := r.Intn(97) + 1
+		if i+n > len(data) {
+			n = len(data) - i
+		}
+		h.Write(data[i : i+n])
+		i += n
+	}
+	if got, want := h.Sum(), Sum256(data); got != want {
+		t.Fatalf("Hasher digest mismatch")
+	}
+	// Sum must not consume the state.
+	h.Write([]byte("more"))
+	want := Sum256(append(append([]byte{}, data...), []byte("more")...))
+	if got := h.Sum(); got != want {
+		t.Fatalf("Hasher continuation mismatch")
+	}
+	h.Reset()
+	h.Write([]byte("abc"))
+	if got, want := h.Sum(), Sum256([]byte("abc")); got != want {
+		t.Fatalf("Reset mismatch")
+	}
+}
+
+func TestCompressIsRawCompression(t *testing.T) {
+	// Compress of block B must equal the stdlib hash of B *without padding*:
+	// emulate by comparing against a manual single compressBlock run — i.e.
+	// Compress is deterministic and differs from the padded hash.
+	var block [BlockSize]byte
+	for i := range block {
+		block[i] = byte(i)
+	}
+	d1 := Compress(&block)
+	d2 := Compress(&block)
+	if d1 != d2 {
+		t.Fatalf("Compress not deterministic")
+	}
+	padded := Sum256(block[:])
+	if d1 == padded {
+		t.Fatalf("Compress should not include padding/length strengthening")
+	}
+	// Flipping one input bit must change the digest (sanity avalanche check).
+	block[0] ^= 1
+	if Compress(&block) == d1 {
+		t.Fatalf("Compress ignored an input bit")
+	}
+}
+
+func TestCompress2(t *testing.T) {
+	var l, r Digest
+	for i := range l {
+		l[i] = byte(i)
+		r[i] = byte(255 - i)
+	}
+	got := Compress2(&l, &r)
+	var block [BlockSize]byte
+	copy(block[:32], l[:])
+	copy(block[32:], r[:])
+	if want := Compress(&block); got != want {
+		t.Fatalf("Compress2 != Compress(l‖r)")
+	}
+	if Compress2(&l, &r) == Compress2(&r, &l) {
+		t.Fatalf("Compress2 should be order-sensitive")
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	var block [BlockSize]byte
+	b.SetBytes(BlockSize)
+	for i := 0; i < b.N; i++ {
+		block[0] = byte(i)
+		_ = Compress(&block)
+	}
+}
+
+func BenchmarkSum256_1KiB(b *testing.B) {
+	data := make([]byte, 1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		_ = Sum256(data)
+	}
+}

@@ -1,0 +1,171 @@
+package vml
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"batchzk/internal/nn"
+	"batchzk/internal/protocol"
+)
+
+// HTTP interface (the first component of the paper's Figure 8): "an
+// interface for the service provider to interact with customers. All
+// public data to both parties, including customer input, prediction
+// results, and zero-knowledge proofs, are transmitted through this
+// interface." The model never crosses it.
+//
+//	GET  /commitment → {"modelRoot": hex}
+//	POST /predict    → {"class", "logits", "proof": base64}
+
+// PredictRequest is the customer's query: a flattened fixed-point image.
+type PredictRequest struct {
+	C      int     `json:"c"`
+	H      int     `json:"h"`
+	W      int     `json:"w"`
+	Pixels []int64 `json:"pixels"`
+}
+
+// PredictResponse carries the prediction and its proof.
+type PredictResponse struct {
+	Class  int     `json:"class"`
+	Logits []int64 `json:"logits"`
+	Proof  string  `json:"proof"` // base64 of the serialized proof
+}
+
+// CommitmentResponse publishes the model commitment.
+type CommitmentResponse struct {
+	ModelRoot string `json:"modelRoot"` // hex
+}
+
+// Handler returns an http.Handler serving the MLaaS interface for this
+// service.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/commitment", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		root := s.ModelRoot()
+		writeJSON(w, CommitmentResponse{ModelRoot: fmt.Sprintf("%x", root[:])})
+	})
+	mux.HandleFunc("/predict", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var req PredictRequest
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if req.C*req.H*req.W != len(req.Pixels) || len(req.Pixels) == 0 {
+			http.Error(w, "bad request: pixel count does not match dimensions", http.StatusBadRequest)
+			return
+		}
+		img := nn.NewTensor(req.C, req.H, req.W)
+		copy(img.Data, req.Pixels)
+		preds, err := s.HandleBatch([]*nn.Tensor{img})
+		if err != nil {
+			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		p := preds[0]
+		if p.Err != nil {
+			http.Error(w, "proving failed: "+p.Err.Error(), http.StatusInternalServerError)
+			return
+		}
+		blob, err := p.Proof.MarshalBinary()
+		if err != nil {
+			http.Error(w, "serialization failed: "+err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, PredictResponse{
+			Class:  p.Class,
+			Logits: p.Logits,
+			Proof:  base64.StdEncoding.EncodeToString(blob),
+		})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// RemoteClient is the customer side of the HTTP interface: it fetches the
+// commitment once and verifies every prediction locally against it.
+type RemoteClient struct {
+	base     string
+	http     *http.Client
+	verifier *Client
+}
+
+// NewRemoteClient builds a client for a service at baseURL. The local
+// verification material (circuit, params, expected commitment) comes from
+// the service's published description — here passed directly, as both
+// sides compile the same public circuit.
+func NewRemoteClient(baseURL string, verifier *Client, hc *http.Client) (*RemoteClient, error) {
+	if verifier == nil {
+		return nil, fmt.Errorf("vml: nil verifier")
+	}
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	rc := &RemoteClient{base: baseURL, http: hc, verifier: verifier}
+	// Cross-check the served commitment against the trusted one.
+	resp, err := hc.Get(baseURL + "/commitment")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var cr CommitmentResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		return nil, err
+	}
+	root := verifier.ModelRoot()
+	if cr.ModelRoot != fmt.Sprintf("%x", root[:]) {
+		return nil, fmt.Errorf("vml: server commitment %s does not match the trusted root", cr.ModelRoot)
+	}
+	return rc, nil
+}
+
+// Predict sends an image, verifies the returned proof against the
+// commitment, and returns the verified prediction.
+func (rc *RemoteClient) Predict(img *nn.Tensor) (*Prediction, error) {
+	body, err := json.Marshal(PredictRequest{C: img.C, H: img.H, W: img.W, Pixels: img.Data})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := rc.http.Post(rc.base+"/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return nil, fmt.Errorf("vml: server returned %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	var pr PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return nil, err
+	}
+	blob, err := base64.StdEncoding.DecodeString(pr.Proof)
+	if err != nil {
+		return nil, err
+	}
+	proof := &protocol.Proof{}
+	if err := proof.UnmarshalBinary(blob); err != nil {
+		return nil, err
+	}
+	pred := &Prediction{Class: pr.Class, Logits: pr.Logits, Proof: proof}
+	if err := rc.verifier.VerifyPrediction(img, pred); err != nil {
+		return nil, err
+	}
+	return pred, nil
+}

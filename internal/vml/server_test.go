@@ -1,0 +1,135 @@
+package vml
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"batchzk/internal/nn"
+)
+
+func TestHTTPInterfaceEndToEnd(t *testing.T) {
+	svc := newTinyService(t)
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	rc, err := NewRemoteClient(srv.URL, svc.Client(), srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := nn.RandImage(1, 8, 8, 55)
+	pred, err := rc.Predict(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The verified class matches local inference.
+	want, _ := svc.net.Classify(img)
+	if pred.Class != want {
+		t.Fatalf("remote class %d, local %d", pred.Class, want)
+	}
+}
+
+func TestHTTPRejectsWrongCommitment(t *testing.T) {
+	// A client trusting model A must refuse to talk to a server running
+	// model B.
+	svcA := newTinyService(t)
+	svcB, err := NewService(nn.TinyCNN(4321), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvB := httptest.NewServer(svcB.Handler())
+	defer srvB.Close()
+	if _, err := NewRemoteClient(srvB.URL, svcA.Client(), srvB.Client()); err == nil {
+		t.Fatal("client accepted a server with a different commitment")
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	svc := newTinyService(t)
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	// Wrong method.
+	resp, err := client.Get(srv.URL + "/predict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /predict = %d", resp.StatusCode)
+	}
+	resp, err = client.Post(srv.URL+"/commitment", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /commitment = %d", resp.StatusCode)
+	}
+
+	// Malformed JSON.
+	resp, err = client.Post(srv.URL+"/predict", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON = %d", resp.StatusCode)
+	}
+
+	// Dimension mismatch.
+	body, _ := json.Marshal(PredictRequest{C: 1, H: 8, W: 8, Pixels: []int64{1, 2, 3}})
+	resp, err = client.Post(srv.URL+"/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("dimension mismatch = %d", resp.StatusCode)
+	}
+
+	// Wrong image shape for the model.
+	body, _ = json.Marshal(PredictRequest{C: 3, H: 8, W: 8, Pixels: make([]int64, 192)})
+	resp, err = client.Post(srv.URL+"/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("wrong shape = %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPTamperedProofDetected(t *testing.T) {
+	// A man-in-the-middle flipping the class in transit must be caught by
+	// the client's local verification.
+	svc := newTinyService(t)
+	tamper := http.NewServeMux()
+	inner := svc.Handler()
+	tamper.HandleFunc("/commitment", inner.ServeHTTP)
+	tamper.HandleFunc("/predict", func(w http.ResponseWriter, r *http.Request) {
+		rec := httptest.NewRecorder()
+		inner.ServeHTTP(rec, r)
+		var pr PredictResponse
+		if err := json.NewDecoder(rec.Body).Decode(&pr); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		pr.Class = (pr.Class + 1) % 10 // flip the claimed class
+		writeJSON(w, pr)
+	})
+	srv := httptest.NewServer(tamper)
+	defer srv.Close()
+
+	rc, err := NewRemoteClient(srv.URL, svc.Client(), srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rc.Predict(nn.RandImage(1, 8, 8, 66)); err == nil {
+		t.Fatal("tampered response accepted")
+	}
+}
