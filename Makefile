@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test race vet bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Exercise the concurrency-sensitive layers (batch prover stage workers,
+# pipelined module schedules, telemetry registry/tracer) under the race
+# detector.
+race:
+	$(GO) test -race ./internal/core/... ./internal/pipeline/... ./internal/telemetry/...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run NONE -bench . -benchtime 1x ./...

@@ -172,7 +172,10 @@ func BenchmarkFig9Utilization(b *testing.B) {
 }
 
 // BenchmarkBatchProverEndToEnd measures the *real* (executed, not
-// modelled) pipelined batch prover on a 256-gate circuit.
+// modelled) pipelined batch prover on a 256-gate circuit. Beyond the
+// wall-clock numbers it reports telemetry-derived metrics: the p99 of
+// the slowest stage's latency histogram and the peak number of proofs
+// in flight, taken from a per-benchmark sink.
 func BenchmarkBatchProverEndToEnd(b *testing.B) {
 	c, err := RandomCircuit(256, 2, 2, 1)
 	if err != nil {
@@ -186,6 +189,8 @@ func BenchmarkBatchProverEndToEnd(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	sink := NewTelemetrySink()
+	prover.SetTelemetry(sink)
 	jobs := make([]Job, 8)
 	for i := range jobs {
 		jobs[i] = Job{ID: i, Public: field.RandVector(2), Secret: field.RandVector(2)}
@@ -200,4 +205,14 @@ func BenchmarkBatchProverEndToEnd(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(jobs)), "proofs/op")
+
+	snap := sink.Metrics.Snapshot()
+	p99 := 0.0
+	for _, name := range core.StageNames {
+		if h, ok := snap.Histograms["core/stage/"+name+"/ns"]; ok && h.P99 > p99 {
+			p99 = h.P99
+		}
+	}
+	b.ReportMetric(p99, "stage-p99-ns")
+	b.ReportMetric(float64(snap.Gauges["core/jobs/in_flight"].Peak), "peak-in-flight")
 }

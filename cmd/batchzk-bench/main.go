@@ -6,6 +6,8 @@
 //	batchzk-bench                       # run every experiment on GH200
 //	batchzk-bench -experiment table7    # one experiment
 //	batchzk-bench -device V100          # another device profile
+//	batchzk-bench -telemetry out/       # + dump metrics & Chrome trace
+//	batchzk-bench -debug-addr :6060     # + live pprof/expvar server
 //	batchzk-bench -list                 # list experiment ids
 package main
 
@@ -22,6 +24,8 @@ func main() {
 	device := flag.String("device", "GH200", "device profile: GH200, H100, A100, V100, 3090Ti")
 	format := flag.String("format", "text", "output format: text or csv")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	telemetryDir := flag.String("telemetry", "", "directory to dump telemetry (metrics.json, trace.json, spans.jsonl)")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/vars, /debug/pprof and /debug/telemetry on this address")
 	flag.Parse()
 
 	if *list {
@@ -29,6 +33,21 @@ func main() {
 			fmt.Println(id)
 		}
 		return
+	}
+
+	// Enable telemetry before any experiment runs so the provers and
+	// simulators the harness constructs internally record into the sink.
+	var sink *batchzk.TelemetrySink
+	if *telemetryDir != "" || *debugAddr != "" {
+		sink = batchzk.NewTelemetrySink()
+		batchzk.EnableTelemetry(sink)
+	}
+	if *debugAddr != "" {
+		srv, err := batchzk.ServeTelemetryDebug(*debugAddr, sink)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/telemetry\n", srv.Addr)
 	}
 
 	spec, err := batchzk.Device(*device)
@@ -59,13 +78,20 @@ func main() {
 			}
 			render(table)
 		}
-		return
+	} else {
+		table, err := batchzk.RunExperiment(*experiment, spec)
+		if err != nil {
+			fatal(err)
+		}
+		render(table)
 	}
-	table, err := batchzk.RunExperiment(*experiment, spec)
-	if err != nil {
-		fatal(err)
+
+	if *telemetryDir != "" {
+		if err := sink.Dump(*telemetryDir); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry written to %s (load trace.json in chrome://tracing)\n", *telemetryDir)
 	}
-	render(table)
 }
 
 func fatal(err error) {

@@ -6,6 +6,8 @@
 // Usage:
 //
 //	batchzk -gates 1024 -batch 16 -depth 4      # batch proving demo
+//	batchzk -batch 16 -telemetry out/            # + metrics & Chrome trace dump
+//	batchzk -debug-addr localhost:6060           # + live pprof/expvar server
 //	batchzk prove  -gates 512 -out proof.bzk     # write a proof bundle
 //	batchzk verify -in proof.bzk                 # check a proof bundle
 package main
@@ -47,7 +49,22 @@ func main() {
 	batch := flag.Int("batch", 8, "number of proofs to generate")
 	depth := flag.Int("depth", 4, "pipeline depth (proofs in flight)")
 	seed := flag.Int64("seed", 1, "circuit synthesis seed")
+	telemetryDir := flag.String("telemetry", "", "directory to dump telemetry (metrics.json, trace.json, spans.jsonl)")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/vars, /debug/pprof and /debug/telemetry on this address")
 	flag.Parse()
+
+	var sink *batchzk.TelemetrySink
+	if *telemetryDir != "" || *debugAddr != "" {
+		sink = batchzk.NewTelemetrySink()
+		batchzk.EnableTelemetry(sink)
+	}
+	if *debugAddr != "" {
+		srv, err := batchzk.ServeTelemetryDebug(*debugAddr, sink)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("debug server on http://%s/debug/telemetry\n", srv.Addr)
+	}
 
 	c, err := batchzk.RandomCircuit(*gates, 2, 2, *seed)
 	if err != nil {
@@ -87,6 +104,13 @@ func main() {
 	fmt.Printf("generated and verified %d proofs in %v (%.2f proofs/s, pipeline depth %d)\n",
 		verified, elapsed.Round(time.Millisecond),
 		float64(verified)/elapsed.Seconds(), *depth)
+
+	if *telemetryDir != "" {
+		if err := sink.Dump(*telemetryDir); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("telemetry written to %s (load trace.json in chrome://tracing)\n", *telemetryDir)
+	}
 }
 
 func fatal(err error) {

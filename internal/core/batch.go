@@ -27,6 +27,7 @@ import (
 	"batchzk/internal/circuit"
 	"batchzk/internal/field"
 	"batchzk/internal/protocol"
+	"batchzk/internal/telemetry"
 )
 
 // Job is one proof-generation request: the inputs to the committed
@@ -52,13 +53,17 @@ type Result struct {
 var StageNames = [4]string{"commit", "gate-sumcheck", "linear-sumcheck", "opening"}
 
 // Stats is a point-in-time snapshot of a BatchProver's counters: completed
-// and failed proofs, and the cumulative busy time of each pipeline stage —
+// and failed proofs, the cumulative busy time of each pipeline stage —
 // the software analogue of the paper's per-module amortized-time ratio,
-// which drives its thread allocation (§4).
+// which drives its thread allocation (§4) — and QueueDepth, the number
+// of proofs currently inside the pipeline (dequeued by the commit stage
+// but not yet emitted as results), the live in-flight gauge the dynamic
+// loading discipline bounds.
 type Stats struct {
-	Completed int64
-	Failed    int64
-	StageNs   [4]int64
+	Completed  int64
+	Failed     int64
+	QueueDepth int64
+	StageNs    [4]int64
 }
 
 // StageShare returns stage i's fraction of the total busy time.
@@ -82,14 +87,19 @@ type BatchProver struct {
 
 	completed atomic.Int64
 	failed    atomic.Int64
+	inFlight  atomic.Int64
 	stageNs   [4]atomic.Int64
+
+	// tel overrides the process-wide telemetry sink when non-nil.
+	tel *telemetry.Sink
 }
 
 // Stats returns a snapshot of the prover's counters.
 func (bp *BatchProver) Stats() Stats {
 	s := Stats{
-		Completed: bp.completed.Load(),
-		Failed:    bp.failed.Load(),
+		Completed:  bp.completed.Load(),
+		Failed:     bp.failed.Load(),
+		QueueDepth: bp.inFlight.Load(),
 	}
 	for i := range s.StageNs {
 		s.StageNs[i] = bp.stageNs[i].Load()
@@ -97,11 +107,58 @@ func (bp *BatchProver) Stats() Stats {
 	return s
 }
 
-// timeStage accumulates wall time into a stage counter.
-func (bp *BatchProver) timeStage(i int, f func()) {
+// SetTelemetry directs the prover's metrics and spans into s instead of
+// the process-wide sink. Call before Run/ProveBatch; a nil s restores
+// the global-sink behavior.
+func (bp *BatchProver) SetTelemetry(s *telemetry.Sink) { bp.tel = s }
+
+// instruments is the per-Run bundle of resolved telemetry handles. Every
+// field may be nil (telemetry disabled) — all recording methods tolerate
+// that — so the hot path costs one nil check per record.
+type instruments struct {
+	tracer    *telemetry.Tracer
+	stageHist [4]*telemetry.Histogram
+	e2e       *telemetry.Histogram
+	queueWait *telemetry.Histogram
+	inFlight  *telemetry.Gauge
+	completed *telemetry.Counter
+	failed    *telemetry.Counter
+}
+
+func (bp *BatchProver) instruments() instruments {
+	sink := telemetry.Resolve(bp.tel) // nil-safe: nil sink → nil handles
+	var ins instruments
+	ins.tracer = sink.Trace()
+	for i, name := range StageNames {
+		ins.stageHist[i] = sink.Histogram("core/stage/" + name + "/ns")
+	}
+	ins.e2e = sink.Histogram("core/job/e2e_ns")
+	ins.queueWait = sink.Histogram("core/job/queue_wait_ns")
+	ins.inFlight = sink.Gauge("core/jobs/in_flight")
+	ins.completed = sink.Counter("core/jobs/completed")
+	ins.failed = sink.Counter("core/jobs/failed")
+	return ins
+}
+
+// timeStage accumulates wall time into a stage counter, the stage's
+// latency histogram, and a "core" layer span parented to the job's span.
+func (bp *BatchProver) timeStage(i int, ins instruments, parent telemetry.SpanID, task int, f func()) {
+	sp := ins.tracer.Begin("core", "stage/"+StageNames[i], parent, i, task)
 	start := time.Now()
 	f()
-	bp.stageNs[i].Add(time.Since(start).Nanoseconds())
+	ns := time.Since(start).Nanoseconds()
+	bp.stageNs[i].Add(ns)
+	ins.stageHist[i].Observe(ns)
+	sp.End()
+}
+
+// observeWait records how long a message sat in an inter-stage queue —
+// the live signal (together with per-stage histograms) for choosing the
+// pipeline depth from data rather than the static StageShare ratio.
+func (ins instruments) observeWait(enq time.Time) {
+	if !enq.IsZero() {
+		ins.queueWait.Observe(time.Since(enq).Nanoseconds())
+	}
 }
 
 // NewBatchProver builds a batch prover for one circuit. depth is the
@@ -128,6 +185,12 @@ type stageMsg struct {
 	id  int
 	f   *protocol.InFlight
 	err error
+	// started stamps stage-1 dequeue for the end-to-end latency metric;
+	// enq stamps the last channel send for the queue-wait metric.
+	started time.Time
+	enq     time.Time
+	// job is the per-job telemetry span, open from dequeue to result.
+	job *telemetry.ActiveSpan
 }
 
 // Run consumes jobs until the channel closes and emits one Result per job
@@ -136,6 +199,7 @@ type stageMsg struct {
 // the full-workload state of §4.
 func (bp *BatchProver) Run(jobs <-chan Job) <-chan Result {
 	results := make(chan Result, bp.depth)
+	ins := bp.instruments()
 
 	// Stage 1: witness evaluation + commitment (encoder + Merkle).
 	s1out := make(chan stageMsg, bp.depth)
@@ -144,7 +208,11 @@ func (bp *BatchProver) Run(jobs <-chan Job) <-chan Result {
 		for job := range jobs {
 			var m stageMsg
 			m.id = job.ID
-			bp.timeStage(0, func() {
+			m.started = time.Now()
+			bp.inFlight.Add(1)
+			ins.inFlight.Add(1)
+			m.job = ins.tracer.Begin("core", "job", 0, len(StageNames), job.ID)
+			bp.timeStage(0, ins, m.job.ID(), job.ID, func() {
 				w := job.Witness
 				var err error
 				if w == nil {
@@ -155,6 +223,7 @@ func (bp *BatchProver) Run(jobs <-chan Job) <-chan Result {
 				}
 				m.err = err
 			})
+			m.enq = time.Now()
 			s1out <- m
 		}
 	}()
@@ -164,9 +233,11 @@ func (bp *BatchProver) Run(jobs <-chan Job) <-chan Result {
 	go func() {
 		defer close(s2out)
 		for m := range s1out {
+			ins.observeWait(m.enq)
 			if m.err == nil {
-				bp.timeStage(1, func() { m.err = m.f.RunHadamard() })
+				bp.timeStage(1, ins, m.job.ID(), m.id, func() { m.err = m.f.RunHadamard() })
 			}
+			m.enq = time.Now()
 			s2out <- m
 		}
 	}()
@@ -176,9 +247,11 @@ func (bp *BatchProver) Run(jobs <-chan Job) <-chan Result {
 	go func() {
 		defer close(s3out)
 		for m := range s2out {
+			ins.observeWait(m.enq)
 			if m.err == nil {
-				bp.timeStage(2, func() { m.err = m.f.RunLinear() })
+				bp.timeStage(2, ins, m.job.ID(), m.id, func() { m.err = m.f.RunLinear() })
 			}
+			m.enq = time.Now()
 			s3out <- m
 		}
 	}()
@@ -187,20 +260,31 @@ func (bp *BatchProver) Run(jobs <-chan Job) <-chan Result {
 	go func() {
 		defer close(results)
 		for m := range s3out {
+			ins.observeWait(m.enq)
+			finish := func(r Result) {
+				m.job.End()
+				ins.e2e.Observe(time.Since(m.started).Nanoseconds())
+				bp.inFlight.Add(-1)
+				ins.inFlight.Add(-1)
+				results <- r
+			}
 			if m.err != nil {
 				bp.failed.Add(1)
-				results <- Result{ID: m.id, Err: m.err}
+				ins.failed.Inc()
+				finish(Result{ID: m.id, Err: m.err})
 				continue
 			}
 			var proof *protocol.Proof
 			var err error
-			bp.timeStage(3, func() { proof, err = m.f.Finish() })
+			bp.timeStage(3, ins, m.job.ID(), m.id, func() { proof, err = m.f.Finish() })
 			if err != nil {
 				bp.failed.Add(1)
+				ins.failed.Inc()
 			} else {
 				bp.completed.Add(1)
+				ins.completed.Inc()
 			}
-			results <- Result{ID: m.id, Proof: proof, Err: err}
+			finish(Result{ID: m.id, Proof: proof, Err: err})
 		}
 	}()
 	return results

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"batchzk/internal/field"
+)
+
+// TestStageShareEdgeCases pins the degenerate StageShare inputs: an empty
+// snapshot yields zero for every stage, and a snapshot where a single
+// stage holds all the busy time yields exactly 1 for it and 0 elsewhere.
+func TestStageShareEdgeCases(t *testing.T) {
+	var empty Stats
+	for i := range empty.StageNs {
+		if got := empty.StageShare(i); got != 0 {
+			t.Fatalf("empty stats: StageShare(%d) = %v, want 0", i, got)
+		}
+	}
+	single := Stats{StageNs: [4]int64{0, 0, 1234, 0}}
+	for i := range single.StageNs {
+		want := 0.0
+		if i == 2 {
+			want = 1.0
+		}
+		if got := single.StageShare(i); got != want {
+			t.Fatalf("single-stage stats: StageShare(%d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+// TestQueueDepthTracksInFlight drives the streaming prover while holding
+// back the result reader, so proofs pile up inside the pipeline, and
+// checks the QueueDepth gauge rises above zero and falls back to zero
+// once every result is drained.
+func TestQueueDepthTracksInFlight(t *testing.T) {
+	c, p := testCircuit(t)
+	bp, err := NewBatchProver(c, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := bp.Stats().QueueDepth; d != 0 {
+		t.Fatalf("fresh prover QueueDepth = %d", d)
+	}
+
+	const n = 12
+	in := make(chan Job)
+	out := bp.Run(in)
+	go func() {
+		defer close(in)
+		for i := 0; i < n; i++ {
+			in <- Job{ID: i, Public: field.RandVector(2), Secret: field.RandVector(2)}
+		}
+	}()
+
+	// With nobody reading results, the pipeline must back up: poll until
+	// the gauge shows at least one proof in flight.
+	deadline := time.After(10 * time.Second)
+	for bp.Stats().QueueDepth <= 0 {
+		select {
+		case <-deadline:
+			t.Fatal("QueueDepth never rose above zero")
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	// Drain; once the channel closes every job has been emitted and the
+	// gauge must be back at zero.
+	got := 0
+	for r := range out {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", r.ID, r.Err)
+		}
+		got++
+	}
+	if got != n {
+		t.Fatalf("drained %d results, want %d", got, n)
+	}
+	if d := bp.Stats().QueueDepth; d != 0 {
+		t.Fatalf("QueueDepth = %d after drain, want 0", d)
+	}
+}

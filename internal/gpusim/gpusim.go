@@ -27,6 +27,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"batchzk/internal/telemetry"
 )
 
 // WarpSize is the SIMD width threads are scheduled in.
@@ -176,8 +178,16 @@ type Options struct {
 	// showing why manual resource allocation matters.
 	EqualShares bool
 	// TraceCap bounds the number of utilization samples recorded
-	// (0 = default 512; negative disables the trace).
+	// (0 = default 512; negative disables the trace). When a run has
+	// more sample points than the cap, the trace is stride-decimated —
+	// every k-th point is kept across the whole run, so the drain at the
+	// tail is represented — rather than truncated at the cap.
 	TraceCap int
+	// Telemetry, when set, records metrics (kernel launches, host↔device
+	// bytes, per-stage times, peak memory) and simulated-clock spans for
+	// the run into the given sink; when nil, the process-wide sink
+	// installed via telemetry.Enable is used, if any.
+	Telemetry *telemetry.Sink
 }
 
 func (o Options) threads(spec DeviceSpec) int {
@@ -280,9 +290,10 @@ func RunPipelined(spec DeviceSpec, stages []Stage, tasks int, opts Options) (*Re
 	// busy whenever a task occupies it — occupancy semantics, matching
 	// how GPU utilization is measured (a memory-stalled resident kernel
 	// still counts as busy), which is what the paper's Figure 9 plots.
+	// Runs longer than the cap are stride-decimated, never truncated.
 	if cap := traceCap(opts); cap > 0 {
 		totalCyclesCount := tasks + len(stages) - 1
-		stride := maxInt(1, totalCyclesCount/cap)
+		stride := maxInt(1, (totalCyclesCount+cap-1)/cap)
 		stageUtil := make([]float64, len(stages))
 		for i := range stages {
 			stageUtil[i] = stageShare[i] / float64(spec.Cores)
@@ -298,6 +309,9 @@ func RunPipelined(spec DeviceSpec, stages []Stage, tasks int, opts Options) (*Re
 			}
 			rep.Trace = append(rep.Trace, UtilSample{TimeNs: float64(cyc) * effCycle, Util: math.Min(u, 1)})
 		}
+	}
+	if tel := telemetry.Resolve(opts.Telemetry); tel != nil {
+		emitPipelinedTelemetry(tel, stages, stageNs, effCycle, transferNs, tasks, rep)
 	}
 	return rep, nil
 }
@@ -378,18 +392,28 @@ func RunNaive(spec DeviceSpec, stages []Stage, tasks, threadsPerTask int, opts O
 
 	if cap := traceCap(opts); cap > 0 {
 		// One wave's utilization profile, repeated: during round i the k
-		// concurrent kernels keep k·roundBusy[i] lanes active.
-		samplesPerWave := maxInt(1, cap/waves)
+		// concurrent kernels keep k·roundBusy[i] lanes active. When the
+		// run has more rounds than the cap, every stride-th round is
+		// sampled uniformly across *all* waves — the tail of the run is
+		// decimated like the head, never cut off at the cap.
+		totalRounds := waves * len(stages)
+		stride := maxInt(1, (totalRounds+cap-1)/cap)
 		t := 0.0
-		for w := 0; w < waves && len(rep.Trace) < cap; w++ {
-			stride := maxInt(1, len(stages)/samplesPerWave)
-			for i := 0; i < len(stages); i += stride {
-				u := float64(k) * roundBusy[i] / float64(spec.Cores)
-				rep.Trace = append(rep.Trace, UtilSample{TimeNs: t, Util: math.Min(u, 1)})
-				t += roundNs[i] * float64(stride)
+		round := 0
+		for w := 0; w < waves; w++ {
+			for i := 0; i < len(stages); i++ {
+				if round%stride == 0 {
+					u := float64(k) * roundBusy[i] / float64(spec.Cores)
+					rep.Trace = append(rep.Trace, UtilSample{TimeNs: t, Util: math.Min(u, 1)})
+				}
+				t += roundNs[i]
+				round++
 			}
 			t += transferNs
 		}
+	}
+	if tel := telemetry.Resolve(opts.Telemetry); tel != nil {
+		emitNaiveTelemetry(tel, stages, roundNs, transferNs, tasks, waves, rep)
 	}
 	return rep, nil
 }

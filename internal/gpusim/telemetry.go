@@ -1,0 +1,104 @@
+package gpusim
+
+import "batchzk/internal/telemetry"
+
+// Span-emission budgets: the simulated timeline is periodic (one pipeline
+// cycle / one naive wave repeats), so a bounded prefix carries the full
+// visual information of Figure 9 without materializing tasks×stages
+// spans for large batches. The tracer's ring buffer bounds memory
+// regardless; these bounds keep run time independent of batch size.
+const (
+	spanCycleBudget = 48 // pipelined: cycles of per-stage kernel spans
+	spanWaveBudget  = 8  // naive: waves of per-round kernel spans
+)
+
+// hostBytes sums the per-task host↔device traffic of a stage list.
+func hostBytes(stages []Stage) (in, out float64) {
+	for i := range stages {
+		in += stages[i].HostBytesIn
+		out += stages[i].HostBytesOut
+	}
+	return in, out
+}
+
+// emitCommonMetrics records the counters shared by both schemes.
+func emitCommonMetrics(tel *telemetry.Sink, scheme string, stages []Stage, tasks int, rep *Report) {
+	tel.Counter("gpusim/runs/" + scheme).Inc()
+	in, out := hostBytes(stages)
+	tel.Counter("gpusim/host/bytes_in").Add(int64(in * float64(tasks)))
+	tel.Counter("gpusim/host/bytes_out").Add(int64(out * float64(tasks)))
+	tel.Gauge("gpusim/mem/peak_bytes").Set(rep.PeakDeviceBytes)
+	tel.Histogram("gpusim/task/latency_ns").Observe(int64(rep.LatencyNs))
+}
+
+// emitPipelinedTelemetry records metrics and simulated-clock spans for a
+// pipelined run: one persistent kernel per stage (tracked on its own
+// thread lane), one task entering per cycle, transfers on a dedicated
+// stream lane. At any steady-state instant several stage kernels overlap
+// — the paper's full-workload state.
+func emitPipelinedTelemetry(tel *telemetry.Sink, stages []Stage, stageNs []float64, effCycle, transferNs float64, tasks int, rep *Report) {
+	emitCommonMetrics(tel, "pipelined", stages, tasks, rep)
+	// One persistent kernel per stage for the whole run.
+	tel.Counter("gpusim/kernels/launched").Add(int64(len(stages)))
+	hist := tel.Histogram("gpusim/stage/ns")
+	for i := range stageNs {
+		hist.Observe(int64(stageNs[i]))
+	}
+	tel.Histogram("gpusim/cycle/ns").Observe(int64(effCycle))
+
+	tr := tel.Trace()
+	if tr == nil {
+		return
+	}
+	root := tr.Add("gpusim", "run/pipelined", 0, 0, -1, 0, rep.TotalNs)
+	totalCycles := tasks + len(stages) - 1
+	emit := min(totalCycles, spanCycleBudget)
+	for cyc := 0; cyc < emit; cyc++ {
+		for i := range stages {
+			task := cyc - i
+			if task < 0 || task >= tasks {
+				continue
+			}
+			tr.Add("gpusim", "kernel/"+stages[i].Name, root, i, task,
+				float64(cyc)*effCycle, stageNs[i])
+		}
+		// Dynamic loading/storing for the task entering this cycle,
+		// hidden under compute when Overlap is on.
+		if transferNs > 0 && cyc < tasks {
+			tr.Add("gpusim", "stream/h2d+d2h", root, len(stages), cyc,
+				float64(cyc)*effCycle, transferNs)
+		}
+	}
+}
+
+// emitNaiveTelemetry records metrics and simulated-clock spans for a
+// naive run: every task re-launches a kernel per barrier round, rounds
+// execute strictly one after another (no two stages ever overlap), and
+// transfers serialize behind the wave's compute.
+func emitNaiveTelemetry(tel *telemetry.Sink, stages []Stage, roundNs []float64, transferNs float64, tasks, waves int, rep *Report) {
+	emitCommonMetrics(tel, "naive", stages, tasks, rep)
+	// A kernel launch per round per task (the launch tax the pipelined
+	// scheme avoids).
+	tel.Counter("gpusim/kernels/launched").Add(int64(tasks) * int64(len(stages)))
+	hist := tel.Histogram("gpusim/stage/ns")
+	for i := range roundNs {
+		hist.Observe(int64(roundNs[i]))
+	}
+
+	tr := tel.Trace()
+	if tr == nil {
+		return
+	}
+	root := tr.Add("gpusim", "run/naive", 0, 0, -1, 0, rep.TotalNs)
+	t := 0.0
+	for w := 0; w < min(waves, spanWaveBudget); w++ {
+		for i := range stages {
+			tr.Add("gpusim", "kernel/"+stages[i].Name, root, 0, -1, t, roundNs[i])
+			t += roundNs[i]
+		}
+		if transferNs > 0 {
+			tr.Add("gpusim", "stream/h2d+d2h", root, 1, -1, t, transferNs)
+			t += transferNs
+		}
+	}
+}

@@ -2,38 +2,60 @@ package pipeline
 
 import (
 	"fmt"
+	"time"
 
 	"batchzk/internal/encoder"
 	"batchzk/internal/field"
 	"batchzk/internal/merkle"
 	"batchzk/internal/sha2"
 	"batchzk/internal/sumcheck"
+	"batchzk/internal/telemetry"
 )
 
 // runSchedule drives a software pipeline: numStages stages, one task
 // entering per cycle, every stage busy on a different task within a cycle
 // (the schedule of Figure 4b). Stages are invoked in descending order so
 // that a cycle's writes never overtake its reads.
-func runSchedule(numTasks, numStages int, process func(cycle, stage, task int) error, endCycle func(cycle int) error) error {
+//
+// When a process-wide telemetry sink is enabled, each (stage, task) slot
+// becomes a "pipeline" layer span on the stage's track under one
+// module-level root span, each cycle bumps a counter, and per-slot wall
+// time feeds a module histogram — so the Figure 4b schedule is directly
+// inspectable in the Chrome trace export.
+func runSchedule(module string, numTasks, numStages int, process func(cycle, stage, task int) error, endCycle func(cycle int) error) error {
 	if numTasks <= 0 || numStages <= 0 {
 		return fmt.Errorf("pipeline: need positive task and stage counts")
 	}
+	sink := telemetry.Active()
+	tracer := sink.Trace()
+	cycles := sink.Counter("pipeline/" + module + "/cycles")
+	slotHist := sink.Histogram("pipeline/" + module + "/slot_ns")
+	root := tracer.Begin("pipeline", module, 0, numStages, -1)
 	for cycle := 0; cycle < numTasks+numStages-1; cycle++ {
 		for stage := numStages - 1; stage >= 0; stage-- {
 			task := cycle - stage
 			if task < 0 || task >= numTasks {
 				continue
 			}
-			if err := process(cycle, stage, task); err != nil {
+			sp := tracer.Begin("pipeline", fmt.Sprintf("%s/stage%d", module, stage), root.ID(), stage, task)
+			start := time.Now()
+			err := process(cycle, stage, task)
+			slotHist.Observe(time.Since(start).Nanoseconds())
+			sp.End()
+			if err != nil {
+				root.End()
 				return err
 			}
 		}
+		cycles.Inc()
 		if endCycle != nil {
 			if err := endCycle(cycle); err != nil {
+				root.End()
 				return err
 			}
 		}
 	}
+	root.End()
 	return nil
 }
 
@@ -65,7 +87,7 @@ func BatchMerkle(tasks [][]merkle.Block) ([]sha2.Digest, error) {
 	cur := make([][]sha2.Digest, len(tasks))
 	roots := make([]sha2.Digest, len(tasks))
 
-	err := runSchedule(len(tasks), numStages, func(_, stage, task int) error {
+	err := runSchedule("merkle", len(tasks), numStages, func(_, stage, task int) error {
 		if stage == 0 {
 			// Dynamic loading: only now does this task's data enter the
 			// device; hash every block into a leaf digest.
@@ -148,7 +170,7 @@ func BatchSumcheck(tables [][]field.Element, challenge SumcheckChallenge) ([]Sum
 		results[t].Proof = &sumcheck.Proof{Rounds: make([]sumcheck.RoundPair, nVars)}
 	}
 
-	err := runSchedule(len(tables), nVars, func(_, stage, task int) error {
+	err := runSchedule("sumcheck", len(tables), nVars, func(_, stage, task int) error {
 		in := size >> stage
 		half := in / 2
 		var src []field.Element
@@ -206,7 +228,7 @@ func BatchEncode(enc *encoder.Encoder, msgs [][]field.Element) ([][]field.Elemen
 	states := make([]*state, len(msgs))
 	out := make([][]field.Element, len(msgs))
 
-	err := runSchedule(len(msgs), numStages, func(_, stage, task int) error {
+	err := runSchedule("encode", len(msgs), numStages, func(_, stage, task int) error {
 		switch {
 		case stage == 0 && k == 0:
 			// Degenerate: base-size messages, single stage.

@@ -1,0 +1,95 @@
+// Package telemetry is the unified observability layer of the
+// reproduction: a concurrency-safe metrics registry (counters, gauges,
+// log-bucketed latency histograms), a lightweight span tracer with a
+// bounded ring buffer and Chrome trace_event export, and introspection
+// surfaces (expvar publication, a pprof/expvar debug server, file dumps).
+//
+// The paper's central claim is an occupancy argument — pipelining keeps
+// the device busy (Figure 9) — and arguments of that kind are only
+// checkable with per-stage visibility: queue depths, stage-latency
+// distributions, host↔device byte counts, in-flight proof counts. The
+// three execution layers record into this package:
+//
+//   - internal/core's BatchProver emits one span per prover stage per
+//     job (layer "core") plus per-job end-to-end latency, queue-wait
+//     histograms and an in-flight gauge;
+//   - internal/pipeline's functional module schedules emit one span per
+//     (cycle, stage) slot (layer "pipeline");
+//   - internal/gpusim emits simulated-clock spans for kernel occupancy
+//     and host↔device transfers (layer "gpusim"), so a single export
+//     visually reproduces the pipelined-vs-naive contrast of Figure 9
+//     in chrome://tracing or Perfetto.
+//
+// Telemetry is disabled by default and costs a nil check per
+// instrumentation point. Enable it process-wide with Enable, or hand an
+// explicit *Sink to the layers that accept one (gpusim.Options.Telemetry,
+// BatchProver.SetTelemetry). All types are safe for concurrent use, and
+// every recording method is a no-op on a nil receiver, so call sites
+// never guard.
+package telemetry
+
+import "sync/atomic"
+
+// Sink bundles the two recording surfaces one run writes into.
+type Sink struct {
+	Metrics *Registry
+	Tracer  *Tracer
+}
+
+// NewSink builds a sink with a fresh registry and a tracer bounded to
+// spanCap spans (0 = DefaultSpanCap).
+func NewSink(spanCap int) *Sink {
+	return &Sink{Metrics: NewRegistry(), Tracer: NewTracer(spanCap)}
+}
+
+// global is the process-wide default sink; nil means disabled.
+var global atomic.Pointer[Sink]
+
+// Enable installs s as the process-wide default sink picked up by every
+// instrumented layer that was not handed an explicit sink. Enable(nil)
+// disables global telemetry again.
+func Enable(s *Sink) { global.Store(s) }
+
+// Active returns the process-wide sink, or nil when telemetry is off.
+func Active() *Sink { return global.Load() }
+
+// Resolve returns the explicit sink when non-nil, else the global one.
+func Resolve(explicit *Sink) *Sink {
+	if explicit != nil {
+		return explicit
+	}
+	return Active()
+}
+
+// Counter returns the named counter from the sink's registry (nil-safe).
+func (s *Sink) Counter(name string) *Counter {
+	if s == nil || s.Metrics == nil {
+		return nil
+	}
+	return s.Metrics.Counter(name)
+}
+
+// Gauge returns the named gauge from the sink's registry (nil-safe).
+func (s *Sink) Gauge(name string) *Gauge {
+	if s == nil || s.Metrics == nil {
+		return nil
+	}
+	return s.Metrics.Gauge(name)
+}
+
+// Histogram returns the named histogram from the sink's registry
+// (nil-safe).
+func (s *Sink) Histogram(name string) *Histogram {
+	if s == nil || s.Metrics == nil {
+		return nil
+	}
+	return s.Metrics.Histogram(name)
+}
+
+// Trace returns the sink's tracer (nil when the sink is nil).
+func (s *Sink) Trace() *Tracer {
+	if s == nil {
+		return nil
+	}
+	return s.Tracer
+}

@@ -1,0 +1,34 @@
+package batchzk
+
+import (
+	"net/http"
+
+	"batchzk/internal/telemetry"
+)
+
+// TelemetrySink bundles the metrics registry and span tracer that the
+// instrumented layers (batch prover, pipelined modules, GPU simulator)
+// record into. Dump(dir) writes metrics.json, trace.json (Chrome
+// trace_event format — load in chrome://tracing or ui.perfetto.dev) and
+// spans.jsonl.
+type TelemetrySink = telemetry.Sink
+
+// NewTelemetrySink builds a sink with the default span-ring capacity.
+func NewTelemetrySink() *TelemetrySink { return telemetry.NewSink(0) }
+
+// EnableTelemetry installs s as the process-wide sink: every prover run,
+// pipelined module schedule, and simulated device run records into it
+// until EnableTelemetry(nil) turns telemetry off again.
+func EnableTelemetry(s *TelemetrySink) { telemetry.Enable(s) }
+
+// ActiveTelemetry returns the process-wide sink, or nil when disabled.
+func ActiveTelemetry() *TelemetrySink { return telemetry.Active() }
+
+// ServeTelemetryDebug starts an HTTP debug server on addr exposing
+// /debug/vars (expvar), /debug/pprof/..., /debug/telemetry (metrics
+// snapshot), /debug/telemetry/trace and /debug/telemetry/spans. A nil
+// sink follows the process-wide one. The server runs until the returned
+// *http.Server is closed.
+func ServeTelemetryDebug(addr string, s *TelemetrySink) (*http.Server, error) {
+	return telemetry.ServeDebug(addr, s)
+}
