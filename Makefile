@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: build test race vet bench
+# Scenario and output directory for the bench-report targets.
+SCENARIO ?= quickstart
+REPORT_DIR ?= .
+
+.PHONY: build test race vet bench bench-report bench-check check
 
 build:
 	$(GO) build ./...
@@ -19,3 +23,21 @@ vet:
 
 bench:
 	$(GO) test -run NONE -bench . -benchtime 1x ./...
+
+# Regenerate BENCH_$(SCENARIO).json (plus the profiler's text report on
+# stdout). Override SCENARIO/REPORT_DIR to target other workloads.
+bench-report:
+	$(GO) run ./cmd/batchzk-profile -scenario $(SCENARIO) -out $(REPORT_DIR)
+
+# Gate the working tree against the committed report: regenerate into a
+# temp dir and fail on any gated metric >10% worse.
+bench-check:
+	@tmp=$$(mktemp -d) && \
+	$(GO) run ./cmd/batchzk-profile -scenario $(SCENARIO) -out $$tmp >/dev/null && \
+	$(GO) run ./cmd/batchzk-profile compare $(REPORT_DIR)/BENCH_$(SCENARIO).json $$tmp/BENCH_$(SCENARIO).json; \
+	status=$$?; rm -rf $$tmp; exit $$status
+
+# Aggregate gate: everything CI runs.
+check: build vet test race
+	$(GO) run ./cmd/batchzk-profile -scenario tiny -out $$(mktemp -d) >/dev/null
+	@echo "check: ok"

@@ -188,3 +188,59 @@ func RunAllExperiments(spec DeviceSpec, w io.Writer) error {
 	}
 	return nil
 }
+
+// SimReport is the raw result of one simulated run (either scheme).
+type SimReport = gpusim.Report
+
+// RunProfile is the profiler's attribution of one simulated run: where
+// lane-time went (compute, memory stalls, launch overhead, starvation,
+// idle), per-stage verdicts, and the run-level bottleneck diagnosis.
+type RunProfile = gpusim.Profile
+
+// RunContrast pairs a pipelined and a naive profile of the same workload
+// — the paper's Figure 9 comparison as a data structure.
+type RunContrast = gpusim.Contrast
+
+// ProfileRun post-processes a simulated run into a RunProfile.
+func ProfileRun(rep *SimReport) (*RunProfile, error) { return gpusim.BuildProfile(rep) }
+
+// ContrastRuns builds the pipelined-vs-naive contrast from two profiles.
+func ContrastRuns(pipelined, naive *RunProfile) (*RunContrast, error) {
+	return gpusim.NewContrast(pipelined, naive)
+}
+
+// BenchScenario is a named, reproducible bench-report workload.
+type BenchScenario = bench.Scenario
+
+// BenchReport is the schema-versioned content of a BENCH_<scenario>.json
+// file: throughput, latency percentiles, utilization breakdown and peak
+// device memory for both schemes.
+type BenchReport = bench.Report
+
+// BenchRegression is one gated metric that moved the wrong way between
+// two bench reports.
+type BenchRegression = bench.Regression
+
+// BenchScenarios lists the report scenarios in presentation order.
+func BenchScenarios() []BenchScenario { return bench.Scenarios() }
+
+// BenchScenarioByName resolves a scenario from the registry.
+func BenchScenarioByName(name string) (BenchScenario, error) { return bench.ScenarioByName(name) }
+
+// BuildBenchReport runs a scenario on a device under both schemes and
+// returns the report plus the profiler contrast backing it.
+func BuildBenchReport(sc BenchScenario, spec DeviceSpec) (*BenchReport, *RunContrast, error) {
+	return bench.BuildReport(sc, spec, perfmodel.GPUCosts())
+}
+
+// ReadBenchReport parses and schema-checks a BENCH_*.json stream.
+func ReadBenchReport(r io.Reader) (*BenchReport, error) { return bench.ReadReport(r) }
+
+// CompareBenchReports diffs two reports of the same scenario, returning
+// the metrics that regressed past threshold (a fraction, e.g. 0.10).
+func CompareBenchReports(old, cur *BenchReport, threshold float64) ([]BenchRegression, error) {
+	return bench.Compare(old, cur, threshold)
+}
+
+// BenchReportFileName is the BENCH_<scenario>.json naming convention.
+func BenchReportFileName(scenario string) string { return bench.ReportFileName(scenario) }

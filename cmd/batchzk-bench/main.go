@@ -35,6 +35,14 @@ func main() {
 		return
 	}
 
+	if *telemetryDir != "" {
+		// Create the dump directory up front so a bad path fails before
+		// the experiments run, not after them.
+		if err := os.MkdirAll(*telemetryDir, 0o755); err != nil {
+			fatal(fmt.Errorf("cannot create telemetry directory %s: %w", *telemetryDir, err))
+		}
+	}
+
 	// Enable telemetry before any experiment runs so the provers and
 	// simulators the harness constructs internally record into the sink.
 	var sink *batchzk.TelemetrySink

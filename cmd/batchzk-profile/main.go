@@ -1,0 +1,159 @@
+// Command batchzk-profile runs a named bench scenario under both
+// execution schemes, prints the profiler's pipelined-vs-naive bottleneck
+// report (the paper's Figure 9 contrast), and writes a schema-versioned
+// machine-readable BENCH_<scenario>.json for perf tracking. Its compare
+// subcommand diffs two such files and exits non-zero when a gated metric
+// regressed past the threshold.
+//
+// Usage:
+//
+//	batchzk-profile                          # quickstart scenario on 3090Ti
+//	batchzk-profile -scenario sumcheck       # another workload
+//	batchzk-profile -device H100 -out out/   # another device, report dir
+//	batchzk-profile -format json             # JSON report to stdout too
+//	batchzk-profile -list                    # list scenario names
+//	batchzk-profile compare OLD.json NEW.json [-threshold 0.10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"batchzk"
+)
+
+func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		os.Exit(runCompare(os.Args[2:]))
+	}
+
+	scenario := flag.String("scenario", "quickstart", "bench scenario; see -list")
+	device := flag.String("device", "3090Ti", "device profile: GH200, H100, A100, V100, 3090Ti")
+	out := flag.String("out", ".", "directory for BENCH_<scenario>.json ('' = don't write)")
+	format := flag.String("format", "text", "stdout format: text (profiler report) or json")
+	list := flag.Bool("list", false, "list scenario names and exit")
+	flag.Parse()
+
+	if *list {
+		for _, sc := range batchzk.BenchScenarios() {
+			fmt.Printf("%-12s %s\n", sc.Name, sc.Title)
+		}
+		return
+	}
+
+	sc, err := batchzk.BenchScenarioByName(*scenario)
+	if err != nil {
+		fatal(err)
+	}
+	spec, err := batchzk.Device(*device)
+	if err != nil {
+		fatal(err)
+	}
+	report, contrast, err := batchzk.BuildBenchReport(sc, spec)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *format {
+	case "json":
+		if err := report.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+	case "text":
+		fmt.Printf("scenario %s on %s (%d cores): %s\n\n", sc.Name, spec.Name, spec.Cores, sc.Title)
+		contrast.Render(os.Stdout)
+	default:
+		fatal(fmt.Errorf("unknown format %q (want text or json)", *format))
+	}
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(fmt.Errorf("cannot create report directory %s: %w", *out, err))
+		}
+		path := filepath.Join(*out, batchzk.BenchReportFileName(sc.Name))
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(fmt.Errorf("cannot write report: %w", err))
+		}
+		werr := report.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fatal(fmt.Errorf("cannot write report %s: %w", path, werr))
+		}
+		fmt.Fprintf(os.Stderr, "report written to %s\n", path)
+	}
+}
+
+// runCompare implements `batchzk-profile compare OLD NEW [-threshold F]`.
+// Exit codes: 0 clean, 1 regression found, 2 usage/IO error.
+func runCompare(args []string) int {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	threshold := fs.Float64("threshold", 0.10, "regression gate as a fraction (0.10 = 10%)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: batchzk-profile compare OLD.json NEW.json [-threshold 0.10]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	// Accept -threshold on either side of the two file arguments (stdlib
+	// flag parsing stops at the first positional).
+	files := fs.Args()
+	if len(files) > 2 {
+		if err := fs.Parse(files[2:]); err != nil {
+			return 2
+		}
+		files = append(files[:2], fs.Args()...)
+	}
+	if len(files) != 2 {
+		fs.Usage()
+		return 2
+	}
+	oldRep, err := readReportFile(files[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "batchzk-profile:", err)
+		return 2
+	}
+	newRep, err := readReportFile(files[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "batchzk-profile:", err)
+		return 2
+	}
+	regs, err := batchzk.CompareBenchReports(oldRep, newRep, *threshold)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "batchzk-profile:", err)
+		return 2
+	}
+	if len(regs) == 0 {
+		fmt.Printf("compare %s: no regressions past %.0f%% (scenario %s)\n",
+			newRep.Scenario, *threshold*100, newRep.Scenario)
+		return 0
+	}
+	fmt.Printf("compare %s: %d regression(s) past %.0f%%\n", newRep.Scenario, len(regs), *threshold*100)
+	for _, r := range regs {
+		fmt.Printf("  %-32s %.4g -> %.4g (%.1f%% worse)\n", r.Metric, r.Old, r.New, r.DeltaFrac*100)
+	}
+	return 1
+}
+
+func readReportFile(path string) (*batchzk.BenchReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("cannot read report: %w", err)
+	}
+	defer f.Close()
+	rep, err := batchzk.ReadBenchReport(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "batchzk-profile:", err)
+	os.Exit(1)
+}

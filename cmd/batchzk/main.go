@@ -54,6 +54,13 @@ func main() {
 	flag.Parse()
 
 	var sink *batchzk.TelemetrySink
+	if *telemetryDir != "" {
+		// Create the dump directory up front so a bad path fails before
+		// the run, not after it.
+		if err := os.MkdirAll(*telemetryDir, 0o755); err != nil {
+			fatal(fmt.Errorf("cannot create telemetry directory %s: %w", *telemetryDir, err))
+		}
+	}
 	if *telemetryDir != "" || *debugAddr != "" {
 		sink = batchzk.NewTelemetrySink()
 		batchzk.EnableTelemetry(sink)

@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"batchzk/internal/perfmodel"
+)
+
+func fixtureTable() *Table {
+	return &Table{
+		ID:     "tableX",
+		Title:  "fixture, with a comma",
+		Header: []string{"Size", "Ours(GPU)", "vs GPU"},
+		Rows: [][]string{
+			{"2^18", "1.234", "5.67x"},
+			{"2^20", `quoted "cell"`, "a,b"},
+		},
+		Notes: []string{"first note", "second, with comma"},
+	}
+}
+
+// TestRenderCSVRoundTrip parses the CSV renderer's output back and
+// checks the data survives, with id/title and notes on comment lines.
+func TestRenderCSVRoundTrip(t *testing.T) {
+	tab := fixtureTable()
+	var buf bytes.Buffer
+	if err := tab.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "# tableX: fixture, with a comma" {
+		t.Fatalf("first comment line %q", lines[0])
+	}
+	wantNotes := []string{"# note: first note", "# note: second, with comma"}
+	gotTail := lines[len(lines)-2:]
+	for i, want := range wantNotes {
+		if gotTail[i] != want {
+			t.Fatalf("note line %d = %q, want %q", i, gotTail[i], want)
+		}
+	}
+
+	rd := csv.NewReader(strings.NewReader(out))
+	rd.Comment = '#'
+	recs, err := rd.ReadAll()
+	if err != nil {
+		t.Fatalf("renderer output is not valid CSV: %v", err)
+	}
+	if len(recs) != 1+len(tab.Rows) {
+		t.Fatalf("got %d records, want %d", len(recs), 1+len(tab.Rows))
+	}
+	for i, want := range tab.Header {
+		if recs[0][i] != want {
+			t.Fatalf("header[%d] = %q, want %q", i, recs[0][i], want)
+		}
+	}
+	for r, row := range tab.Rows {
+		for c, want := range row {
+			if recs[r+1][c] != want {
+				t.Fatalf("cell[%d][%d] = %q, want %q (quoting lost)", r, c, recs[r+1][c], want)
+			}
+		}
+	}
+}
+
+// TestRenderAlignedGolden pins the plain-text layout: aligned columns, a
+// dash separator, indented notes, trailing blank line.
+func TestRenderAlignedGolden(t *testing.T) {
+	tab := &Table{
+		ID:     "t",
+		Title:  "golden",
+		Header: []string{"A", "Name"},
+		Rows:   [][]string{{"1", "x"}, {"22", "longer"}},
+		Notes:  []string{"n1"},
+	}
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	want := "" +
+		"=== t: golden ===\n" +
+		"  A   Name  \n" +
+		"  --  ------\n" +
+		"  1   x     \n" +
+		"  22  longer\n" +
+		"  note: n1\n" +
+		"\n"
+	if buf.String() != want {
+		t.Fatalf("aligned render drifted:\ngot:\n%q\nwant:\n%q", buf.String(), want)
+	}
+}
+
+// TestRenderersOnAllExperiments smoke-tests both renderers over every
+// registered table/figure: CSV must stay parseable with the right record
+// count, text must carry the id and every header cell.
+func TestRenderersOnAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	tables, err := All(perfmodel.RTX3090Ti())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) == 0 {
+		t.Fatal("no experiments registered")
+	}
+	for _, tab := range tables {
+		var txt bytes.Buffer
+		tab.Render(&txt)
+		if !strings.Contains(txt.String(), tab.ID) {
+			t.Fatalf("%s: text render misses the id", tab.ID)
+		}
+		for _, h := range tab.Header {
+			if !strings.Contains(txt.String(), h) {
+				t.Fatalf("%s: text render misses header %q", tab.ID, h)
+			}
+		}
+
+		var csvBuf bytes.Buffer
+		if err := tab.RenderCSV(&csvBuf); err != nil {
+			t.Fatalf("%s: %v", tab.ID, err)
+		}
+		rd := csv.NewReader(bytes.NewReader(csvBuf.Bytes()))
+		rd.Comment = '#'
+		rd.FieldsPerRecord = -1 // figures mix row widths
+		recs, err := rd.ReadAll()
+		if err != nil {
+			t.Fatalf("%s: CSV output unparseable: %v", tab.ID, err)
+		}
+		if len(recs) != 1+len(tab.Rows) {
+			t.Fatalf("%s: %d CSV records, want %d", tab.ID, len(recs), 1+len(tab.Rows))
+		}
+	}
+}

@@ -1,0 +1,217 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"batchzk/internal/perfmodel"
+)
+
+func buildQuickstart(t *testing.T) *Report {
+	t.Helper()
+	sc, err := ScenarioByName("quickstart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, contrast, err := BuildReport(sc, perfmodel.RTX3090Ti(), perfmodel.GPUCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contrast == nil {
+		t.Fatal("nil contrast")
+	}
+	return rep
+}
+
+// TestQuickstartReportAcceptance is the PR's acceptance gate: the
+// quickstart report's utilization breakdown must show the pipelined
+// scheme at least 2x as busy as the naive scheme, throughput ahead too.
+func TestQuickstartReportAcceptance(t *testing.T) {
+	rep := buildQuickstart(t)
+	if rep.SchemaVersion != ReportSchemaVersion {
+		t.Fatalf("schema version %d", rep.SchemaVersion)
+	}
+	if rep.Pipelined.Util.Busy < 2*rep.Naive.Util.Busy {
+		t.Fatalf("pipelined busy %.3f < 2x naive busy %.3f",
+			rep.Pipelined.Util.Busy, rep.Naive.Util.Busy)
+	}
+	if rep.BusyGainX < 2 || rep.SpeedupX < 2 {
+		t.Fatalf("headline gains too small: busy %.2fx speedup %.2fx",
+			rep.BusyGainX, rep.SpeedupX)
+	}
+	for _, s := range []struct {
+		name string
+		st   SchemeStats
+	}{{"pipelined", rep.Pipelined}, {"naive", rep.Naive}} {
+		if s.st.ThroughputPerMs <= 0 || s.st.TotalNs <= 0 {
+			t.Fatalf("%s: empty stats %+v", s.name, s.st)
+		}
+		if s.st.Latency.P50Ns <= 0 || s.st.Latency.P99Ns < s.st.Latency.P50Ns {
+			t.Fatalf("%s: latency percentiles degenerate: %+v", s.name, s.st.Latency)
+		}
+		if s.st.PeakDeviceBytes <= 0 || s.st.Concurrency <= 0 {
+			t.Fatalf("%s: memory/concurrency missing: %+v", s.name, s.st)
+		}
+		if s.st.Verdict == "" || s.st.Bottleneck == "" {
+			t.Fatalf("%s: verdicts missing", s.name)
+		}
+	}
+	if rep.Device != perfmodel.RTX3090Ti().Name || rep.Cores <= 0 {
+		t.Fatalf("device identity missing: %q/%d", rep.Device, rep.Cores)
+	}
+}
+
+func TestAllScenariosBuild(t *testing.T) {
+	spec := perfmodel.RTX3090Ti()
+	costs := perfmodel.GPUCosts()
+	for _, sc := range Scenarios() {
+		if testing.Short() && sc.Name != "tiny" {
+			continue
+		}
+		rep, _, err := BuildReport(sc, spec, costs)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		if rep.Scenario != sc.Name || rep.Batch != sc.Batch {
+			t.Fatalf("%s: report identity %+v", sc.Name, rep)
+		}
+		// The paper's claim holds at real scales: pipelining never loses
+		// on busy fraction. "tiny" is exempt — 2^8-block trees cannot
+		// fill a 10k-core device either way.
+		if sc.Name != "tiny" && rep.Pipelined.Util.Busy < rep.Naive.Util.Busy {
+			t.Fatalf("%s: pipelined busy %.3f below naive %.3f",
+				sc.Name, rep.Pipelined.Util.Busy, rep.Naive.Util.Busy)
+		}
+	}
+	if _, err := ScenarioByName("no-such"); err == nil ||
+		!strings.Contains(err.Error(), "quickstart") {
+		t.Fatalf("unknown-scenario error should list the registry: %v", err)
+	}
+	if got := ReportFileName("quickstart"); got != "BENCH_quickstart.json" {
+		t.Fatalf("file name %q", got)
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep := buildQuickstart(t)
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Scenario != rep.Scenario || back.Pipelined.ThroughputPerMs != rep.Pipelined.ThroughputPerMs {
+		t.Fatalf("round-trip drifted: %+v", back)
+	}
+	// Schema gate.
+	bad := strings.Replace(buf.String(), `"schema_version": 1`, `"schema_version": 99`, 1)
+	if _, err := ReadReport(strings.NewReader(bad)); err == nil {
+		t.Fatal("future schema accepted")
+	}
+	if _, err := ReadReport(strings.NewReader("{")); err == nil {
+		t.Fatal("truncated JSON accepted")
+	}
+	if _, err := ReadReport(strings.NewReader("{}")); err == nil {
+		t.Fatal("empty report accepted")
+	}
+}
+
+func TestCompareGatesRegressions(t *testing.T) {
+	old := buildQuickstart(t)
+
+	// Identical reports: clean.
+	same := *old
+	regs, err := Compare(old, &same, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("self-compare flagged %+v", regs)
+	}
+
+	// Inject a 15% throughput regression: must trip the 10% gate.
+	worse := *old
+	worse.Pipelined.ThroughputPerMs *= 0.85
+	worse.SpeedupX *= 0.85
+	regs, err = Compare(old, &worse, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) == 0 {
+		t.Fatal("15%% throughput regression not flagged")
+	}
+	found := false
+	for _, r := range regs {
+		if r.Metric == "pipelined.throughput_per_ms" {
+			found = true
+			if r.DeltaFrac < 0.14 || r.DeltaFrac > 0.16 {
+				t.Fatalf("delta %.3f, want ~0.15", r.DeltaFrac)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("throughput metric missing from %+v", regs)
+	}
+
+	// The same change passes a looser 20% gate.
+	regs, err = Compare(old, &worse, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("20%% gate tripped on 15%% change: %+v", regs)
+	}
+
+	// Improvements never trip: double the throughput, halve the memory.
+	better := *old
+	better.Pipelined.ThroughputPerMs *= 2
+	better.Pipelined.PeakDeviceBytes /= 2
+	if regs, _ = Compare(old, &better, 0.10); len(regs) != 0 {
+		t.Fatalf("improvement flagged: %+v", regs)
+	}
+
+	// Rising latency and memory are regressions.
+	heavier := *old
+	heavier.Pipelined.Latency.P50Ns *= 1.5
+	heavier.Pipelined.PeakDeviceBytes *= 2
+	regs, _ = Compare(old, &heavier, 0.10)
+	if len(regs) != 2 {
+		t.Fatalf("latency+memory regressions: got %+v", regs)
+	}
+
+	// Mismatched scenarios refuse to diff.
+	other := *old
+	other.Scenario = "merkle"
+	if _, err := Compare(old, &other, 0.10); err == nil {
+		t.Fatal("cross-scenario compare accepted")
+	}
+	if _, err := Compare(nil, old, 0.10); err == nil {
+		t.Fatal("nil report accepted")
+	}
+	if _, err := Compare(old, &same, -1); err == nil {
+		t.Fatal("negative threshold accepted")
+	}
+}
+
+func TestSweepBatches(t *testing.T) {
+	cases := map[int][]int{
+		256: {64, 128, 256},
+		4:   {1, 2, 4},
+		1:   {1},
+		2:   {1, 2},
+	}
+	for in, want := range cases {
+		got := sweepBatches(in)
+		if len(got) != len(want) {
+			t.Fatalf("sweep(%d) = %v, want %v", in, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("sweep(%d) = %v, want %v", in, got, want)
+			}
+		}
+	}
+}

@@ -115,6 +115,10 @@ func (st *Stage) totalWorkCycles() float64 {
 type Report struct {
 	Scheme string
 	Tasks  int
+	// Device / Cores identify the spec the run executed on, so a report
+	// can be profiled without re-threading the spec through callers.
+	Device string
+	Cores  int
 
 	// CycleNs is the steady-state pipeline cycle (pipelined runs only).
 	CycleNs float64
@@ -129,8 +133,38 @@ type Report struct {
 	Overlapped bool
 	// PeakDeviceBytes is the device-memory high-water mark.
 	PeakDeviceBytes int64
+	// Concurrency is the number of tasks in flight at steady state: the
+	// pipeline depth (pipelined) or the kernel wave width K (naive).
+	Concurrency int
+	// Stages carries the per-stage accounting the profiler attributes
+	// cycles from (one record per stage, in stage order).
+	Stages []StageRecord
 	// Utilization trace: fraction of device cores busy over time.
 	Trace []UtilSample
+}
+
+// StageRecord is the per-stage accounting of one run: where the stage's
+// allocated lanes spend their time for each task that occupies it. All
+// times are per task; lane counts are per concurrently executing task.
+type StageRecord struct {
+	Name string `json:"name"`
+	// ShareCores is the number of device lanes the stage's kernel owns
+	// while a task occupies it (pipelined: its dedicated core share;
+	// naive: the lanes one task's kernel uses during the round).
+	ShareCores float64 `json:"share_cores"`
+	// ComputeNs is the pure arithmetic time at the allocated lanes.
+	ComputeNs float64 `json:"compute_ns"`
+	// MemNs is the stage's time at the device-memory bandwidth roofline.
+	MemNs float64 `json:"mem_ns"`
+	// LaunchNs is kernel-launch overhead paid per task (naive rounds).
+	LaunchNs float64 `json:"launch_ns"`
+	// ActiveNs is the time the stage's lanes are occupied per task:
+	// max(ComputeNs, MemNs) + LaunchNs.
+	ActiveNs float64 `json:"active_ns"`
+	// WarpOccupancy is the fraction of occupied lane-cycles doing useful
+	// operations: SIMD divergence, warp-rounding waste and memory stalls
+	// all lower it. In (0, 1].
+	WarpOccupancy float64 `json:"warp_occupancy"`
 }
 
 // ThroughputPerMs returns completed tasks per millisecond.
@@ -237,6 +271,7 @@ func RunPipelined(spec DeviceSpec, stages []Stage, tasks int, opts Options) (*Re
 	}
 	stageNs := make([]float64, len(stages))
 	stageShare := make([]float64, len(stages)) // core lanes owned per stage
+	records := make([]StageRecord, len(stages))
 	var transferBytes float64
 	cycleNs := 0.0
 	for i := range stages {
@@ -257,6 +292,14 @@ func RunPipelined(spec DeviceSpec, stages []Stage, tasks int, opts Options) (*Re
 			cycleNs = stageNs[i]
 		}
 		transferBytes += st.HostBytesIn + st.HostBytesOut
+		records[i] = StageRecord{
+			Name:          st.Name,
+			ShareCores:    share,
+			ComputeNs:     computeNs,
+			MemNs:         memNs,
+			ActiveNs:      stageNs[i],
+			WarpOccupancy: warpOccupancy(st, share, spec.ClockGHz, stageNs[i]),
+		}
 	}
 	transferNs := transferBytes / spec.LinkGBs
 
@@ -276,6 +319,8 @@ func RunPipelined(spec DeviceSpec, stages []Stage, tasks int, opts Options) (*Re
 	rep := &Report{
 		Scheme:            "pipelined",
 		Tasks:             tasks,
+		Device:            spec.Name,
+		Cores:             spec.Cores,
 		CycleNs:           effCycle,
 		LatencyNs:         depth * effCycle,
 		TotalNs:           (float64(tasks) + depth - 1) * effCycle,
@@ -283,6 +328,8 @@ func RunPipelined(spec DeviceSpec, stages []Stage, tasks int, opts Options) (*Re
 		TransferNsPerTask: transferNs,
 		Overlapped:        opts.Overlap,
 		PeakDeviceBytes:   peak,
+		Concurrency:       len(stages),
+		Stages:            records,
 	}
 
 	// Utilization trace: ramp-up as the pipeline fills, full-occupancy
@@ -364,6 +411,7 @@ func RunNaive(spec DeviceSpec, stages []Stage, tasks, threadsPerTask int, opts O
 	latency := 0.0
 	roundNs := make([]float64, len(stages))
 	roundBusy := make([]float64, len(stages)) // busy lanes during the round
+	records := make([]StageRecord, len(stages))
 	var transferBytes float64
 	for i := range stages {
 		st := &stages[i]
@@ -374,6 +422,15 @@ func RunNaive(spec DeviceSpec, stages []Stage, tasks, threadsPerTask int, opts O
 		roundBusy[i] = lanes
 		latency += roundNs[i]
 		transferBytes += st.HostBytesIn + st.HostBytesOut
+		records[i] = StageRecord{
+			Name:          st.Name,
+			ShareCores:    lanes,
+			ComputeNs:     computeNs,
+			MemNs:         memNs,
+			LaunchNs:      spec.KernelLaunchNs,
+			ActiveNs:      roundNs[i],
+			WarpOccupancy: warpOccupancy(st, lanes, spec.ClockGHz, roundNs[i]-spec.KernelLaunchNs),
+		}
 	}
 	// No multi-stream in the naive scheme: transfers serialize per task.
 	transferNs := transferBytes / spec.LinkGBs
@@ -383,11 +440,15 @@ func RunNaive(spec DeviceSpec, stages []Stage, tasks, threadsPerTask int, opts O
 	rep := &Report{
 		Scheme:            "naive",
 		Tasks:             tasks,
+		Device:            spec.Name,
+		Cores:             spec.Cores,
 		LatencyNs:         latency,
 		TotalNs:           float64(waves) * latency,
 		ComputeNsPerTask:  latency - transferNs,
 		TransferNsPerTask: transferNs,
 		PeakDeviceBytes:   peak,
+		Concurrency:       k,
+		Stages:            records,
 	}
 
 	if cap := traceCap(opts); cap > 0 {
@@ -416,6 +477,22 @@ func RunNaive(spec DeviceSpec, stages []Stage, tasks, threadsPerTask int, opts O
 		emitNaiveTelemetry(tel, stages, roundNs, transferNs, tasks, waves, rep)
 	}
 	return rep, nil
+}
+
+// warpOccupancy is the fraction of a stage's occupied lane-cycles spent
+// on useful operations: share·clock·activeNs lane-cycles are held while
+// only WorkOps·CyclesPerOp are needed, so SIMD divergence (WarpImbalance),
+// warp-granularity rounding and memory stalls all push it below 1.
+func warpOccupancy(st *Stage, share, clockGHz, activeNs float64) float64 {
+	if share <= 0 || activeNs <= 0 {
+		return 1
+	}
+	useful := st.WorkOps * st.CyclesPerOp
+	held := share * clockGHz * activeNs
+	if held <= 0 || useful >= held {
+		return 1
+	}
+	return useful / held
 }
 
 func traceCap(o Options) int {

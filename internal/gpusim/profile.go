@@ -1,0 +1,343 @@
+// Profile post-processes a run's per-stage records into the attribution
+// the paper's occupancy arguments are about: where every device lane's
+// time went (useful compute, memory stalls, kernel-launch overhead,
+// waiting on a slower stage, no resident work at all), how much of the
+// run the device spent blocked on the host link, and a per-stage and
+// whole-run "bottleneck verdict". Profiling a pipelined and a naive run
+// of the same workload side by side (Contrast) is the quantitative form
+// of the paper's Figure 9.
+package gpusim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Bottleneck verdicts attached to stages and whole runs.
+const (
+	VerdictCompute  = "compute-bound"
+	VerdictMemory   = "memory-bandwidth-bound"
+	VerdictTransfer = "pcie-transfer-bound"
+	VerdictLaunch   = "launch-overhead-bound"
+	VerdictStarved  = "starved"
+)
+
+// Utilization is the lane-time breakdown of one run. Compute, MemStall,
+// Launch and Starved partition Busy; Idle = 1 − Busy is lane-time with
+// no resident kernel at all (unallocated lanes, ramp-up/drain, barrier
+// gaps). TransferBlocked is a *run-time* fraction — how long the device
+// sat stalled on the host link — reported on its own axis because under
+// multi-stream overlap it coexists with busy lanes.
+type Utilization struct {
+	Busy            float64 `json:"busy"`
+	Compute         float64 `json:"compute"`
+	MemStall        float64 `json:"mem_stall"`
+	Launch          float64 `json:"launch"`
+	Starved         float64 `json:"starved"`
+	Idle            float64 `json:"idle"`
+	TransferBlocked float64 `json:"transfer_blocked"`
+}
+
+// StageProfile is the attribution for one stage: per-task time split and
+// the stage's share of the whole run's lane-time.
+type StageProfile struct {
+	Name       string  `json:"name"`
+	ShareCores float64 `json:"share_cores"`
+	// Per-task time split (ns): ComputeNs + MemStallNs + LaunchNs +
+	// StarvedNs = PeriodNs, the steady-state interval between tasks.
+	ComputeNs  float64 `json:"compute_ns"`
+	MemStallNs float64 `json:"mem_stall_ns"`
+	LaunchNs   float64 `json:"launch_ns"`
+	StarvedNs  float64 `json:"starved_ns"`
+	// BusyFrac is this stage's lanes' contribution to device busy time.
+	BusyFrac float64 `json:"busy_frac"`
+	// WarpOccupancy: useful fraction of the occupied lane-cycles.
+	WarpOccupancy float64 `json:"warp_occupancy"`
+	Verdict       string  `json:"verdict"`
+}
+
+// Profile is the post-processed attribution of one simulated run.
+type Profile struct {
+	Scheme string `json:"scheme"`
+	Device string `json:"device"`
+	Cores  int    `json:"cores"`
+	Tasks  int    `json:"tasks"`
+	// Concurrency is the tasks in flight at steady state: the pipeline
+	// depth, or the naive wave width K.
+	Concurrency int `json:"concurrency"`
+	// PeriodNs is the steady-state interval between task completions:
+	// the pipeline cycle, or wave latency / wave width for naive runs.
+	PeriodNs        float64        `json:"period_ns"`
+	ThroughputPerMs float64        `json:"throughput_per_ms"`
+	LatencyNs       float64        `json:"latency_ns"`
+	TotalNs         float64        `json:"total_ns"`
+	PeakDeviceBytes int64          `json:"peak_device_bytes"`
+	Util            Utilization    `json:"utilization"`
+	Stages          []StageProfile `json:"stages"`
+	// Bottleneck names the stage that limits throughput; Verdict says
+	// what kind of limit it is for the run as a whole.
+	Bottleneck string `json:"bottleneck"`
+	Verdict    string `json:"verdict"`
+}
+
+// BuildProfile attributes a run's lane-time from its stage records.
+// Reports produced before stage recording existed (no Stages) are
+// rejected rather than silently profiled as idle.
+func BuildProfile(rep *Report) (*Profile, error) {
+	if rep == nil {
+		return nil, fmt.Errorf("gpusim: nil report")
+	}
+	if len(rep.Stages) == 0 {
+		return nil, fmt.Errorf("gpusim: report carries no stage records to profile")
+	}
+	if rep.Cores <= 0 || rep.TotalNs <= 0 {
+		return nil, fmt.Errorf("gpusim: report missing device/cores/total time")
+	}
+	p := &Profile{
+		Scheme:          rep.Scheme,
+		Device:          rep.Device,
+		Cores:           rep.Cores,
+		Tasks:           rep.Tasks,
+		Concurrency:     rep.Concurrency,
+		ThroughputPerMs: rep.ThroughputPerMs(),
+		LatencyNs:       rep.LatencyNs,
+		TotalNs:         rep.TotalNs,
+		PeakDeviceBytes: rep.PeakDeviceBytes,
+	}
+
+	// The steady-state interval one task holds a stage: the pipeline
+	// cycle, or the full barrier-round sequence of one naive wave.
+	period := rep.CycleNs
+	if rep.Scheme == "naive" {
+		period = rep.LatencyNs
+	}
+	if period <= 0 {
+		return nil, fmt.Errorf("gpusim: report has no steady-state period")
+	}
+	p.PeriodNs = period
+
+	// Device-level PCIe stall: with overlap the transfer only blocks when
+	// it outlasts compute (the cycle stretches); without, it serializes.
+	transferBlock := rep.TransferNsPerTask
+	if rep.Overlapped {
+		transferBlock = math.Max(0, rep.CycleNs-rep.ComputeNsPerTask)
+	}
+	p.Util.TransferBlocked = transferBlock / period
+
+	totalLaneNs := float64(rep.Cores) * rep.TotalNs
+	tasks := float64(rep.Tasks)
+	var busy, compute, memStall, launch float64
+	bottleneck := 0
+	for i, sr := range rep.Stages {
+		// Lane-time attribution: each of the Tasks tasks occupies the
+		// stage's ShareCores lanes for one period (pipelined: the whole
+		// cycle, occupancy semantics) or for its ActiveNs round (naive:
+		// the lanes are released at the barrier).
+		occupiedNs := period
+		if rep.Scheme == "naive" {
+			occupiedNs = sr.ActiveNs
+		}
+		laneNs := sr.ShareCores * tasks
+		busy += laneNs * occupiedNs
+		compute += laneNs * sr.ComputeNs
+		stall := math.Max(0, sr.ActiveNs-sr.LaunchNs-sr.ComputeNs)
+		memStall += laneNs * stall
+		launch += laneNs * sr.LaunchNs
+
+		starved := math.Max(0, occupiedNs-sr.ActiveNs)
+		sp := StageProfile{
+			Name:          sr.Name,
+			ShareCores:    sr.ShareCores,
+			ComputeNs:     sr.ComputeNs,
+			MemStallNs:    stall,
+			LaunchNs:      sr.LaunchNs,
+			StarvedNs:     starved,
+			BusyFrac:      laneNs * occupiedNs / totalLaneNs,
+			WarpOccupancy: sr.WarpOccupancy,
+		}
+		sp.Verdict = stageVerdict(sr.ComputeNs, stall, sr.LaunchNs, starved)
+		p.Stages = append(p.Stages, sp)
+		if sr.ActiveNs > rep.Stages[bottleneck].ActiveNs {
+			bottleneck = i
+		}
+	}
+	p.Util.Busy = math.Min(1, busy/totalLaneNs)
+	p.Util.Compute = compute / totalLaneNs
+	p.Util.MemStall = memStall / totalLaneNs
+	p.Util.Launch = launch / totalLaneNs
+	p.Util.Starved = math.Max(0, p.Util.Busy-p.Util.Compute-p.Util.MemStall-p.Util.Launch)
+	p.Util.Idle = math.Max(0, 1-p.Util.Busy)
+
+	p.Bottleneck = rep.Stages[bottleneck].Name
+	p.Verdict = runVerdict(p, rep.Stages[bottleneck])
+	return p, nil
+}
+
+// stageVerdict picks the dominant component of a stage's per-task time.
+func stageVerdict(compute, memStall, launch, starved float64) string {
+	v, max := VerdictCompute, compute
+	for _, cand := range []struct {
+		verdict string
+		ns      float64
+	}{
+		{VerdictMemory, memStall},
+		{VerdictLaunch, launch},
+		{VerdictStarved, starved},
+	} {
+		if cand.ns > max {
+			v, max = cand.verdict, cand.ns
+		}
+	}
+	return v
+}
+
+// runVerdict classifies the whole run. A PCIe-dominated period trumps
+// everything. Next comes the bottleneck stage's own character — if the
+// throughput-limiting stage is stalled on memory bandwidth or launch
+// overhead, idle lanes elsewhere are a consequence, not the cause.
+// Only a compute-bound bottleneck on an idle-dominated device means the
+// scheduling itself starves the lanes (the naive scheme's signature).
+func runVerdict(p *Profile, bottleneck StageRecord) string {
+	if p.Util.TransferBlocked > 0.5 {
+		return VerdictTransfer
+	}
+	stall := math.Max(0, bottleneck.ActiveNs-bottleneck.LaunchNs-bottleneck.ComputeNs)
+	if stall > bottleneck.ComputeNs && stall > bottleneck.LaunchNs {
+		return VerdictMemory
+	}
+	if bottleneck.LaunchNs > bottleneck.ComputeNs {
+		return VerdictLaunch
+	}
+	if p.Util.Idle > p.Util.Busy {
+		return VerdictStarved
+	}
+	return VerdictCompute
+}
+
+// WriteJSON renders the profile as indented JSON.
+func (p *Profile) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+func pct(v float64) string { return fmt.Sprintf("%5.1f%%", v*100) }
+
+// Render writes the profile as an aligned plain-text report: the run
+// summary, the lane-time breakdown, and the per-stage attribution with
+// verdicts (stages aggregated by name to keep deep pipelines readable).
+func (p *Profile) Render(w io.Writer) {
+	fmt.Fprintf(w, "=== %s on %s: %d tasks, %.3f tasks/ms ===\n",
+		p.Scheme, p.Device, p.Tasks, p.ThroughputPerMs)
+	fmt.Fprintf(w, "  period %.3f ms   latency %.3f ms   total %.3f ms   peak mem %.2f GiB\n",
+		p.PeriodNs/1e6, p.LatencyNs/1e6, p.TotalNs/1e6,
+		float64(p.PeakDeviceBytes)/(1<<30))
+	u := p.Util
+	fmt.Fprintf(w, "  lane-time: busy %s  (compute %s, mem-stall %s, launch %s, starved %s)  idle %s\n",
+		pct(u.Busy), pct(u.Compute), pct(u.MemStall), pct(u.Launch), pct(u.Starved), pct(u.Idle))
+	fmt.Fprintf(w, "  pcie-blocked %s of run time\n", pct(u.TransferBlocked))
+	fmt.Fprintf(w, "  verdict: %s (bottleneck stage: %s)\n", p.Verdict, p.Bottleneck)
+
+	type agg struct {
+		name                                   string
+		count                                  int
+		share, compute, stall, launch, starved float64
+		busy, occupancy                        float64
+		verdicts                               map[string]int
+	}
+	byName := map[string]*agg{}
+	var order []string
+	for _, sp := range p.Stages {
+		a := byName[sp.Name]
+		if a == nil {
+			a = &agg{name: sp.Name, verdicts: map[string]int{}}
+			byName[sp.Name] = a
+			order = append(order, sp.Name)
+		}
+		a.count++
+		a.share += sp.ShareCores
+		a.compute += sp.ComputeNs
+		a.stall += sp.MemStallNs
+		a.launch += sp.LaunchNs
+		a.starved += sp.StarvedNs
+		a.busy += sp.BusyFrac
+		a.occupancy += sp.WarpOccupancy
+		a.verdicts[sp.Verdict]++
+	}
+	fmt.Fprintf(w, "  %-24s %6s %9s %11s %11s %11s %9s %6s  %s\n",
+		"stage", "kerns", "lanes", "compute", "mem-stall", "starved", "busy", "occ", "verdict")
+	for _, name := range order {
+		a := byName[name]
+		fmt.Fprintf(w, "  %-24s %6d %9.0f %10.2fus %10.2fus %10.2fus %8.1f%% %5.0f%%  %s\n",
+			a.name, a.count, a.share,
+			a.compute/1e3, a.stall/1e3, a.starved/1e3,
+			a.busy*100, a.occupancy/float64(a.count)*100,
+			dominantVerdict(a.verdicts))
+	}
+}
+
+// dominantVerdict returns the most common verdict of an aggregate,
+// ties broken by severity order (deterministic output).
+func dominantVerdict(votes map[string]int) string {
+	keys := make([]string, 0, len(votes))
+	for k := range votes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	best, n := "", -1
+	for _, k := range keys {
+		if votes[k] > n {
+			best, n = k, votes[k]
+		}
+	}
+	return best
+}
+
+// Contrast is the side-by-side profile of the same workload under the
+// pipelined and naive schemes — the paper's Figure 9 as numbers.
+type Contrast struct {
+	Pipelined *Profile `json:"pipelined"`
+	Naive     *Profile `json:"naive"`
+	// BusyGainX is pipelined busy fraction / naive busy fraction.
+	BusyGainX float64 `json:"busy_gain_x"`
+	// ThroughputGainX is pipelined throughput / naive throughput.
+	ThroughputGainX float64 `json:"throughput_gain_x"`
+}
+
+// NewContrast pairs two profiles of the same workload.
+func NewContrast(pipelined, naive *Profile) (*Contrast, error) {
+	if pipelined == nil || naive == nil {
+		return nil, fmt.Errorf("gpusim: contrast needs both profiles")
+	}
+	c := &Contrast{Pipelined: pipelined, Naive: naive}
+	if naive.Util.Busy > 0 {
+		c.BusyGainX = pipelined.Util.Busy / naive.Util.Busy
+	}
+	if naive.ThroughputPerMs > 0 {
+		c.ThroughputGainX = pipelined.ThroughputPerMs / naive.ThroughputPerMs
+	}
+	return c, nil
+}
+
+// Render writes both profiles and the headline gains.
+func (c *Contrast) Render(w io.Writer) {
+	c.Pipelined.Render(w)
+	fmt.Fprintln(w)
+	c.Naive.Render(w)
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "pipelining keeps lanes %s vs %s busy: %.2fx busier, %.2fx the throughput\n",
+		strings.TrimSpace(pct(c.Pipelined.Util.Busy)),
+		strings.TrimSpace(pct(c.Naive.Util.Busy)),
+		c.BusyGainX, c.ThroughputGainX)
+}
+
+// WriteJSON renders the contrast as indented JSON.
+func (c *Contrast) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c)
+}

@@ -1,0 +1,194 @@
+package gpusim
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// profilePair runs the same workload both ways and profiles each.
+func profilePair(t *testing.T, tasks int) (*Profile, *Profile) {
+	t.Helper()
+	spec := testSpec()
+	stages := merkleStages(1<<14, 100)
+	pipe, err := RunPipelined(spec, stages, tasks, Options{Overlap: true, TaskBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := RunNaive(spec, stages, tasks, 1<<14, Options{TaskBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := BuildProfile(pipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	np, err := BuildProfile(naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pp, np
+}
+
+func TestStageRecordsPopulated(t *testing.T) {
+	spec := testSpec()
+	stages := merkleStages(1<<10, 100)
+	rep, err := RunPipelined(spec, stages, 64, Options{TaskBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Stages) != len(stages) {
+		t.Fatalf("got %d stage records for %d stages", len(rep.Stages), len(stages))
+	}
+	if rep.Device != spec.Name || rep.Cores != spec.Cores {
+		t.Fatalf("device identity missing: %q/%d", rep.Device, rep.Cores)
+	}
+	for i, sr := range rep.Stages {
+		if sr.Name != stages[i].Name {
+			t.Fatalf("record %d name %q != stage %q", i, sr.Name, stages[i].Name)
+		}
+		if sr.ShareCores < 1 || sr.ActiveNs <= 0 {
+			t.Fatalf("record %d degenerate: %+v", i, sr)
+		}
+		if sr.ActiveNs < math.Max(sr.ComputeNs, sr.MemNs) {
+			t.Fatalf("record %d active < max(compute, mem): %+v", i, sr)
+		}
+		if sr.WarpOccupancy <= 0 || sr.WarpOccupancy > 1 {
+			t.Fatalf("record %d occupancy %f out of (0,1]", i, sr.WarpOccupancy)
+		}
+	}
+}
+
+func TestProfileUtilizationAccounting(t *testing.T) {
+	pp, np := profilePair(t, 256)
+	for _, p := range []*Profile{pp, np} {
+		u := p.Util
+		for name, v := range map[string]float64{
+			"busy": u.Busy, "compute": u.Compute, "mem_stall": u.MemStall,
+			"launch": u.Launch, "starved": u.Starved, "idle": u.Idle,
+			"transfer": u.TransferBlocked,
+		} {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("%s: %s fraction %f out of [0,1]", p.Scheme, name, v)
+			}
+		}
+		// Compute + MemStall + Launch + Starved partitions Busy.
+		sum := u.Compute + u.MemStall + u.Launch + u.Starved
+		if diff := math.Abs(sum - u.Busy); diff > 0.02 {
+			t.Fatalf("%s: busy split %.4f != busy %.4f", p.Scheme, sum, u.Busy)
+		}
+		if diff := math.Abs(u.Busy + u.Idle - 1); diff > 1e-9 {
+			t.Fatalf("%s: busy+idle != 1", p.Scheme)
+		}
+		if len(p.Stages) == 0 || p.Bottleneck == "" || p.Verdict == "" {
+			t.Fatalf("%s: incomplete profile: %+v", p.Scheme, p)
+		}
+	}
+}
+
+func TestProfileFigure9Contrast(t *testing.T) {
+	pp, np := profilePair(t, 256)
+	// The paper's Figure 9 claim: pipelining lifts device occupancy from
+	// idle-dominated to busy-dominated. The naive scheme's reduction
+	// stages idle most lanes, so the pipelined scheme must be at least
+	// 2x busier and faster.
+	if pp.Util.Busy < 2*np.Util.Busy {
+		t.Fatalf("pipelined busy %.3f < 2x naive busy %.3f", pp.Util.Busy, np.Util.Busy)
+	}
+	if pp.ThroughputPerMs < 2*np.ThroughputPerMs {
+		t.Fatalf("pipelined throughput %.3f < 2x naive %.3f", pp.ThroughputPerMs, np.ThroughputPerMs)
+	}
+	if np.Verdict != VerdictStarved {
+		t.Fatalf("naive verdict %q, want %q (idle-dominated)", np.Verdict, VerdictStarved)
+	}
+
+	c, err := NewContrast(pp, np)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.BusyGainX < 2 || c.ThroughputGainX < 2 {
+		t.Fatalf("contrast gains too small: busy %.2fx thr %.2fx", c.BusyGainX, c.ThroughputGainX)
+	}
+}
+
+func TestProfileTransferVerdict(t *testing.T) {
+	spec := testSpec()
+	spec.LinkGBs = 0.001 // strangle the host link
+	stages := []Stage{{Name: "k", WorkOps: 1 << 10, CyclesPerOp: 10, HostBytesIn: 1 << 20}}
+	rep, err := RunPipelined(spec, stages, 32, Options{Overlap: true, TaskBytes: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := BuildProfile(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Verdict != VerdictTransfer {
+		t.Fatalf("verdict %q, want %q (transfer dominates the cycle)", p.Verdict, VerdictTransfer)
+	}
+	if p.Util.TransferBlocked < 0.5 {
+		t.Fatalf("transfer-blocked %.3f, want > 0.5", p.Util.TransferBlocked)
+	}
+}
+
+func TestProfileMemoryVerdict(t *testing.T) {
+	spec := testSpec()
+	// One stage far over the bandwidth roofline.
+	stages := []Stage{{Name: "k", WorkOps: 1 << 8, CyclesPerOp: 1, MemBytes: 1 << 26}}
+	rep, err := RunPipelined(spec, stages, 32, Options{TaskBytes: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := BuildProfile(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Verdict != VerdictMemory {
+		t.Fatalf("verdict %q, want %q", p.Verdict, VerdictMemory)
+	}
+	if p.Stages[0].Verdict != VerdictMemory {
+		t.Fatalf("stage verdict %q, want %q", p.Stages[0].Verdict, VerdictMemory)
+	}
+}
+
+func TestProfileRejectsBareReport(t *testing.T) {
+	if _, err := BuildProfile(nil); err == nil {
+		t.Fatal("nil report accepted")
+	}
+	if _, err := BuildProfile(&Report{Scheme: "pipelined"}); err == nil {
+		t.Fatal("report without stage records accepted")
+	}
+}
+
+func TestProfileRenderers(t *testing.T) {
+	pp, np := profilePair(t, 64)
+	c, err := NewContrast(pp, np)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var txt bytes.Buffer
+	c.Render(&txt)
+	for _, want := range []string{"pipelined", "naive", "verdict:", "busier", "lane-time"} {
+		if !strings.Contains(txt.String(), want) {
+			t.Fatalf("text render missing %q:\n%s", want, txt.String())
+		}
+	}
+
+	var js bytes.Buffer
+	if err := c.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	var back Contrast
+	if err := json.Unmarshal(js.Bytes(), &back); err != nil {
+		t.Fatalf("contrast JSON does not round-trip: %v", err)
+	}
+	if back.Pipelined.Scheme != "pipelined" || back.Naive.Scheme != "naive" {
+		t.Fatalf("round-trip lost schemes: %+v", back)
+	}
+	if math.Abs(back.BusyGainX-c.BusyGainX) > 1e-9 {
+		t.Fatalf("round-trip lost gains")
+	}
+}

@@ -10,6 +10,7 @@ import (
 // DebugHandler returns an http.Handler exposing the live introspection
 // surfaces for sink s (falling back to the global sink when s is nil):
 //
+//	/metrics                 — Prometheus text exposition (v0.0.4)
 //	/debug/vars              — expvar (includes batchzk.telemetry)
 //	/debug/pprof/...         — runtime profiles
 //	/debug/telemetry         — metrics snapshot JSON
@@ -19,6 +20,15 @@ func DebugHandler(s *Sink) http.Handler {
 	PublishExpvar()
 	resolve := func() *Sink { return Resolve(s) }
 	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		sink := resolve()
+		if sink == nil || sink.Metrics == nil {
+			http.Error(w, "telemetry disabled", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = sink.Metrics.WritePrometheus(w)
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,7 +1,9 @@
 package telemetry
 
 import (
+	"errors"
 	"expvar"
+	"fmt"
 	"math"
 	"math/bits"
 	"sort"
@@ -216,7 +218,11 @@ func (s HistogramSnapshot) Mean() float64 {
 }
 
 // Quantile estimates the q-quantile (q in [0, 1]) from the buckets,
-// clamped to the observed [Min, Max] range.
+// clamped to the observed [Min, Max] range. Edge cases return defined
+// values — these estimates feed the machine-readable bench reports, so
+// NaN or garbage here would poison BENCH_*.json: an empty histogram
+// yields 0, and a single-bucket histogram yields the bucket midpoint
+// (collapsing to the exact value when Min == Max).
 func (s HistogramSnapshot) Quantile(q float64) float64 {
 	if s.Count == 0 || len(s.Buckets) == 0 {
 		return 0
@@ -227,24 +233,38 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 	if q > 1 {
 		q = 1
 	}
-	total := int64(0)
-	for _, b := range s.Buckets {
-		total += b.Count
-	}
-	rank := q * float64(total)
-	cum := 0.0
 	est := float64(s.Max)
-	for _, b := range s.Buckets {
-		next := cum + float64(b.Count)
-		if rank <= next {
-			frac := 0.0
-			if b.Count > 0 {
-				frac = (rank - cum) / float64(b.Count)
-			}
-			est = float64(b.Lo) + frac*float64(b.Hi-b.Lo)
-			break
+	if len(s.Buckets) == 1 {
+		b := s.Buckets[0]
+		est = (float64(b.Lo) + float64(b.Hi)) / 2
+	} else {
+		total := int64(0)
+		for _, b := range s.Buckets {
+			total += b.Count
 		}
-		cum = next
+		if total == 0 {
+			return 0
+		}
+		rank := q * float64(total)
+		cum := 0.0
+		for _, b := range s.Buckets {
+			next := cum + float64(b.Count)
+			if rank <= next {
+				frac := 0.0
+				if b.Count > 0 {
+					frac = (rank - cum) / float64(b.Count)
+				}
+				est = float64(b.Lo) + frac*float64(b.Hi-b.Lo)
+				break
+			}
+			cum = next
+		}
+	}
+	// Clamp to the observed range — unless the snapshot was assembled by
+	// hand without Min/Max (all-zero range below a positive first
+	// bucket), where clamping would collapse every estimate to 0.
+	if s.Min == 0 && s.Max == 0 && s.Buckets[0].Lo > 0 {
+		return est
 	}
 	if est < float64(s.Min) {
 		est = float64(s.Min)
@@ -395,20 +415,55 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
-// expvarOnce guards the process-wide expvar name (expvar.Publish panics
-// on duplicates).
-var expvarOnce sync.Once
+// expvarNames tracks which expvar names this package has published, so
+// publication is idempotent per name instead of once per process —
+// expvar.Publish itself panics on duplicates, and the old sync.Once
+// guard silently made every registry after the first invisible on
+// /debug/vars.
+var (
+	expvarMu    sync.Mutex
+	expvarNames = map[string]bool{}
+)
+
+// ErrExpvarPublished is returned when an expvar name is already taken.
+var ErrExpvarPublished = errors.New("telemetry: expvar name already published")
+
+// publishExpvarFunc publishes fn under name exactly once; republishing
+// the same name reports ErrExpvarPublished instead of panicking.
+func publishExpvarFunc(name string, fn expvar.Func) error {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvarNames[name] || expvar.Get(name) != nil {
+		return fmt.Errorf("%w: %q", ErrExpvarPublished, name)
+	}
+	expvarNames[name] = true
+	expvar.Publish(name, fn)
+	return nil
+}
 
 // PublishExpvar exposes the *active* sink's metrics snapshot under the
 // expvar name "batchzk.telemetry" (and therefore on /debug/vars). The
 // published Func reads the global sink at request time, so it tracks
 // later Enable calls. Safe to call more than once.
 func PublishExpvar() {
-	expvarOnce.Do(func() {
-		expvar.Publish("batchzk.telemetry", expvar.Func(func() any {
-			return Active().snapshotOrNil()
-		}))
+	_ = publishExpvarFunc("batchzk.telemetry", func() any {
+		return Active().snapshotOrNil()
 	})
+}
+
+// PublishExpvar exposes this registry's live snapshot under the given
+// expvar name, so multiple registries coexist on /debug/vars (each under
+// its own name). Publishing a name twice — including the reserved
+// "batchzk.telemetry" — returns ErrExpvarPublished; expvar offers no
+// unpublish, so names live for the life of the process.
+func (r *Registry) PublishExpvar(name string) error {
+	if r == nil {
+		return fmt.Errorf("telemetry: cannot publish a nil registry")
+	}
+	if name == "" {
+		return fmt.Errorf("telemetry: expvar name must be non-empty")
+	}
+	return publishExpvarFunc(name, func() any { return r.Snapshot() })
 }
 
 func (s *Sink) snapshotOrNil() any {

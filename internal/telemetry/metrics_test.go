@@ -3,6 +3,8 @@ package telemetry
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
+	"expvar"
 	"fmt"
 	"math"
 	"runtime"
@@ -223,6 +225,123 @@ func TestSnapshotJSONRoundTrip(t *testing.T) {
 	}
 	if s.Counters["c"] != 3 || s.Gauges["g"].Value != 9 || s.Histograms["h"].Count != 1 {
 		t.Fatalf("round-tripped snapshot %+v", s)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	// Empty: every quantile is 0, never NaN.
+	var empty HistogramSnapshot
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Fatalf("empty quantile(%v) = %v, want 0", q, got)
+		}
+	}
+
+	// Single observation → single bucket: the quantile collapses to the
+	// observed value (midpoint clamped by Min == Max).
+	var one Histogram
+	one.Observe(5)
+	s := one.Snapshot()
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := s.Quantile(q); got != 5 {
+			t.Fatalf("single-observation quantile(%v) = %v, want 5", q, got)
+		}
+	}
+
+	// Several observations in one log2 bucket: defined, inside the
+	// bucket, NaN-free.
+	var oneBucket Histogram
+	for _, v := range []int64{4, 5, 6, 7} {
+		oneBucket.Observe(v)
+	}
+	sb := oneBucket.Snapshot()
+	if len(sb.Buckets) != 1 {
+		t.Fatalf("expected one bucket, got %+v", sb.Buckets)
+	}
+	for _, q := range []float64{0, 0.5, 0.9, 1} {
+		got := sb.Quantile(q)
+		if math.IsNaN(got) || got < 4 || got > 7 {
+			t.Fatalf("one-bucket quantile(%v) = %v, want in [4, 7]", q, got)
+		}
+	}
+	if mid := sb.Quantile(0.5); mid != 6 {
+		t.Fatalf("one-bucket median = %v, want bucket midpoint 6", mid)
+	}
+
+	// Hand-assembled snapshot without Min/Max (as a bench report might
+	// build): the midpoint must not be clamped to the zero range.
+	hand := HistogramSnapshot{
+		Count:   4,
+		Buckets: []HistogramBucket{{Lo: 4, Hi: 8, Count: 4}},
+	}
+	if got := hand.Quantile(0.5); got != 6 {
+		t.Fatalf("hand-built single-bucket quantile = %v, want 6", got)
+	}
+
+	// All-zero observations stay exactly 0.
+	var zeros Histogram
+	zeros.Observe(0)
+	zeros.Observe(0)
+	if got := zeros.Snapshot().Quantile(0.9); got != 0 {
+		t.Fatalf("all-zero quantile = %v, want 0", got)
+	}
+}
+
+func TestExpvarPerRegistry(t *testing.T) {
+	// Two registries must both be reachable on expvar under their own
+	// names — the old process-wide once silently dropped the second.
+	r1, r2 := NewRegistry(), NewRegistry()
+	r1.Counter("hits").Add(11)
+	r2.Counter("hits").Add(22)
+	if err := r1.PublishExpvar("batchzk.test.reg1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.PublishExpvar("batchzk.test.reg2"); err != nil {
+		t.Fatal(err)
+	}
+	read := func(name string) Snapshot {
+		t.Helper()
+		v := expvar.Get(name)
+		if v == nil {
+			t.Fatalf("%s not published", name)
+		}
+		var s Snapshot
+		if err := json.Unmarshal([]byte(v.String()), &s); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return s
+	}
+	if got := read("batchzk.test.reg1").Counters["hits"]; got != 11 {
+		t.Fatalf("reg1 hits = %d, want 11", got)
+	}
+	if got := read("batchzk.test.reg2").Counters["hits"]; got != 22 {
+		t.Fatalf("reg2 hits = %d, want 22", got)
+	}
+
+	// The snapshot is live, not captured at publish time.
+	r1.Counter("hits").Add(1)
+	if got := read("batchzk.test.reg1").Counters["hits"]; got != 12 {
+		t.Fatalf("reg1 snapshot is stale: %d, want 12", got)
+	}
+
+	// Republishing a taken name errors instead of panicking.
+	err := r2.PublishExpvar("batchzk.test.reg1")
+	if !errors.Is(err, ErrExpvarPublished) {
+		t.Fatalf("duplicate publish: err = %v, want ErrExpvarPublished", err)
+	}
+	// Degenerate inputs.
+	if err := (*Registry)(nil).PublishExpvar("x"); err == nil {
+		t.Fatal("nil registry publish must error")
+	}
+	if err := r1.PublishExpvar(""); err == nil {
+		t.Fatal("empty name must error")
+	}
+
+	// The package-level PublishExpvar stays idempotent alongside.
+	PublishExpvar()
+	PublishExpvar()
+	if expvar.Get("batchzk.telemetry") == nil {
+		t.Fatal("batchzk.telemetry not published")
 	}
 }
 

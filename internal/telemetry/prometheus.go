@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Prometheus text-format (v0.0.4) exposition of a metrics registry,
+// stdlib-only. Mapping:
+//
+//   - Counter    → <prefix>_<name>_total, TYPE counter
+//   - Gauge      → <prefix>_<name> plus <prefix>_<name>_peak, TYPE gauge
+//   - Histogram  → TYPE histogram: cumulative <name>_bucket{le="..."}
+//     series over the populated log2 buckets, closed by le="+Inf",
+//     plus <name>_sum and <name>_count
+//
+// Metric names pass through promName, which maps every character
+// outside [a-zA-Z0-9_:] to '_' (our names use '/' as a separator) and
+// prefixes "batchzk_". Our log2 buckets are [lo, hi) while Prometheus
+// buckets are (-inf, le]; exposing hi as le shifts each boundary by at
+// most one representable value, which is far below the 2x bucket
+// resolution.
+
+// promPrefix namespaces every exposed metric.
+const promPrefix = "batchzk"
+
+// promName sanitizes a registry metric name into a Prometheus metric
+// name: [a-zA-Z0-9_:] survive, everything else becomes '_'.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString(promPrefix)
+	b.WriteByte('_')
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z',
+			r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promEscapeHelp escapes backslashes and newlines for a HELP line.
+func promEscapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// writeFamily emits the HELP/TYPE header for one metric family.
+func writeFamily(w io.Writer, name, help, kind string) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, promEscapeHelp(help)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, kind)
+	return err
+}
+
+// WritePrometheus writes every metric in the registry in Prometheus
+// text exposition format v0.0.4, families sorted by name for stable
+// output. Nil-safe: a nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+
+	for _, name := range sortedKeys(s.Counters) {
+		pn := promName(name) + "_total"
+		if err := writeFamily(w, pn, "counter "+name, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", pn, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+
+	for _, name := range sortedKeys(s.Gauges) {
+		g := s.Gauges[name]
+		pn := promName(name)
+		if err := writeFamily(w, pn, "gauge "+name, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", pn, g.Value); err != nil {
+			return err
+		}
+		peak := pn + "_peak"
+		if err := writeFamily(w, peak, "high-water mark of gauge "+name, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", peak, g.Peak); err != nil {
+			return err
+		}
+	}
+
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		pn := promName(name)
+		if err := writeFamily(w, pn, "histogram "+name, "histogram"); err != nil {
+			return err
+		}
+		// Cumulative buckets. The top log2 bucket's upper bound is
+		// MaxInt64 — fold it into +Inf rather than printing a bound no
+		// observation can exceed. The exposition format requires the
+		// +Inf bucket to equal _count, so _count uses the bucket total
+		// (a snapshot's Count field may trail it by in-flight Observes).
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			if b.Hi == int64(^uint64(0)>>1) { // math.MaxInt64
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", pn, b.Hi, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n", pn, h.Sum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count %d\n", pn, cum); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promNamesUnique reports whether the registry's sanitized metric names
+// collide (e.g. "a/b" and "a_b" both map to batchzk_a_b). Exposed for
+// tests; collisions would produce duplicate families in the exposition.
+func (r *Registry) promNamesUnique() bool {
+	s := r.Snapshot()
+	seen := map[string]bool{}
+	add := func(names []string, suffix string) bool {
+		for _, n := range names {
+			pn := promName(n) + suffix
+			if seen[pn] {
+				return false
+			}
+			seen[pn] = true
+		}
+		return true
+	}
+	return add(sortedKeys(s.Counters), "_total") &&
+		add(sortedKeys(s.Gauges), "") &&
+		add(sortedKeys(s.Histograms), "")
+}
