@@ -4,7 +4,10 @@ GO ?= go
 SCENARIO ?= quickstart
 REPORT_DIR ?= .
 
-.PHONY: build test race vet bench bench-report bench-check check
+# Per-target budget for the fuzz smoke (see `make fuzz`).
+FUZZTIME ?= 10s
+
+.PHONY: build test race vet bench bench-report bench-check fuzz check
 
 build:
 	$(GO) build ./...
@@ -13,10 +16,10 @@ test:
 	$(GO) test ./...
 
 # Exercise the concurrency-sensitive layers (batch prover stage workers,
-# pipelined module schedules, telemetry registry/tracer) under the race
-# detector.
+# pipelined module schedules, fault injector, telemetry registry/tracer)
+# under the race detector.
 race:
-	$(GO) test -race ./internal/core/... ./internal/pipeline/... ./internal/telemetry/...
+	$(GO) test -race ./internal/core/... ./internal/pipeline/... ./internal/telemetry/... ./internal/faults/... ./internal/gpusim/...
 
 vet:
 	$(GO) vet ./...
@@ -36,6 +39,14 @@ bench-check:
 	$(GO) run ./cmd/batchzk-profile -scenario $(SCENARIO) -out $$tmp >/dev/null && \
 	$(GO) run ./cmd/batchzk-profile compare $(REPORT_DIR)/BENCH_$(SCENARIO).json $$tmp/BENCH_$(SCENARIO).json; \
 	status=$$?; rm -rf $$tmp; exit $$status
+
+# Short coverage-guided fuzz of the codec/derivation/verification
+# surfaces (go test allows one -fuzz pattern per invocation, so one run
+# per package). Seed corpora live in each package's testdata/fuzz.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzElementDecoding -fuzztime $(FUZZTIME) ./internal/field/
+	$(GO) test -run '^$$' -fuzz FuzzChallengeDerivation -fuzztime $(FUZZTIME) ./internal/transcript/
+	$(GO) test -run '^$$' -fuzz FuzzOpeningProofVerify -fuzztime $(FUZZTIME) ./internal/merkle/
 
 # Aggregate gate: everything CI runs.
 check: build vet test race

@@ -9,37 +9,59 @@
 //	batchzk-bench -telemetry out/       # + dump metrics & Chrome trace
 //	batchzk-bench -debug-addr :6060     # + live pprof/expvar server
 //	batchzk-bench -list                 # list experiment ids
+//	batchzk-bench -faults all -fault-seed 7
+//	                                    # reproducible chaos run through
+//	                                    # the resilient batch prover
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"batchzk"
 )
 
 func main() {
-	experiment := flag.String("experiment", "", "experiment id (empty = all); see -list")
-	device := flag.String("device", "GH200", "device profile: GH200, H100, A100, V100, 3090Ti")
-	format := flag.String("format", "text", "output format: text or csv")
-	list := flag.Bool("list", false, "list experiment ids and exit")
-	telemetryDir := flag.String("telemetry", "", "directory to dump telemetry (metrics.json, trace.json, spans.jsonl)")
-	debugAddr := flag.String("debug-addr", "", "serve /debug/vars, /debug/pprof and /debug/telemetry on this address")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "batchzk-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("batchzk-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	experiment := fs.String("experiment", "", "experiment id (empty = all); see -list")
+	device := fs.String("device", "GH200", "device profile: GH200, H100, A100, V100, 3090Ti")
+	format := fs.String("format", "text", "output format: text or csv")
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	telemetryDir := fs.String("telemetry", "", "directory to dump telemetry (metrics.json, trace.json, spans.jsonl)")
+	debugAddr := fs.String("debug-addr", "", "serve /debug/vars, /debug/pprof and /debug/telemetry on this address")
+	faultSpec := fs.String("faults", "", `chaos spec, e.g. "all", "all=0.25", "kernel=0.2,straggler=0.05"; runs a fault-injected batch instead of the experiments`)
+	faultSeed := fs.Uint64("fault-seed", 1, "seed for the deterministic fault plan (same seed = same faults)")
+	faultJobs := fs.Int("fault-jobs", 32, "number of proof jobs in the chaos run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *list {
 		for _, id := range batchzk.Experiments() {
-			fmt.Println(id)
+			fmt.Fprintln(stdout, id)
 		}
-		return
+		return nil
+	}
+
+	if *faultSpec != "" {
+		return runChaos(*faultSpec, *faultSeed, *faultJobs, stdout)
 	}
 
 	if *telemetryDir != "" {
 		// Create the dump directory up front so a bad path fails before
 		// the experiments run, not after them.
 		if err := os.MkdirAll(*telemetryDir, 0o755); err != nil {
-			fatal(fmt.Errorf("cannot create telemetry directory %s: %w", *telemetryDir, err))
+			return fmt.Errorf("cannot create telemetry directory %s: %w", *telemetryDir, err)
 		}
 	}
 
@@ -53,56 +75,115 @@ func main() {
 	if *debugAddr != "" {
 		srv, err := batchzk.ServeTelemetryDebug(*debugAddr, sink)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/telemetry\n", srv.Addr)
+		fmt.Fprintf(stderr, "debug server on http://%s/debug/telemetry\n", srv.Addr)
 	}
 
 	spec, err := batchzk.Device(*device)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
-	render := func(t *batchzk.ExperimentTable) {
-		switch *format {
-		case "csv":
-			if err := t.RenderCSV(os.Stdout); err != nil {
-				fatal(err)
-			}
-		default:
-			t.Render(os.Stdout)
+	render := func(t *batchzk.ExperimentTable) error {
+		if *format == "csv" {
+			return t.RenderCSV(stdout)
 		}
+		t.Render(stdout)
+		return nil
 	}
 
 	if *experiment == "" {
 		if *format == "text" {
-			fmt.Printf("BatchZK evaluation reproduction — primary device: %s (%d cores, %.2f GHz)\n\n",
+			fmt.Fprintf(stdout, "BatchZK evaluation reproduction — primary device: %s (%d cores, %.2f GHz)\n\n",
 				spec.Name, spec.Cores, spec.ClockGHz)
 		}
 		for _, id := range batchzk.Experiments() {
 			table, err := batchzk.RunExperiment(id, spec)
 			if err != nil {
-				fatal(err)
+				return err
 			}
-			render(table)
+			if err := render(table); err != nil {
+				return err
+			}
 		}
 	} else {
 		table, err := batchzk.RunExperiment(*experiment, spec)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		render(table)
+		if err := render(table); err != nil {
+			return err
+		}
 	}
 
 	if *telemetryDir != "" {
 		if err := sink.Dump(*telemetryDir); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Fprintf(os.Stderr, "telemetry written to %s (load trace.json in chrome://tracing)\n", *telemetryDir)
+		fmt.Fprintf(stderr, "telemetry written to %s (load trace.json in chrome://tracing)\n", *telemetryDir)
 	}
+	return nil
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "batchzk-bench:", err)
-	os.Exit(1)
+// runChaos streams a batch of proof jobs through the resilient prover
+// under an injected fault plan and reports how the pipeline coped: what
+// fired, what was retried, what was quarantined, and whether every
+// surviving proof still verifies. The same -faults/-fault-seed pair
+// replays the identical fault plan.
+func runChaos(spec string, seed uint64, jobs int, stdout io.Writer) error {
+	if jobs < 1 {
+		return fmt.Errorf("chaos run needs at least one job, got %d", jobs)
+	}
+	inj, err := batchzk.ParseFaultSpec(spec, seed)
+	if err != nil {
+		return err
+	}
+	c, err := batchzk.RandomCircuit(256, 2, 2, int64(seed))
+	if err != nil {
+		return err
+	}
+	p, err := batchzk.Setup(c)
+	if err != nil {
+		return err
+	}
+	bp, err := batchzk.NewBatchProver(c, p, 4)
+	if err != nil {
+		return err
+	}
+	res := batchzk.DefaultResilience()
+	res.Injector = inj
+	bp.SetResilience(res)
+
+	batch := make([]batchzk.Job, jobs)
+	for i := range batch {
+		batch[i] = batchzk.Job{ID: i, Public: batchzk.RandVector(2), Secret: batchzk.RandVector(2)}
+	}
+	results := bp.ProveBatch(batch)
+
+	verified := 0
+	for i, r := range results {
+		if r.Err != nil {
+			continue
+		}
+		if err := bp.Verify(batch[i].Public, r.Proof); err != nil {
+			return fmt.Errorf("job %d survived the chaos run but its proof does not verify: %w", r.ID, err)
+		}
+		verified++
+	}
+
+	st := bp.Stats()
+	fmt.Fprintf(stdout, "chaos run: spec=%q seed=%d jobs=%d\n", spec, seed, jobs)
+	fmt.Fprintf(stdout, "  completed=%d failed=%d retries=%d quarantined=%d timeouts=%d panics-recovered=%d\n",
+		st.Completed, st.Failed, st.Retries, st.Quarantined, st.Timeouts, st.PanicsRecovered)
+	fmt.Fprintf(stdout, "  faults: %s\n", inj.Summary())
+	for _, q := range bp.Quarantined() {
+		fmt.Fprintf(stdout, "  dead-letter: job %d at stage %s after %d attempt(s): %v\n", q.ID, q.Stage, q.Attempts, q.Err)
+	}
+	fmt.Fprintf(stdout, "  %d/%d surviving proofs verified\n", verified, int(st.Completed))
+
+	if ls := inj.Stats(); ls.Pending != 0 || inj.Conflicts() != 0 {
+		return fmt.Errorf("fault ledger not reconciled: %d pending, %d conflicts", ls.Pending, inj.Conflicts())
+	}
+	return nil
 }

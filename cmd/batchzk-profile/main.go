@@ -18,6 +18,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -26,75 +27,87 @@ import (
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "compare" {
-		os.Exit(runCompare(os.Args[2:]))
+		os.Exit(runCompare(os.Args[2:], os.Stdout, os.Stderr))
 	}
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "batchzk-profile:", err)
+		os.Exit(1)
+	}
+}
 
-	scenario := flag.String("scenario", "quickstart", "bench scenario; see -list")
-	device := flag.String("device", "3090Ti", "device profile: GH200, H100, A100, V100, 3090Ti")
-	out := flag.String("out", ".", "directory for BENCH_<scenario>.json ('' = don't write)")
-	format := flag.String("format", "text", "stdout format: text (profiler report) or json")
-	list := flag.Bool("list", false, "list scenario names and exit")
-	flag.Parse()
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("batchzk-profile", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scenario := fs.String("scenario", "quickstart", "bench scenario; see -list")
+	device := fs.String("device", "3090Ti", "device profile: GH200, H100, A100, V100, 3090Ti")
+	out := fs.String("out", ".", "directory for BENCH_<scenario>.json ('' = don't write)")
+	format := fs.String("format", "text", "stdout format: text (profiler report) or json")
+	list := fs.Bool("list", false, "list scenario names and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *list {
 		for _, sc := range batchzk.BenchScenarios() {
-			fmt.Printf("%-12s %s\n", sc.Name, sc.Title)
+			fmt.Fprintf(stdout, "%-12s %s\n", sc.Name, sc.Title)
 		}
-		return
+		return nil
 	}
 
 	sc, err := batchzk.BenchScenarioByName(*scenario)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	spec, err := batchzk.Device(*device)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	report, contrast, err := batchzk.BuildBenchReport(sc, spec)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	switch *format {
 	case "json":
-		if err := report.WriteJSON(os.Stdout); err != nil {
-			fatal(err)
+		if err := report.WriteJSON(stdout); err != nil {
+			return err
 		}
 	case "text":
-		fmt.Printf("scenario %s on %s (%d cores): %s\n\n", sc.Name, spec.Name, spec.Cores, sc.Title)
-		contrast.Render(os.Stdout)
+		fmt.Fprintf(stdout, "scenario %s on %s (%d cores): %s\n\n", sc.Name, spec.Name, spec.Cores, sc.Title)
+		contrast.Render(stdout)
 	default:
-		fatal(fmt.Errorf("unknown format %q (want text or json)", *format))
+		return fmt.Errorf("unknown format %q (want text or json)", *format)
 	}
 
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
-			fatal(fmt.Errorf("cannot create report directory %s: %w", *out, err))
+			return fmt.Errorf("cannot create report directory %s: %w", *out, err)
 		}
 		path := filepath.Join(*out, batchzk.BenchReportFileName(sc.Name))
 		f, err := os.Create(path)
 		if err != nil {
-			fatal(fmt.Errorf("cannot write report: %w", err))
+			return fmt.Errorf("cannot write report: %w", err)
 		}
 		werr := report.WriteJSON(f)
 		if cerr := f.Close(); werr == nil {
 			werr = cerr
 		}
 		if werr != nil {
-			fatal(fmt.Errorf("cannot write report %s: %w", path, werr))
+			return fmt.Errorf("cannot write report %s: %w", path, werr)
 		}
-		fmt.Fprintf(os.Stderr, "report written to %s\n", path)
+		fmt.Fprintf(stderr, "report written to %s\n", path)
 	}
+	return nil
 }
 
 // runCompare implements `batchzk-profile compare OLD NEW [-threshold F]`.
 // Exit codes: 0 clean, 1 regression found, 2 usage/IO error.
-func runCompare(args []string) int {
+func runCompare(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	threshold := fs.Float64("threshold", 0.10, "regression gate as a fraction (0.10 = 10%)")
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: batchzk-profile compare OLD.json NEW.json [-threshold 0.10]")
+		fmt.Fprintln(stderr, "usage: batchzk-profile compare OLD.json NEW.json [-threshold 0.10]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -115,27 +128,27 @@ func runCompare(args []string) int {
 	}
 	oldRep, err := readReportFile(files[0])
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "batchzk-profile:", err)
+		fmt.Fprintln(stderr, "batchzk-profile:", err)
 		return 2
 	}
 	newRep, err := readReportFile(files[1])
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "batchzk-profile:", err)
+		fmt.Fprintln(stderr, "batchzk-profile:", err)
 		return 2
 	}
 	regs, err := batchzk.CompareBenchReports(oldRep, newRep, *threshold)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "batchzk-profile:", err)
+		fmt.Fprintln(stderr, "batchzk-profile:", err)
 		return 2
 	}
 	if len(regs) == 0 {
-		fmt.Printf("compare %s: no regressions past %.0f%% (scenario %s)\n",
+		fmt.Fprintf(stdout, "compare %s: no regressions past %.0f%% (scenario %s)\n",
 			newRep.Scenario, *threshold*100, newRep.Scenario)
 		return 0
 	}
-	fmt.Printf("compare %s: %d regression(s) past %.0f%%\n", newRep.Scenario, len(regs), *threshold*100)
+	fmt.Fprintf(stdout, "compare %s: %d regression(s) past %.0f%%\n", newRep.Scenario, len(regs), *threshold*100)
 	for _, r := range regs {
-		fmt.Printf("  %-32s %.4g -> %.4g (%.1f%% worse)\n", r.Metric, r.Old, r.New, r.DeltaFrac*100)
+		fmt.Fprintf(stdout, "  %-32s %.4g -> %.4g (%.1f%% worse)\n", r.Metric, r.Old, r.New, r.DeltaFrac*100)
 	}
 	return 1
 }
@@ -151,9 +164,4 @@ func readReportFile(path string) (*batchzk.BenchReport, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return rep, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "batchzk-profile:", err)
-	os.Exit(1)
 }

@@ -79,7 +79,7 @@ func (b *bundle) read(r io.Reader) error {
 
 // proveToFile synthesizes the circuit, proves one random execution, and
 // writes the bundle.
-func proveToFile(gates int, seed int64, path string) error {
+func proveToFile(gates int, seed int64, path string, stdout io.Writer) error {
 	c, err := batchzk.RandomCircuit(gates, 2, 2, seed)
 	if err != nil {
 		return err
@@ -101,14 +101,14 @@ func proveToFile(gates int, seed int64, path string) error {
 	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s: %d-gate circuit (seed %d), proof bundle %d bytes\n",
+	fmt.Fprintf(stdout, "wrote %s: %d-gate circuit (seed %d), proof bundle %d bytes\n",
 		path, gates, seed, buf.Len())
 	return nil
 }
 
 // verifyFromFile re-derives the circuit from the bundle's recipe and
 // verifies the proof.
-func verifyFromFile(path string) error {
+func verifyFromFile(path string, stdout io.Writer) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -128,7 +128,7 @@ func verifyFromFile(path string) error {
 	if err := batchzk.Verify(c, params, b.Public, b.Proof); err != nil {
 		return err
 	}
-	fmt.Printf("verified %s: valid proof for the %d-gate circuit (seed %d), %d outputs\n",
+	fmt.Fprintf(stdout, "verified %s: valid proof for the %d-gate circuit (seed %d), %d outputs\n",
 		path, b.Gates, b.Seed, len(b.Proof.Outputs))
 	return nil
 }

@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -22,43 +23,54 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 {
-		switch os.Args[1] {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "batchzk:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	if len(args) > 0 {
+		switch args[0] {
 		case "prove":
-			fs := flag.NewFlagSet("prove", flag.ExitOnError)
+			fs := flag.NewFlagSet("prove", flag.ContinueOnError)
+			fs.SetOutput(stderr)
 			gates := fs.Int("gates", 256, "multiplication gates")
 			seed := fs.Int64("seed", 1, "circuit synthesis seed")
 			out := fs.String("out", "proof.bzk", "output bundle path")
-			fs.Parse(os.Args[2:])
-			if err := proveToFile(*gates, *seed, *out); err != nil {
-				fatal(err)
+			if err := fs.Parse(args[1:]); err != nil {
+				return err
 			}
-			return
+			return proveToFile(*gates, *seed, *out, stdout)
 		case "verify":
-			fs := flag.NewFlagSet("verify", flag.ExitOnError)
+			fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+			fs.SetOutput(stderr)
 			in := fs.String("in", "proof.bzk", "input bundle path")
-			fs.Parse(os.Args[2:])
-			if err := verifyFromFile(*in); err != nil {
-				fatal(err)
+			if err := fs.Parse(args[1:]); err != nil {
+				return err
 			}
-			return
+			return verifyFromFile(*in, stdout)
 		}
 	}
 
-	gates := flag.Int("gates", 256, "multiplication gates in the synthesized circuit (scale S)")
-	batch := flag.Int("batch", 8, "number of proofs to generate")
-	depth := flag.Int("depth", 4, "pipeline depth (proofs in flight)")
-	seed := flag.Int64("seed", 1, "circuit synthesis seed")
-	telemetryDir := flag.String("telemetry", "", "directory to dump telemetry (metrics.json, trace.json, spans.jsonl)")
-	debugAddr := flag.String("debug-addr", "", "serve /debug/vars, /debug/pprof and /debug/telemetry on this address")
-	flag.Parse()
+	fs := flag.NewFlagSet("batchzk", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	gates := fs.Int("gates", 256, "multiplication gates in the synthesized circuit (scale S)")
+	batch := fs.Int("batch", 8, "number of proofs to generate")
+	depth := fs.Int("depth", 4, "pipeline depth (proofs in flight)")
+	seed := fs.Int64("seed", 1, "circuit synthesis seed")
+	telemetryDir := fs.String("telemetry", "", "directory to dump telemetry (metrics.json, trace.json, spans.jsonl)")
+	debugAddr := fs.String("debug-addr", "", "serve /debug/vars, /debug/pprof and /debug/telemetry on this address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var sink *batchzk.TelemetrySink
 	if *telemetryDir != "" {
 		// Create the dump directory up front so a bad path fails before
 		// the run, not after it.
 		if err := os.MkdirAll(*telemetryDir, 0o755); err != nil {
-			fatal(fmt.Errorf("cannot create telemetry directory %s: %w", *telemetryDir, err))
+			return fmt.Errorf("cannot create telemetry directory %s: %w", *telemetryDir, err)
 		}
 	}
 	if *telemetryDir != "" || *debugAddr != "" {
@@ -68,24 +80,24 @@ func main() {
 	if *debugAddr != "" {
 		srv, err := batchzk.ServeTelemetryDebug(*debugAddr, sink)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("debug server on http://%s/debug/telemetry\n", srv.Addr)
+		fmt.Fprintf(stdout, "debug server on http://%s/debug/telemetry\n", srv.Addr)
 	}
 
 	c, err := batchzk.RandomCircuit(*gates, 2, 2, *seed)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	params, err := batchzk.Setup(c)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	prover, err := batchzk.NewBatchProver(c, params, *depth)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	fmt.Printf("circuit: %d mul gates, %d wires\n", c.NumMulGates(), c.NumWires())
+	fmt.Fprintf(stdout, "circuit: %d mul gates, %d wires\n", c.NumMulGates(), c.NumWires())
 
 	jobs := make([]batchzk.Job, *batch)
 	publics := make([][]batchzk.Element, *batch)
@@ -101,26 +113,22 @@ func main() {
 	verified := 0
 	for i, r := range results {
 		if r.Err != nil {
-			fatal(fmt.Errorf("job %d: %w", i, r.Err))
+			return fmt.Errorf("job %d: %w", i, r.Err)
 		}
 		if err := batchzk.Verify(c, params, publics[i], r.Proof); err != nil {
-			fatal(fmt.Errorf("job %d: %w", i, err))
+			return fmt.Errorf("job %d: %w", i, err)
 		}
 		verified++
 	}
-	fmt.Printf("generated and verified %d proofs in %v (%.2f proofs/s, pipeline depth %d)\n",
+	fmt.Fprintf(stdout, "generated and verified %d proofs in %v (%.2f proofs/s, pipeline depth %d)\n",
 		verified, elapsed.Round(time.Millisecond),
 		float64(verified)/elapsed.Seconds(), *depth)
 
 	if *telemetryDir != "" {
 		if err := sink.Dump(*telemetryDir); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("telemetry written to %s (load trace.json in chrome://tracing)\n", *telemetryDir)
+		fmt.Fprintf(stdout, "telemetry written to %s (load trace.json in chrome://tracing)\n", *telemetryDir)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "batchzk:", err)
-	os.Exit(1)
+	return nil
 }

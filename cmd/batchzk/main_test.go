@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func readFileT(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func writeFileT(t *testing.T, path string, data []byte) {
+	t.Helper()
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Smoke test for the batch-proving demo path: a tiny circuit and batch
+// should prove, verify, and report throughput without error.
+func TestRunBatchDemo(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{"-gates", "64", "-batch", "2", "-depth", "2"}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, errOut.String())
+	}
+	if !strings.Contains(out.String(), "generated and verified 2 proofs") {
+		t.Fatalf("missing success line in output:\n%s", out.String())
+	}
+}
+
+// prove writes a bundle that verify then accepts.
+func TestProveVerifyRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "proof.bzk")
+
+	var out bytes.Buffer
+	if err := run([]string{"prove", "-gates", "64", "-seed", "3", "-out", path}, &out, &out); err != nil {
+		t.Fatalf("prove: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "wrote "+path) {
+		t.Fatalf("prove output missing bundle path:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"verify", "-in", path}, &out, &out); err != nil {
+		t.Fatalf("verify: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "valid proof") {
+		t.Fatalf("verify output missing acceptance line:\n%s", out.String())
+	}
+}
+
+// A corrupted bundle must be rejected, not crash.
+func TestVerifyRejectsCorruptBundle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.bzk")
+	var out bytes.Buffer
+	if err := run([]string{"prove", "-gates", "64", "-out", path}, &out, &out); err != nil {
+		t.Fatalf("prove: %v", err)
+	}
+	data := readFileT(t, path)
+	data[len(data)-1] ^= 0xff
+	writeFileT(t, path, data)
+
+	out.Reset()
+	if err := run([]string{"verify", "-in", path}, &out, &out); err == nil {
+		t.Fatalf("verify accepted a corrupted bundle:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsUnknownFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-no-such-flag"}, &out, &out); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

@@ -6,29 +6,37 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"io"
+	"os"
 
 	"batchzk"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer) error {
 	// The function to prove: y = (x + w)·w − 3, with a public input x and
 	// a secret input w. The verifier learns y but nothing about w.
 	b := batchzk.NewCircuitBuilder()
 	x := b.PublicInput()
-	w := b.SecretInput()
-	sum := b.Add(x, w)
-	prod := b.Mul(sum, w)
+	wire := b.SecretInput()
+	sum := b.Add(x, wire)
+	prod := b.Mul(sum, wire)
 	y := b.Sub(prod, b.Const(batchzk.NewElement(3)))
 	b.Output(y)
 	circuit, err := b.Build()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	params, err := batchzk.Setup(circuit)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// Prove y = (4 + 6)·6 − 3 = 57 without revealing w = 6.
@@ -36,20 +44,21 @@ func main() {
 	secret := []batchzk.Element{batchzk.NewElement(6)}
 	proof, err := batchzk.Prove(circuit, params, public, secret)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("proved: y = %s (secret w stays hidden)\n", proof.Outputs[0].String())
+	fmt.Fprintf(w, "proved: y = %s (secret w stays hidden)\n", proof.Outputs[0].String())
 
 	if err := batchzk.Verify(circuit, params, public, proof); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println("verified: the proof is valid")
+	fmt.Fprintln(w, "verified: the proof is valid")
 
 	// A tampered claim must fail.
 	proof.Outputs[0] = batchzk.NewElement(58)
 	if err := batchzk.Verify(circuit, params, public, proof); err != nil {
-		fmt.Println("tampered proof rejected:", err)
+		fmt.Fprintln(w, "tampered proof rejected:", err)
 	} else {
-		log.Fatal("tampered proof was accepted!")
+		return fmt.Errorf("tampered proof was accepted")
 	}
+	return nil
 }

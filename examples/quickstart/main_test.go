@@ -1,0 +1,25 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The quickstart must prove, verify, and reject the tampered proof.
+func TestQuickstart(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out); err != nil {
+		t.Fatalf("run: %v\noutput: %s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"proved: y = 57",
+		"verified: the proof is valid",
+		"tampered proof rejected",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}

@@ -64,6 +64,12 @@ type Stats struct {
 	Failed     int64
 	QueueDepth int64
 	StageNs    [4]int64
+	// Resilience counters (see resilience.go): stage retries performed,
+	// jobs dead-lettered, deadline kills, and panics converted to errors.
+	Retries         int64
+	Quarantined     int64
+	Timeouts        int64
+	PanicsRecovered int64
 }
 
 // StageShare returns stage i's fraction of the total busy time.
@@ -90,6 +96,15 @@ type BatchProver struct {
 	inFlight  atomic.Int64
 	stageNs   [4]atomic.Int64
 
+	// Resilience state (see resilience.go).
+	res             *Resilience
+	retries         atomic.Int64
+	quarantinedN    atomic.Int64
+	timeouts        atomic.Int64
+	panicsRecovered atomic.Int64
+	qmu             sync.Mutex
+	quarantined     []QuarantinedJob
+
 	// tel overrides the process-wide telemetry sink when non-nil.
 	tel *telemetry.Sink
 }
@@ -104,6 +119,10 @@ func (bp *BatchProver) Stats() Stats {
 	for i := range s.StageNs {
 		s.StageNs[i] = bp.stageNs[i].Load()
 	}
+	s.Retries = bp.retries.Load()
+	s.Quarantined = bp.quarantinedN.Load()
+	s.Timeouts = bp.timeouts.Load()
+	s.PanicsRecovered = bp.panicsRecovered.Load()
 	return s
 }
 
@@ -123,6 +142,12 @@ type instruments struct {
 	inFlight  *telemetry.Gauge
 	completed *telemetry.Counter
 	failed    *telemetry.Counter
+	// Resilience instruments.
+	retries     *telemetry.Counter
+	quarantined *telemetry.Counter
+	timeouts    *telemetry.Counter
+	panics      *telemetry.Counter
+	backoff     *telemetry.Histogram
 }
 
 func (bp *BatchProver) instruments() instruments {
@@ -137,6 +162,11 @@ func (bp *BatchProver) instruments() instruments {
 	ins.inFlight = sink.Gauge("core/jobs/in_flight")
 	ins.completed = sink.Counter("core/jobs/completed")
 	ins.failed = sink.Counter("core/jobs/failed")
+	ins.retries = sink.Counter("core/jobs/retries")
+	ins.quarantined = sink.Counter("core/jobs/quarantined")
+	ins.timeouts = sink.Counter("core/jobs/timeouts")
+	ins.panics = sink.Counter("core/jobs/panics_recovered")
+	ins.backoff = sink.Histogram("core/job/retry_backoff_ns")
 	return ins
 }
 
@@ -212,16 +242,18 @@ func (bp *BatchProver) Run(jobs <-chan Job) <-chan Result {
 			bp.inFlight.Add(1)
 			ins.inFlight.Add(1)
 			m.job = ins.tracer.Begin("core", "job", 0, len(StageNames), job.ID)
-			bp.timeStage(0, ins, m.job.ID(), job.ID, func() {
+			job := job
+			bp.runStage(0, ins, &m, func() error {
 				w := job.Witness
 				var err error
 				if w == nil {
 					w, err = bp.c.Evaluate(job.Public, job.Secret)
 				}
-				if err == nil {
-					m.f, err = protocol.StartProof(bp.c, bp.p, w)
+				if err != nil {
+					return err
 				}
-				m.err = err
+				m.f, err = protocol.StartProof(bp.c, bp.p, w)
+				return err
 			})
 			m.enq = time.Now()
 			s1out <- m
@@ -234,9 +266,7 @@ func (bp *BatchProver) Run(jobs <-chan Job) <-chan Result {
 		defer close(s2out)
 		for m := range s1out {
 			ins.observeWait(m.enq)
-			if m.err == nil {
-				bp.timeStage(1, ins, m.job.ID(), m.id, func() { m.err = m.f.RunHadamard() })
-			}
+			bp.runStage(1, ins, &m, func() error { return m.f.RunHadamard() })
 			m.enq = time.Now()
 			s2out <- m
 		}
@@ -248,9 +278,7 @@ func (bp *BatchProver) Run(jobs <-chan Job) <-chan Result {
 		defer close(s3out)
 		for m := range s2out {
 			ins.observeWait(m.enq)
-			if m.err == nil {
-				bp.timeStage(2, ins, m.job.ID(), m.id, func() { m.err = m.f.RunLinear() })
-			}
+			bp.runStage(2, ins, &m, func() error { return m.f.RunLinear() })
 			m.enq = time.Now()
 			s3out <- m
 		}
@@ -268,23 +296,21 @@ func (bp *BatchProver) Run(jobs <-chan Job) <-chan Result {
 				ins.inFlight.Add(-1)
 				results <- r
 			}
+			var proof *protocol.Proof
+			bp.runStage(3, ins, &m, func() error {
+				var err error
+				proof, err = m.f.Finish()
+				return err
+			})
 			if m.err != nil {
 				bp.failed.Add(1)
 				ins.failed.Inc()
 				finish(Result{ID: m.id, Err: m.err})
 				continue
 			}
-			var proof *protocol.Proof
-			var err error
-			bp.timeStage(3, ins, m.job.ID(), m.id, func() { proof, err = m.f.Finish() })
-			if err != nil {
-				bp.failed.Add(1)
-				ins.failed.Inc()
-			} else {
-				bp.completed.Add(1)
-				ins.completed.Inc()
-			}
-			finish(Result{ID: m.id, Proof: proof, Err: err})
+			bp.completed.Add(1)
+			ins.completed.Inc()
+			finish(Result{ID: m.id, Proof: proof, Err: m.err})
 		}
 	}()
 	return results

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"batchzk/internal/faults"
+)
+
+// Failure semantics of the batch prover.
+//
+// The paper's service setting (§5 — proofs for millions of users) makes
+// the pipeline's behavior under faults as important as its throughput: a
+// single poisoned job or stalled stage must not wedge the stream. Every
+// stage execution therefore runs through runStage, which layers four
+// defenses over the raw stage work:
+//
+//   - panic recovery: a panicking stage worker (or an injected
+//     WorkerPanic fault) is converted into a job error instead of
+//     killing the pipeline;
+//   - bounded retries with exponential backoff: transient faults
+//     (kernel failures, transfer stalls, panics) are retried up to
+//     Retry.MaxAttempts times;
+//   - per-job deadlines: a job that exceeds JobDeadline wall time inside
+//     the pipeline (straggler latency spikes included) is cut off;
+//   - dead-letter quarantine: a job whose failure is permanent
+//     (memory corruption, exhausted retries, blown deadline, or a
+//     deterministic witness/protocol error) is quarantined — its Result
+//     carries the full error chain, a QuarantinedJob record is kept, and
+//     the pipeline moves on to the next job.
+//
+// All recovery actions are counted in Stats and mirrored to telemetry
+// (core/jobs/retries, core/jobs/quarantined, core/jobs/timeouts,
+// core/jobs/panics_recovered, core/job/retry_backoff_ns), so a chaos run
+// is fully reconcilable against the injector's ledger.
+
+// ErrJobDeadline marks a job cut off for exceeding its pipeline deadline.
+var ErrJobDeadline = errors.New("core: job deadline exceeded")
+
+// RetryPolicy bounds how transient stage failures are retried.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per stage (1 = no retry).
+	MaxAttempts int
+	// BaseBackoff is the wait before the first retry; each further retry
+	// doubles it (exponential backoff).
+	BaseBackoff time.Duration
+	// MaxBackoff caps the per-retry wait. Zero means 100·BaseBackoff.
+	MaxBackoff time.Duration
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// backoff returns the wait before retrying after the given 1-based
+// failed attempt: BaseBackoff·2^(attempt-1), capped at MaxBackoff.
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	base := p.BaseBackoff
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	max := p.MaxBackoff
+	if max <= 0 {
+		max = 100 * base
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// Resilience configures the batch prover's failure handling. The zero
+// configuration (a nil *Resilience) keeps the seed behavior — no
+// deadlines, no retries — except that stage panics are always recovered
+// into job errors.
+type Resilience struct {
+	// JobDeadline bounds a job's wall time inside the pipeline, measured
+	// from its dequeue by the commit stage. Zero disables deadlines.
+	JobDeadline time.Duration
+	// Retry bounds transient-failure retries per stage.
+	Retry RetryPolicy
+	// RetryAll also retries errors that are not injected faults. Off by
+	// default: the prover's real failure modes (bad witness, malformed
+	// job) are deterministic, and retrying them only delays quarantine.
+	RetryAll bool
+	// Injector, when set, injects deterministic faults into every stage
+	// attempt (see the faults package).
+	Injector *faults.Injector
+	// Sleep overrides time.Sleep for backoff and straggler delays —
+	// tests substitute a virtual clock. Nil means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// DefaultResilience returns the recommended service configuration:
+// 4 attempts per stage, 1 ms base backoff capped at 50 ms, no deadline.
+func DefaultResilience() *Resilience {
+	return &Resilience{
+		Retry: RetryPolicy{MaxAttempts: 4, BaseBackoff: time.Millisecond, MaxBackoff: 50 * time.Millisecond},
+	}
+}
+
+// SetResilience installs a failure-handling configuration. Call before
+// Run/ProveBatch; nil restores the default (quarantine-only) behavior.
+func (bp *BatchProver) SetResilience(r *Resilience) { bp.res = r }
+
+// quarantineCap bounds the dead-letter list so a pathological stream
+// cannot grow it without bound; the counters remain exact regardless.
+const quarantineCap = 1024
+
+// QuarantinedJob is one dead-letter record: a job the pipeline gave up
+// on, with the stage it died in, how many attempts were made, and the
+// full error chain (errors.Is/As reach the root cause, including any
+// injected fault and its class sentinel).
+type QuarantinedJob struct {
+	ID       int
+	Stage    string
+	Attempts int
+	Err      error
+}
+
+// Quarantined returns a copy of the dead-letter list (capped at
+// quarantineCap records; Stats().Quarantined counts all of them).
+func (bp *BatchProver) Quarantined() []QuarantinedJob {
+	bp.qmu.Lock()
+	defer bp.qmu.Unlock()
+	out := make([]QuarantinedJob, len(bp.quarantined))
+	copy(out, bp.quarantined)
+	return out
+}
+
+// sleep waits d, through the configured clock.
+func (bp *BatchProver) sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if res := bp.res; res != nil && res.Sleep != nil {
+		res.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// deadlineLeft returns a non-nil ErrJobDeadline-wrapping error when the
+// job has outlived its deadline.
+func (bp *BatchProver) deadlineLeft(m *stageMsg) error {
+	res := bp.res
+	if res == nil || res.JobDeadline <= 0 {
+		return nil
+	}
+	if lived := time.Since(m.started); lived > res.JobDeadline {
+		return fmt.Errorf("%w: job %d lived %v > %v", ErrJobDeadline, m.id, lived.Round(time.Microsecond), res.JobDeadline)
+	}
+	return nil
+}
+
+// attemptStage runs one try of stage i: consult the fault plan, then the
+// real work, converting panics into errors. Injected faults fire before
+// the stage work touches any state, so retrying an injected failure is
+// always sound; real (non-injected) errors are treated as deterministic
+// and are not retried unless RetryAll is set.
+func (bp *BatchProver) attemptStage(i int, ins instruments, m *stageMsg, attempt int, pending *[]*faults.Fault, work func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			bp.panicsRecovered.Add(1)
+			ins.panics.Inc()
+			if f, ok := r.(*faults.Fault); ok {
+				err = f
+			} else {
+				err = fmt.Errorf("core: stage %s panicked on job %d: %v", StageNames[i], m.id, r)
+			}
+		}
+	}()
+	if res := bp.res; res != nil && res.Injector != nil {
+		if f := res.Injector.Draw(StageNames[i], m.id, attempt); f != nil {
+			switch f.Class {
+			case faults.Straggler:
+				// The stage completes, but late. The fault stays pending
+				// until the stage outcome is known: the spike may blow
+				// the job's deadline, which quarantines it.
+				*pending = append(*pending, f)
+				bp.sleep(f.Delay)
+			case faults.WorkerPanic:
+				panic(f)
+			default:
+				return f
+			}
+		}
+	}
+	if err := bp.deadlineLeft(m); err != nil {
+		return err
+	}
+	return work()
+}
+
+// runStage drives stage i for one job to a terminal outcome: success, or
+// quarantine with an attributable error chain. It never lets a failure
+// escape as a panic or a stall — the message always continues down the
+// pipeline so the job's Result is emitted.
+func (bp *BatchProver) runStage(i int, ins instruments, m *stageMsg, work func() error) {
+	if m.err != nil {
+		return // already terminal from an earlier stage
+	}
+	res := bp.res
+	maxAttempts := 1
+	if res != nil {
+		maxAttempts = res.Retry.attempts()
+	}
+	var pending []*faults.Fault
+	for attempt := 1; ; attempt++ {
+		var err error
+		bp.timeStage(i, ins, m.job.ID(), m.id, func() {
+			err = bp.attemptStage(i, ins, m, attempt, &pending, work)
+		})
+		if err == nil {
+			for _, f := range pending {
+				f.MarkRecovered()
+			}
+			return
+		}
+		var f *faults.Fault
+		isFault := errors.As(err, &f)
+		if isFault && f != nil && !containsFault(pending, f) {
+			pending = append(pending, f)
+		}
+		retryable := false
+		switch {
+		case errors.Is(err, ErrJobDeadline):
+			// A blown deadline is terminal no matter what caused it.
+		case isFault:
+			retryable = !f.Permanent()
+		default:
+			retryable = res != nil && res.RetryAll
+		}
+		if !retryable || attempt >= maxAttempts {
+			bp.quarantine(ins, m, i, attempt, err, pending)
+			return
+		}
+		d := res.Retry.backoff(attempt)
+		bp.retries.Add(1)
+		ins.retries.Inc()
+		ins.backoff.Observe(d.Nanoseconds())
+		bp.sleep(d)
+	}
+}
+
+func containsFault(pending []*faults.Fault, f *faults.Fault) bool {
+	for _, p := range pending {
+		if p == f {
+			return true
+		}
+	}
+	return false
+}
+
+// quarantine records a terminal job failure: the message's error becomes
+// the full chain, every fault that contributed is resolved as
+// quarantined in the injector's ledger, and the dead-letter list and
+// counters are updated. The job still flows to the result stage, so the
+// stream never stalls on a poison job.
+func (bp *BatchProver) quarantine(ins instruments, m *stageMsg, stage, attempts int, err error, pending []*faults.Fault) {
+	m.err = fmt.Errorf("core: job %d quarantined at stage %s after %d attempt(s): %w",
+		m.id, StageNames[stage], attempts, err)
+	for _, f := range pending {
+		f.MarkQuarantined()
+	}
+	bp.quarantinedN.Add(1)
+	ins.quarantined.Inc()
+	if errors.Is(err, ErrJobDeadline) {
+		bp.timeouts.Add(1)
+		ins.timeouts.Inc()
+	}
+	bp.qmu.Lock()
+	if len(bp.quarantined) < quarantineCap {
+		bp.quarantined = append(bp.quarantined, QuarantinedJob{
+			ID: m.id, Stage: StageNames[stage], Attempts: attempts, Err: m.err,
+		})
+	}
+	bp.qmu.Unlock()
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"batchzk/internal/faults"
+	"batchzk/internal/field"
+	"batchzk/internal/telemetry"
+)
+
+// resilientProver builds a prover with a fast, virtual-clock retry policy:
+// backoff sleeps are recorded, not waited out.
+func resilientProver(t *testing.T, inj *faults.Injector) (*BatchProver, *Resilience) {
+	t.Helper()
+	c, p := testCircuit(t)
+	bp, err := NewBatchProver(c, p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := DefaultResilience()
+	res.Injector = inj
+	res.Sleep = func(time.Duration) {} // virtual clock: no real waiting
+	bp.SetResilience(res)
+	return bp, res
+}
+
+func resilienceJobs(n int) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{ID: i, Public: field.RandVector(2), Secret: field.RandVector(2)}
+	}
+	return jobs
+}
+
+func TestRetryRecoversTransientFault(t *testing.T) {
+	inj := faults.NewInjector(1)
+	inj.Force(faults.KernelFault, StageNames[1], 2, 1) // job 2, gate-sumcheck, attempt 1 only
+	bp, _ := resilientProver(t, inj)
+	results := bp.ProveBatch(resilienceJobs(4))
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %d failed despite retry: %v", r.ID, r.Err)
+		}
+	}
+	st := bp.Stats()
+	if st.Retries != 1 || st.Quarantined != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if ls := inj.Stats(); ls.Recovered != 1 || ls.Pending != 0 {
+		t.Fatalf("ledger: %+v", ls)
+	}
+}
+
+func TestPermanentFaultQuarantinesImmediately(t *testing.T) {
+	inj := faults.NewInjector(1)
+	inj.Force(faults.MemCorruption, StageNames[0], 1, 1)
+	bp, _ := resilientProver(t, inj)
+	results := bp.ProveBatch(resilienceJobs(3))
+	if results[1].Err == nil {
+		t.Fatal("corrupted job succeeded")
+	}
+	if !errors.Is(results[1].Err, faults.ErrMemCorruption) {
+		t.Fatalf("error chain does not reach ErrMemCorruption: %v", results[1].Err)
+	}
+	// The other jobs ride through untouched — no stall on the poison job.
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatalf("healthy jobs failed: %v / %v", results[0].Err, results[2].Err)
+	}
+	st := bp.Stats()
+	if st.Quarantined != 1 || st.Retries != 0 || st.Completed != 2 || st.Failed != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	q := bp.Quarantined()
+	if len(q) != 1 || q[0].ID != 1 || q[0].Stage != StageNames[0] || q[0].Attempts != 1 {
+		t.Fatalf("dead letters: %+v", q)
+	}
+	if ls := inj.Stats(); ls.Quarantined != 1 || ls.Pending != 0 {
+		t.Fatalf("ledger: %+v", ls)
+	}
+}
+
+func TestExhaustedRetriesQuarantine(t *testing.T) {
+	inj := faults.NewInjector(1)
+	bp, res := resilientProver(t, inj)
+	for attempt := 1; attempt <= res.Retry.MaxAttempts; attempt++ {
+		inj.Force(faults.KernelFault, StageNames[2], 0, attempt)
+	}
+	results := bp.ProveBatch(resilienceJobs(1))
+	if results[0].Err == nil {
+		t.Fatal("persistently faulty job succeeded")
+	}
+	if !errors.Is(results[0].Err, faults.ErrKernelFault) {
+		t.Fatalf("error chain does not reach ErrKernelFault: %v", results[0].Err)
+	}
+	st := bp.Stats()
+	if st.Retries != int64(res.Retry.MaxAttempts-1) || st.Quarantined != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	q := bp.Quarantined()
+	if len(q) != 1 || q[0].Attempts != res.Retry.MaxAttempts || q[0].Stage != StageNames[2] {
+		t.Fatalf("dead letters: %+v", q)
+	}
+	// All four drawn faults resolved as quarantined, none pending.
+	if ls := inj.Stats(); ls.Quarantined != res.Retry.MaxAttempts || ls.Pending != 0 {
+		t.Fatalf("ledger: %+v", ls)
+	}
+}
+
+func TestWorkerPanicRecovered(t *testing.T) {
+	inj := faults.NewInjector(1)
+	inj.Force(faults.WorkerPanic, StageNames[3], 1, 1) // transient: retry succeeds
+	bp, _ := resilientProver(t, inj)
+	results := bp.ProveBatch(resilienceJobs(2))
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", r.ID, r.Err)
+		}
+	}
+	st := bp.Stats()
+	if st.PanicsRecovered != 1 || st.Retries != 1 || st.Completed != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestNonFaultPanicBecomesError(t *testing.T) {
+	c, p := testCircuit(t)
+	bp, err := NewBatchProver(c, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No Resilience configured at all: panic recovery is still on. A job
+	// with mismatched public-input length makes Evaluate return an error,
+	// so provoke a real panic instead: nil InFlight via witness of wrong
+	// shape panics inside the protocol layer.
+	jobs := resilienceJobs(2)
+	jobs[0].Witness = make([]field.Element, 1) // wrong assignment size
+	results := bp.ProveBatch(jobs)
+	if results[0].Err == nil {
+		t.Fatal("malformed witness produced a proof")
+	}
+	if !strings.Contains(results[0].Err.Error(), "quarantined") {
+		t.Fatalf("error lacks quarantine framing: %v", results[0].Err)
+	}
+	if results[1].Err != nil {
+		t.Fatalf("healthy job failed: %v", results[1].Err)
+	}
+	if st := bp.Stats(); st.Quarantined != 1 || st.Completed != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestStragglerBlowsDeadline(t *testing.T) {
+	inj := faults.NewInjector(1)
+	inj.SetStragglerDelay(200*time.Millisecond, 200*time.Millisecond)
+	inj.Force(faults.Straggler, StageNames[1], 0, 1)
+	c, p := testCircuit(t)
+	bp, err := NewBatchProver(c, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := DefaultResilience()
+	res.Injector = inj
+	res.JobDeadline = 20 * time.Millisecond // straggler sleep alone blows it
+	bp.SetResilience(res)
+	results := bp.ProveBatch(resilienceJobs(1))
+	if results[0].Err == nil {
+		t.Fatal("job survived a 10x-deadline straggler")
+	}
+	if !errors.Is(results[0].Err, ErrJobDeadline) {
+		t.Fatalf("error chain does not reach ErrJobDeadline: %v", results[0].Err)
+	}
+	st := bp.Stats()
+	if st.Timeouts != 1 || st.Quarantined != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// The straggler fault itself resolves as quarantined: its latency
+	// spike is what killed the job.
+	if ls := inj.Stats(); ls.Quarantined != 1 || ls.Pending != 0 {
+		t.Fatalf("ledger: %+v", ls)
+	}
+}
+
+func TestStragglerWithinDeadlineRecovers(t *testing.T) {
+	inj := faults.NewInjector(1)
+	inj.SetStragglerDelay(time.Millisecond, time.Millisecond)
+	inj.Force(faults.Straggler, StageNames[2], 0, 1)
+	bp, _ := resilientProver(t, inj) // no deadline configured
+	results := bp.ProveBatch(resilienceJobs(1))
+	if results[0].Err != nil {
+		t.Fatal(results[0].Err)
+	}
+	if ls := inj.Stats(); ls.Recovered != 1 || ls.Pending != 0 {
+		t.Fatalf("ledger: %+v", ls)
+	}
+}
+
+func TestResilienceTelemetryCounters(t *testing.T) {
+	inj := faults.NewInjector(1)
+	inj.Force(faults.KernelFault, StageNames[1], 0, 1)
+	inj.Force(faults.MemCorruption, StageNames[0], 1, 1)
+	sink := telemetry.NewSink(0)
+	bp, _ := resilientProver(t, inj)
+	bp.SetTelemetry(sink)
+	bp.ProveBatch(resilienceJobs(2))
+	st := bp.Stats()
+	if got := sink.Counter("core/jobs/retries").Value(); got != st.Retries {
+		t.Fatalf("retries counter %d != stats %d", got, st.Retries)
+	}
+	if got := sink.Counter("core/jobs/quarantined").Value(); got != st.Quarantined {
+		t.Fatalf("quarantined counter %d != stats %d", got, st.Quarantined)
+	}
+	if st.Retries != 1 || st.Quarantined != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestRetryPolicyBackoff(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 5, BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond}
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond, 4 * time.Millisecond}
+	for i, w := range want {
+		if got := p.backoff(i + 1); got != w {
+			t.Fatalf("backoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	// Zero policy gets sane defaults.
+	z := RetryPolicy{}
+	if z.attempts() != 1 || z.backoff(1) != time.Millisecond {
+		t.Fatalf("zero policy: attempts=%d backoff=%v", z.attempts(), z.backoff(1))
+	}
+}

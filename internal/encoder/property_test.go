@@ -1,0 +1,101 @@
+package encoder
+
+import (
+	"math/rand"
+	"testing"
+
+	"batchzk/internal/field"
+)
+
+// Property tests of the Spielman encoder's linear-map structure across
+// every recursion depth (base-size through several matrix levels) — the
+// fixed-size linearity check in TestLinearity can miss a bug confined
+// to one level of the recursive construction.
+
+func seededMsg(rng *rand.Rand, n int) []field.Element {
+	out := make([]field.Element, n)
+	for i := range out {
+		var b [64]byte
+		rng.Read(b[:])
+		out[i].SetBytesWide(b[:])
+	}
+	return out
+}
+
+func TestLinearityAcrossSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, n := range []int{16, 32, 64, 256} { // base size upward
+		e := mustEncoder(t, n)
+		x := seededMsg(rng, n)
+		y := seededMsg(rng, n)
+		var a, b field.Element
+		a.SetUint64(rng.Uint64())
+		b.SetUint64(rng.Uint64())
+		comb := make([]field.Element, n)
+		var t1, t2 field.Element
+		for i := range comb {
+			t1.Mul(&a, &x[i])
+			t2.Mul(&b, &y[i])
+			comb[i].Add(&t1, &t2)
+		}
+		ec, err := e.Encode(comb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex, _ := e.Encode(x)
+		ey, _ := e.Encode(y)
+		for i := range ec {
+			t1.Mul(&a, &ex[i])
+			t2.Mul(&b, &ey[i])
+			t1.Add(&t1, &t2)
+			if !t1.Equal(&ec[i]) {
+				t.Fatalf("n=%d: encode(a·x+b·y) != a·encode(x)+b·encode(y) at %d", n, i)
+			}
+		}
+	}
+}
+
+// TestZeroMapsToZero: a linear code must send the zero message to the
+// zero codeword — any systematic offset would break it.
+func TestZeroMapsToZero(t *testing.T) {
+	for _, n := range []int{16, 64, 128} {
+		e := mustEncoder(t, n)
+		cw, err := e.Encode(make([]field.Element, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range cw {
+			if !cw[i].IsZero() {
+				t.Fatalf("n=%d: zero message has nonzero codeword symbol at %d", n, i)
+			}
+		}
+	}
+}
+
+// TestNegationAntisymmetry: encode(−x) = −encode(x), a cheap full-depth
+// probe of every matrix level at once.
+func TestNegationAntisymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	const n = 128
+	e := mustEncoder(t, n)
+	x := seededMsg(rng, n)
+	neg := make([]field.Element, n)
+	for i := range neg {
+		neg[i].Neg(&x[i])
+	}
+	cx, err := e.Encode(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn, err := e.Encode(neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want field.Element
+	for i := range cx {
+		want.Neg(&cx[i])
+		if !want.Equal(&cn[i]) {
+			t.Fatalf("encode(-x) != -encode(x) at %d", i)
+		}
+	}
+}

@@ -1,0 +1,424 @@
+// Package faults is the seeded, deterministic fault injector behind the
+// reproduction's resilience story. BatchZK positions batch proving as a
+// service — millions of users' proofs streaming through one pipeline —
+// and at that scale the interesting failures are not crashes but
+// stragglers, transient kernel faults, and poisoned jobs that would wedge
+// a naive pipeline. The injector lets the three execution layers
+// (gpusim devices, core.BatchProver stage workers, pipeline schedules)
+// rehearse those failures reproducibly:
+//
+//   - KernelFault      — a transient kernel-launch failure, retryable;
+//   - MemCorruption    — ECC-style uncorrectable device-memory corruption,
+//     permanent: the affected job must be quarantined, never retried;
+//   - TransferStall    — a PCIe/NVLink transfer stall or timeout, retryable;
+//   - WorkerPanic      — a stage-worker panic (host-side), recoverable;
+//   - Straggler        — a slow-straggler latency spike: the work succeeds
+//     but late, exercising deadlines.
+//
+// Determinism. Whether a fault fires at a site is a pure function of
+// (seed, class, stage, job, attempt) — never of goroutine scheduling or
+// wall time — so a chaos run replays bit-identically from its seed. Every
+// fired fault is recorded in a ledger together with its eventual outcome
+// (recovered or quarantined), which the chaos tests reconcile against the
+// prover's telemetry counters.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Class names one injectable fault class.
+type Class string
+
+// The five fault classes, in the priority order they are drawn (at most
+// one fault fires per site; the most severe class wins).
+const (
+	MemCorruption Class = "mem"
+	KernelFault   Class = "kernel"
+	TransferStall Class = "transfer"
+	WorkerPanic   Class = "panic"
+	Straggler     Class = "straggler"
+)
+
+// Classes lists every fault class in draw-priority order.
+func Classes() []Class {
+	return []Class{MemCorruption, KernelFault, TransferStall, WorkerPanic, Straggler}
+}
+
+// Per-class sentinel errors, so error chains stay attributable with
+// errors.Is through every wrapping layer.
+var (
+	ErrKernelFault   = errors.New("faults: transient kernel failure")
+	ErrMemCorruption = errors.New("faults: uncorrectable device-memory corruption")
+	ErrTransferStall = errors.New("faults: host-device transfer stall")
+	ErrWorkerPanic   = errors.New("faults: stage-worker panic")
+	ErrStraggler     = errors.New("faults: straggler latency spike")
+)
+
+func sentinel(c Class) error {
+	switch c {
+	case KernelFault:
+		return ErrKernelFault
+	case MemCorruption:
+		return ErrMemCorruption
+	case TransferStall:
+		return ErrTransferStall
+	case WorkerPanic:
+		return ErrWorkerPanic
+	case Straggler:
+		return ErrStraggler
+	}
+	return fmt.Errorf("faults: unknown class %q", c)
+}
+
+// Outcome is the resolution of one injected fault.
+type Outcome int
+
+// Fault outcomes. Every drawn fault must end Recovered or Quarantined —
+// the chaos tests assert no fault stays Pending and none is resolved
+// twice with conflicting outcomes.
+const (
+	Pending Outcome = iota
+	Recovered
+	Quarantined
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Recovered:
+		return "recovered"
+	case Quarantined:
+		return "quarantined"
+	default:
+		return "pending"
+	}
+}
+
+// Fault is one injected fault instance. It implements error (wrapping its
+// class sentinel) so it can travel through ordinary error chains.
+type Fault struct {
+	ID      int
+	Class   Class
+	Stage   string
+	Job     int
+	Attempt int
+	// Delay is the injected latency for Straggler faults.
+	Delay time.Duration
+
+	in *Injector
+}
+
+// Error renders the fault with its full site attribution.
+func (f *Fault) Error() string {
+	return fmt.Sprintf("%v (stage %s, job %d, attempt %d)", sentinel(f.Class), f.Stage, f.Job, f.Attempt)
+}
+
+// Unwrap exposes the class sentinel for errors.Is.
+func (f *Fault) Unwrap() error { return sentinel(f.Class) }
+
+// Permanent reports whether the fault must not be retried (the job is to
+// be quarantined immediately).
+func (f *Fault) Permanent() bool { return f.Class == MemCorruption }
+
+// MarkRecovered resolves the fault as recovered in the ledger.
+func (f *Fault) MarkRecovered() { f.in.resolve(f.ID, Recovered) }
+
+// MarkQuarantined resolves the fault as quarantined in the ledger.
+func (f *Fault) MarkQuarantined() { f.in.resolve(f.ID, Quarantined) }
+
+// Record is one ledger row: a drawn fault and its resolution.
+type Record struct {
+	Fault   Fault
+	Outcome Outcome
+}
+
+// Injector decides, deterministically from its seed, which faults fire at
+// which (stage, job, attempt) sites, and keeps the ledger of everything
+// it injected. All methods are safe for concurrent use.
+type Injector struct {
+	seed uint64
+
+	mu        sync.Mutex
+	rates     map[Class]float64
+	forced    map[siteKey]Class
+	ledger    []Record
+	conflicts int
+
+	stragglerMin time.Duration
+	stragglerMax time.Duration
+}
+
+type siteKey struct {
+	stage   string
+	job     int
+	attempt int
+}
+
+// NewInjector returns an injector with no classes enabled.
+func NewInjector(seed uint64) *Injector {
+	return &Injector{
+		seed:         seed,
+		rates:        make(map[Class]float64),
+		forced:       make(map[siteKey]Class),
+		stragglerMin: time.Millisecond,
+		stragglerMax: 5 * time.Millisecond,
+	}
+}
+
+// SetRate enables class c with firing probability rate per site (clamped
+// to [0, 1]). A rate of zero disables the class again.
+func (in *Injector) SetRate(c Class, rate float64) {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if rate == 0 {
+		delete(in.rates, c)
+		return
+	}
+	in.rates[c] = rate
+}
+
+// EnableAll enables every fault class at the same per-site rate.
+func (in *Injector) EnableAll(rate float64) {
+	for _, c := range Classes() {
+		in.SetRate(c, rate)
+	}
+}
+
+// SetStragglerDelay bounds the injected latency of Straggler faults; the
+// exact delay within [min, max] is derived deterministically per site.
+func (in *Injector) SetStragglerDelay(min, max time.Duration) {
+	if min < 0 {
+		min = 0
+	}
+	if max < min {
+		max = min
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.stragglerMin, in.stragglerMax = min, max
+}
+
+// Force schedules class c to fire unconditionally at one exact site,
+// regardless of rates — the scripted-fault hook unit tests use to hit a
+// specific recovery path.
+func (in *Injector) Force(c Class, stage string, job, attempt int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.forced[siteKey{stage, job, attempt}] = c
+}
+
+// splitmix64 is the finalizer scrambling a site hash into 64 uniform bits.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// siteHash folds a fault site into 64 bits, FNV-style, independent of map
+// order, goroutine scheduling, or wall time.
+func (in *Injector) siteHash(c Class, stage string, job, attempt int) uint64 {
+	const fnvOffset = 0xcbf29ce484222325
+	const fnvPrime = 0x100000001b3
+	h := uint64(fnvOffset) ^ in.seed
+	mix := func(b byte) { h = (h ^ uint64(b)) * fnvPrime }
+	for i := 0; i < len(c); i++ {
+		mix(c[i])
+	}
+	mix(0)
+	for i := 0; i < len(stage); i++ {
+		mix(stage[i])
+	}
+	mix(0)
+	for _, v := range [2]uint64{uint64(int64(job)), uint64(int64(attempt))} {
+		for s := 0; s < 64; s += 8 {
+			mix(byte(v >> s))
+		}
+	}
+	return splitmix64(h)
+}
+
+// Draw consults the plan for one execution site. At most one fault fires
+// per site: classes are evaluated in severity order (MemCorruption first)
+// and the first hit wins, which keeps the ledger accounting exact — every
+// failed attempt is attributable to exactly one fault. A nil injector
+// never fires.
+func (in *Injector) Draw(stage string, job, attempt int) *Fault {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if c, ok := in.forced[siteKey{stage, job, attempt}]; ok {
+		delete(in.forced, siteKey{stage, job, attempt})
+		return in.recordLocked(c, stage, job, attempt)
+	}
+	for _, c := range Classes() {
+		rate, ok := in.rates[c]
+		if !ok {
+			continue
+		}
+		h := in.siteHash(c, stage, job, attempt)
+		// Fire iff h < rate·2^64, i.e. with probability rate.
+		if float64(h) < rate*float64(1<<63)*2 {
+			return in.recordLocked(c, stage, job, attempt)
+		}
+	}
+	return nil
+}
+
+func (in *Injector) recordLocked(c Class, stage string, job, attempt int) *Fault {
+	f := Fault{
+		ID:      len(in.ledger),
+		Class:   c,
+		Stage:   stage,
+		Job:     job,
+		Attempt: attempt,
+		in:      in,
+	}
+	if c == Straggler {
+		span := in.stragglerMax - in.stragglerMin
+		d := in.stragglerMin
+		if span > 0 {
+			d += time.Duration(in.siteHash("delay/"+Class(c), stage, job, attempt) % uint64(span))
+		}
+		f.Delay = d
+	}
+	in.ledger = append(in.ledger, Record{Fault: f})
+	return &in.ledger[len(in.ledger)-1].Fault
+}
+
+func (in *Injector) resolve(id int, o Outcome) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if id < 0 || id >= len(in.ledger) {
+		return
+	}
+	r := &in.ledger[id]
+	switch {
+	case r.Outcome == Pending:
+		r.Outcome = o
+	case r.Outcome != o:
+		// Conflicting double resolution — a bookkeeping bug the chaos
+		// tests assert never happens.
+		in.conflicts++
+	}
+}
+
+// Ledger returns a copy of every drawn fault with its current outcome.
+func (in *Injector) Ledger() []Record {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]Record, len(in.ledger))
+	copy(out, in.ledger)
+	return out
+}
+
+// Conflicts reports how many faults were resolved twice with different
+// outcomes (must be zero in a correct run).
+func (in *Injector) Conflicts() int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.conflicts
+}
+
+// Stats summarizes the ledger per class and outcome.
+type Stats struct {
+	Injected    map[Class]int
+	Recovered   int
+	Quarantined int
+	Pending     int
+}
+
+// Stats tallies the ledger.
+func (in *Injector) Stats() Stats {
+	s := Stats{Injected: make(map[Class]int)}
+	for _, r := range in.Ledger() {
+		s.Injected[r.Fault.Class]++
+		switch r.Outcome {
+		case Recovered:
+			s.Recovered++
+		case Quarantined:
+			s.Quarantined++
+		default:
+			s.Pending++
+		}
+	}
+	return s
+}
+
+// Summary renders the ledger tallies in a stable order, e.g.
+// "kernel:3 straggler:2 | recovered:4 quarantined:1 pending:0".
+func (in *Injector) Summary() string {
+	s := in.Stats()
+	classes := make([]string, 0, len(s.Injected))
+	for c, n := range s.Injected {
+		classes = append(classes, fmt.Sprintf("%s:%d", c, n))
+	}
+	sort.Strings(classes)
+	if len(classes) == 0 {
+		classes = append(classes, "none")
+	}
+	return fmt.Sprintf("%s | recovered:%d quarantined:%d pending:%d",
+		strings.Join(classes, " "), s.Recovered, s.Quarantined, s.Pending)
+}
+
+// ParseSpec builds an injector from a textual chaos spec:
+//
+//	"all"                        every class at the default 10% rate
+//	"all=0.25"                   every class at 25%
+//	"kernel=0.2,straggler=0.05"  selected classes at explicit rates
+//	"panic"                      one class at the default rate
+//
+// The spec is case-insensitive; whitespace around entries is ignored.
+func ParseSpec(spec string, seed uint64) (*Injector, error) {
+	in := NewInjector(seed)
+	const defaultRate = 0.10
+	valid := make(map[Class]bool)
+	for _, c := range Classes() {
+		valid[c] = true
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(strings.ToLower(part))
+		if part == "" {
+			continue
+		}
+		name, rateStr, hasRate := strings.Cut(part, "=")
+		rate := defaultRate
+		if hasRate {
+			v, err := strconv.ParseFloat(rateStr, 64)
+			if err != nil || v < 0 || v > 1 {
+				return nil, fmt.Errorf("faults: bad rate %q in spec entry %q (want 0..1)", rateStr, part)
+			}
+			rate = v
+		}
+		if name == "all" {
+			in.EnableAll(rate)
+			continue
+		}
+		c := Class(name)
+		if !valid[c] {
+			return nil, fmt.Errorf("faults: unknown fault class %q (want mem, kernel, transfer, panic, straggler or all)", name)
+		}
+		in.SetRate(c, rate)
+	}
+	return in, nil
+}

@@ -1,0 +1,285 @@
+package faults
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDrawDeterminism pins the core property: the fault plan is a pure
+// function of (seed, class, stage, job, attempt), so two injectors with
+// the same seed and rates draw identical faults at identical sites.
+func TestDrawDeterminism(t *testing.T) {
+	a := NewInjector(42)
+	b := NewInjector(42)
+	a.EnableAll(0.3)
+	b.EnableAll(0.3)
+	for job := 0; job < 50; job++ {
+		for _, stage := range []string{"commit", "gate-sumcheck", "linear-sumcheck", "opening"} {
+			for attempt := 1; attempt <= 3; attempt++ {
+				fa := a.Draw(stage, job, attempt)
+				fb := b.Draw(stage, job, attempt)
+				if (fa == nil) != (fb == nil) {
+					t.Fatalf("divergent plan at (%s, %d, %d)", stage, job, attempt)
+				}
+				if fa != nil && (fa.Class != fb.Class || fa.Delay != fb.Delay) {
+					t.Fatalf("divergent fault at (%s, %d, %d): %v vs %v", stage, job, attempt, fa, fb)
+				}
+			}
+		}
+	}
+	if len(a.Ledger()) == 0 {
+		t.Fatal("no faults drawn at rate 0.3 over 600 sites")
+	}
+}
+
+// TestDrawOrderIndependence verifies the plan does not depend on the
+// order sites are visited — the property that makes chaos runs replay
+// identically under different goroutine schedules.
+func TestDrawOrderIndependence(t *testing.T) {
+	forward := NewInjector(7)
+	backward := NewInjector(7)
+	forward.EnableAll(0.25)
+	backward.EnableAll(0.25)
+	type site struct {
+		stage string
+		job   int
+	}
+	var sites []site
+	for job := 0; job < 40; job++ {
+		sites = append(sites, site{"commit", job}, site{"opening", job})
+	}
+	plan := make(map[site]Class)
+	for _, s := range sites {
+		if f := forward.Draw(s.stage, s.job, 1); f != nil {
+			plan[s] = f.Class
+		}
+	}
+	for i := len(sites) - 1; i >= 0; i-- {
+		s := sites[i]
+		f := backward.Draw(s.stage, s.job, 1)
+		want, fired := plan[s]
+		if (f == nil) == fired {
+			t.Fatalf("site %v: fired=%v in forward order, inverted in backward", s, fired)
+		}
+		if f != nil && f.Class != want {
+			t.Fatalf("site %v: class %s forward, %s backward", s, want, f.Class)
+		}
+	}
+}
+
+// TestRateZeroAndDisabled verifies a nil injector and a rate-0 class
+// never fire.
+func TestRateZeroAndDisabled(t *testing.T) {
+	var nilInj *Injector
+	if f := nilInj.Draw("commit", 0, 1); f != nil {
+		t.Fatal("nil injector fired")
+	}
+	in := NewInjector(1)
+	in.SetRate(KernelFault, 0.5)
+	in.SetRate(KernelFault, 0)
+	for job := 0; job < 200; job++ {
+		if f := in.Draw("commit", job, 1); f != nil {
+			t.Fatalf("disabled class fired at job %d", job)
+		}
+	}
+}
+
+// TestEmpiricalRate checks the firing frequency roughly matches the
+// configured rate (law of large numbers over 4000 deterministic sites).
+func TestEmpiricalRate(t *testing.T) {
+	in := NewInjector(99)
+	in.SetRate(KernelFault, 0.2)
+	fired := 0
+	const n = 4000
+	for job := 0; job < n; job++ {
+		if in.Draw("stage", job, 1) != nil {
+			fired++
+		}
+	}
+	got := float64(fired) / n
+	if math.Abs(got-0.2) > 0.03 {
+		t.Fatalf("empirical rate %.3f, want 0.2±0.03", got)
+	}
+}
+
+// TestSeverityPriority: when two classes would both fire at a site, the
+// more severe one (earlier in Classes()) wins, so each failed attempt is
+// attributable to exactly one fault.
+func TestSeverityPriority(t *testing.T) {
+	in := NewInjector(5)
+	in.EnableAll(1.0) // every class always fires
+	f := in.Draw("commit", 0, 1)
+	if f == nil || f.Class != MemCorruption {
+		t.Fatalf("got %v, want MemCorruption (highest severity)", f)
+	}
+	if len(in.Ledger()) != 1 {
+		t.Fatalf("ledger has %d entries, want 1 per site", len(in.Ledger()))
+	}
+}
+
+// TestForce schedules an unconditional fault at an exact site and checks
+// it fires exactly once, there and only there.
+func TestForce(t *testing.T) {
+	in := NewInjector(3) // no rates: only the forced site can fire
+	in.Force(WorkerPanic, "opening", 7, 2)
+	if f := in.Draw("opening", 7, 1); f != nil {
+		t.Fatalf("fired on wrong attempt: %v", f)
+	}
+	f := in.Draw("opening", 7, 2)
+	if f == nil || f.Class != WorkerPanic {
+		t.Fatalf("forced fault = %v, want WorkerPanic", f)
+	}
+	if g := in.Draw("opening", 7, 2); g != nil {
+		t.Fatalf("forced fault fired twice: %v", g)
+	}
+}
+
+// TestErrorChainAttribution verifies faults behave as errors: errors.Is
+// reaches the class sentinel and errors.As recovers the fault with its
+// site fields through wrapping.
+func TestErrorChainAttribution(t *testing.T) {
+	in := NewInjector(1)
+	in.Force(MemCorruption, "commit", 3, 1)
+	f := in.Draw("commit", 3, 1)
+	wrapped := errorsWrap(errorsWrap(f))
+	if !errors.Is(wrapped, ErrMemCorruption) {
+		t.Fatal("errors.Is lost the class sentinel through wrapping")
+	}
+	var got *Fault
+	if !errors.As(wrapped, &got) {
+		t.Fatal("errors.As lost the fault")
+	}
+	if got.Job != 3 || got.Stage != "commit" || !got.Permanent() {
+		t.Fatalf("attribution lost: %+v", got)
+	}
+}
+
+func errorsWrap(err error) error {
+	return &wrapErr{err}
+}
+
+type wrapErr struct{ err error }
+
+func (w *wrapErr) Error() string { return "layer: " + w.err.Error() }
+func (w *wrapErr) Unwrap() error { return w.err }
+
+// TestOutcomeLedger checks resolution bookkeeping: single resolutions
+// stick, repeated identical resolutions are idempotent, and conflicting
+// ones are counted.
+func TestOutcomeLedger(t *testing.T) {
+	in := NewInjector(1)
+	in.Force(KernelFault, "s", 0, 1)
+	in.Force(TransferStall, "s", 1, 1)
+	a := in.Draw("s", 0, 1)
+	b := in.Draw("s", 1, 1)
+	a.MarkRecovered()
+	a.MarkRecovered() // idempotent
+	b.MarkQuarantined()
+	st := in.Stats()
+	if st.Recovered != 1 || st.Quarantined != 1 || st.Pending != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if in.Conflicts() != 0 {
+		t.Fatalf("conflicts = %d after idempotent marks", in.Conflicts())
+	}
+	b.MarkRecovered() // conflicting
+	if in.Conflicts() != 1 {
+		t.Fatalf("conflicts = %d, want 1", in.Conflicts())
+	}
+}
+
+// TestStragglerDelayDeterministicAndBounded: delays derive from the site
+// hash and stay within the configured bounds.
+func TestStragglerDelayDeterministicAndBounded(t *testing.T) {
+	min, max := 2*time.Millisecond, 9*time.Millisecond
+	mk := func() []time.Duration {
+		in := NewInjector(11)
+		in.SetRate(Straggler, 1)
+		in.SetStragglerDelay(min, max)
+		var ds []time.Duration
+		for job := 0; job < 20; job++ {
+			f := in.Draw("s", job, 1)
+			if f == nil || f.Class != Straggler {
+				t.Fatalf("job %d: %v", job, f)
+			}
+			if f.Delay < min || f.Delay > max {
+				t.Fatalf("delay %v outside [%v, %v]", f.Delay, min, max)
+			}
+			ds = append(ds, f.Delay)
+		}
+		return ds
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delay %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestParseSpec covers the chaos-spec grammar and its error cases.
+func TestParseSpec(t *testing.T) {
+	in, err := ParseSpec("all=0.5", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := in.Draw("s", 0, 1); f == nil {
+		// With every class at 0.5 the site fires with p = 1-(1/2)^5.
+		// Scan a few sites; at least one must fire.
+		fired := false
+		for job := 1; job < 20 && !fired; job++ {
+			fired = in.Draw("s", job, 1) != nil
+		}
+		if !fired {
+			t.Fatal("all=0.5 never fired over 20 sites")
+		}
+	}
+	if _, err := ParseSpec("kernel=0.2, straggler=0.05", 1); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	if _, err := ParseSpec("PANIC", 1); err != nil {
+		t.Fatalf("case-insensitive class rejected: %v", err)
+	}
+	for _, bad := range []string{"bogus", "kernel=2", "kernel=-1", "kernel=x"} {
+		if _, err := ParseSpec(bad, 1); err == nil {
+			t.Fatalf("spec %q accepted", bad)
+		}
+	}
+}
+
+// TestConcurrentDrawSafety hammers Draw and resolution from many
+// goroutines under -race.
+func TestConcurrentDrawSafety(t *testing.T) {
+	in := NewInjector(123)
+	in.EnableAll(0.5)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for job := 0; job < 100; job++ {
+				if f := in.Draw("s", g*100+job, 1); f != nil {
+					if job%2 == 0 {
+						f.MarkRecovered()
+					} else {
+						f.MarkQuarantined()
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := in.Stats()
+	if st.Pending != 0 {
+		t.Fatalf("%d faults left pending", st.Pending)
+	}
+	if in.Conflicts() != 0 {
+		t.Fatalf("conflicts = %d", in.Conflicts())
+	}
+	if in.Summary() == "" {
+		t.Fatal("empty summary")
+	}
+}

@@ -1,0 +1,147 @@
+package gpusim
+
+import (
+	"fmt"
+
+	"batchzk/internal/faults"
+	"batchzk/internal/telemetry"
+)
+
+// Fault modelling: when Options.Faults carries an injector, every
+// (stage, task) kernel launch of a simulated run is consulted against the
+// deterministic fault plan, and the run's timing and outcome reflect what
+// a real device would do:
+//
+//   - KernelFault / WorkerPanic — the launch fails transiently and is
+//     retried (re-paying the stage time plus launch overhead), up to
+//     launchRetryBudget attempts; a fault that persists through the whole
+//     budget aborts the run with a LaunchError.
+//   - TransferStall — the launch's host↔device traffic stalls; the run
+//     pays a stall penalty proportional to the stage's transfer time.
+//   - Straggler — the launch completes but late, paying one extra stage
+//     time (a 2× latency spike on that slot).
+//   - MemCorruption — an uncorrectable ECC error poisons the task's
+//     device buffers; the run aborts immediately with a LaunchError whose
+//     chain reaches faults.ErrMemCorruption (on real hardware this kills
+//     the CUDA context).
+//
+// The walk is deterministic: the same injector seed replays the same
+// faults at the same launches regardless of scheduling.
+
+// launchRetryBudget bounds how many times one launch is retried before
+// the run gives up on it.
+const launchRetryBudget = 3
+
+// FaultStats summarizes the injected-fault activity of one simulated run.
+type FaultStats struct {
+	// Injected counts every fault drawn during the run.
+	Injected int `json:"injected"`
+	// KernelRetries counts transient launch failures that were retried.
+	KernelRetries int `json:"kernel_retries"`
+	// TransferStalls counts stalled host↔device transfers.
+	TransferStalls int `json:"transfer_stalls"`
+	// Stragglers counts slow-straggler latency spikes.
+	Stragglers int `json:"stragglers"`
+	// ExtraNs is the total simulated time added by recovery actions.
+	ExtraNs float64 `json:"extra_ns"`
+}
+
+// LaunchError reports a kernel launch the simulated device could not
+// recover: an uncorrectable memory corruption, or a transient fault that
+// persisted through the whole retry budget. It wraps the injected fault,
+// so errors.Is reaches the class sentinel.
+type LaunchError struct {
+	Scheme string
+	Stage  string
+	Task   int
+	Err    error
+}
+
+func (e *LaunchError) Error() string {
+	return fmt.Sprintf("gpusim: %s launch failed (stage %s, task %d): %v", e.Scheme, e.Stage, e.Task, e.Err)
+}
+
+func (e *LaunchError) Unwrap() error { return e.Err }
+
+// applyFaults walks every (stage, task) launch consulting the injector
+// and returns the run's fault accounting, or a LaunchError when a launch
+// could not be recovered. stageNs holds the per-stage slot time the
+// retry/straggler penalties re-pay.
+func applyFaults(inj *faults.Injector, spec DeviceSpec, scheme string, stages []Stage, stageNs []float64, tasks int, tel *telemetry.Sink) (FaultStats, error) {
+	var fs FaultStats
+	for task := 0; task < tasks; task++ {
+		for i := range stages {
+			// Site names carry the stage index: several stages share a
+			// name (e.g. merkle/layer), and each must draw independently.
+			site := fmt.Sprintf("%s/%s#%d", scheme, stages[i].Name, i)
+			var pending []*faults.Fault
+			recovered := false
+			for attempt := 1; attempt <= launchRetryBudget && !recovered; attempt++ {
+				f := inj.Draw(site, task, attempt)
+				if f == nil {
+					recovered = true
+					break
+				}
+				fs.Injected++
+				switch f.Class {
+				case faults.MemCorruption:
+					// Uncorrectable: poisoned device buffers end the run.
+					f.MarkQuarantined()
+					markAll(pending, faults.Quarantined)
+					emitFaultMetrics(tel, fs)
+					return fs, &LaunchError{Scheme: scheme, Stage: stages[i].Name, Task: task, Err: f}
+				case faults.TransferStall:
+					// The transfer completes after a stall: 4× the stage's
+					// link time plus a timeout floor of one kernel launch.
+					stall := 4*(stages[i].HostBytesIn+stages[i].HostBytesOut)/spec.LinkGBs + spec.KernelLaunchNs
+					fs.TransferStalls++
+					fs.ExtraNs += stall
+					f.MarkRecovered()
+					recovered = true
+				case faults.Straggler:
+					// The slot completes at 2× its budgeted time.
+					fs.Stragglers++
+					fs.ExtraNs += stageNs[i]
+					f.MarkRecovered()
+					recovered = true
+				default: // KernelFault, WorkerPanic: transient launch failure
+					fs.KernelRetries++
+					fs.ExtraNs += stageNs[i] + spec.KernelLaunchNs
+					pending = append(pending, f)
+				}
+			}
+			if !recovered {
+				// The transient fault persisted through the retry budget.
+				markAll(pending, faults.Quarantined)
+				last := pending[len(pending)-1]
+				emitFaultMetrics(tel, fs)
+				return fs, &LaunchError{Scheme: scheme, Stage: stages[i].Name, Task: task,
+					Err: fmt.Errorf("persisted through %d attempts: %w", launchRetryBudget, last)}
+			}
+			markAll(pending, faults.Recovered)
+		}
+	}
+	emitFaultMetrics(tel, fs)
+	return fs, nil
+}
+
+func markAll(pending []*faults.Fault, o faults.Outcome) {
+	for _, f := range pending {
+		if o == faults.Quarantined {
+			f.MarkQuarantined()
+		} else {
+			f.MarkRecovered()
+		}
+	}
+}
+
+func emitFaultMetrics(tel *telemetry.Sink, fs FaultStats) {
+	if tel == nil || fs.Injected == 0 {
+		return
+	}
+	tel.Counter("gpusim/faults/injected").Add(int64(fs.Injected))
+	tel.Counter("gpusim/faults/kernel_retries").Add(int64(fs.KernelRetries))
+	tel.Counter("gpusim/faults/transfer_stalls").Add(int64(fs.TransferStalls))
+	tel.Counter("gpusim/faults/stragglers").Add(int64(fs.Stragglers))
+	tel.Histogram("gpusim/faults/extra_ns").Observe(int64(fs.ExtraNs))
+}

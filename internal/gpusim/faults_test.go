@@ -1,0 +1,176 @@
+package gpusim
+
+import (
+	"errors"
+	"testing"
+
+	"batchzk/internal/faults"
+	"batchzk/internal/telemetry"
+)
+
+func faultTestSpec() DeviceSpec {
+	return DeviceSpec{
+		Name: "fault-test", Cores: 1024, ClockGHz: 1.0,
+		MemBandwidthGBs: 100, LinkGBs: 10,
+		DeviceMemBytes: 1 << 30, KernelLaunchNs: 1000, SIMDWidth: 32,
+	}
+}
+
+func faultTestStages() []Stage {
+	return []Stage{
+		{Name: "encode", WorkOps: 4096, CyclesPerOp: 4, HostBytesIn: 4096},
+		{Name: "hash", WorkOps: 2048, CyclesPerOp: 8},
+		{Name: "open", WorkOps: 1024, CyclesPerOp: 4, HostBytesOut: 2048},
+	}
+}
+
+// TestFaultFreeRunUnchanged: a configured injector with no enabled
+// classes must not perturb the report at all.
+func TestFaultFreeRunUnchanged(t *testing.T) {
+	spec, stages := faultTestSpec(), faultTestStages()
+	clean, err := RunPipelined(spec, stages, 64, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.NewInjector(1) // no rates set: plan is empty
+	faulty, err := RunPipelined(spec, stages, 64, Options{Faults: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.TotalNs != faulty.TotalNs || faulty.Faults.Injected != 0 {
+		t.Fatalf("empty plan perturbed the run: %v vs %v (faults %+v)",
+			clean.TotalNs, faulty.TotalNs, faulty.Faults)
+	}
+}
+
+// TestTransientFaultsStretchRun: retryable classes (kernel, transfer,
+// straggler) slow the run down, deterministically, without failing it.
+func TestTransientFaultsStretchRun(t *testing.T) {
+	spec, stages := faultTestSpec(), faultTestStages()
+	run := func() *Report {
+		inj := faults.NewInjector(7)
+		inj.SetRate(faults.KernelFault, 0.10)
+		inj.SetRate(faults.TransferStall, 0.10)
+		inj.SetRate(faults.Straggler, 0.10)
+		rep, err := RunPipelined(spec, stages, 128, Options{Faults: inj})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every drawn fault must be resolved in the ledger.
+		if st := inj.Stats(); st.Pending != 0 || inj.Conflicts() != 0 {
+			t.Fatalf("ledger not reconciled: %+v conflicts=%d", st, inj.Conflicts())
+		}
+		return rep
+	}
+	clean, err := RunPipelined(spec, stages, 128, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := run(), run()
+	if a.Faults.Injected == 0 {
+		t.Fatal("no faults injected at 10% rates over 128 tasks x 3 stages")
+	}
+	if a.TotalNs <= clean.TotalNs {
+		t.Fatalf("faulty run not slower: %v <= %v", a.TotalNs, clean.TotalNs)
+	}
+	if a.TotalNs != b.TotalNs || a.Faults != b.Faults {
+		t.Fatalf("same seed, different runs: %+v vs %+v", a.Faults, b.Faults)
+	}
+	if a.Faults.ExtraNs <= 0 || a.TotalNs != clean.TotalNs+a.Faults.ExtraNs {
+		t.Fatalf("extra time not accounted: clean=%v faulty=%v extra=%v",
+			clean.TotalNs, a.TotalNs, a.Faults.ExtraNs)
+	}
+}
+
+// TestMemCorruptionAbortsWithAttribution: an uncorrectable ECC fault ends
+// the run with a LaunchError that names the launch and chains to the
+// class sentinel.
+func TestMemCorruptionAbortsWithAttribution(t *testing.T) {
+	spec, stages := faultTestSpec(), faultTestStages()
+	inj := faults.NewInjector(3)
+	inj.Force(faults.MemCorruption, "pipelined/hash#1", 5, 1)
+	_, err := RunPipelined(spec, stages, 64, Options{Faults: inj})
+	if err == nil {
+		t.Fatal("corrupted run succeeded")
+	}
+	var le *LaunchError
+	if !errors.As(err, &le) {
+		t.Fatalf("error %v is not a LaunchError", err)
+	}
+	if le.Stage != "hash" || le.Task != 5 || le.Scheme != "pipelined" {
+		t.Fatalf("bad attribution: %+v", le)
+	}
+	if !errors.Is(err, faults.ErrMemCorruption) {
+		t.Fatal("chain does not reach ErrMemCorruption")
+	}
+	st := inj.Stats()
+	if st.Quarantined != 1 || st.Pending != 0 {
+		t.Fatalf("ledger: %+v", st)
+	}
+}
+
+// TestPersistentKernelFaultExhaustsBudget: a kernel fault forced on every
+// attempt of one launch exhausts the retry budget and aborts.
+func TestPersistentKernelFaultExhaustsBudget(t *testing.T) {
+	spec, stages := faultTestSpec(), faultTestStages()
+	inj := faults.NewInjector(3)
+	for attempt := 1; attempt <= launchRetryBudget; attempt++ {
+		inj.Force(faults.KernelFault, "naive/encode#0", 2, attempt)
+	}
+	_, err := RunNaive(spec, stages, 16, 256, Options{Faults: inj})
+	if err == nil {
+		t.Fatal("persistent fault did not abort the run")
+	}
+	if !errors.Is(err, faults.ErrKernelFault) {
+		t.Fatalf("chain does not reach ErrKernelFault: %v", err)
+	}
+	st := inj.Stats()
+	if st.Quarantined != launchRetryBudget || st.Pending != 0 {
+		t.Fatalf("ledger: %+v", st)
+	}
+}
+
+// TestRecoveredKernelFaultRetries: a single transient kernel fault is
+// retried and the run completes, paying the retry in time.
+func TestRecoveredKernelFaultRetries(t *testing.T) {
+	spec, stages := faultTestSpec(), faultTestStages()
+	inj := faults.NewInjector(3)
+	inj.Force(faults.KernelFault, "pipelined/encode#0", 0, 1)
+	rep, err := RunPipelined(spec, stages, 16, Options{Faults: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Faults.KernelRetries != 1 || rep.Faults.Injected != 1 {
+		t.Fatalf("faults: %+v", rep.Faults)
+	}
+	st := inj.Stats()
+	if st.Recovered != 1 {
+		t.Fatalf("ledger: %+v", st)
+	}
+}
+
+// TestFaultTelemetryCounters: the recovery actions surface in the sink's
+// counters, matching the report's own accounting.
+func TestFaultTelemetryCounters(t *testing.T) {
+	spec, stages := faultTestSpec(), faultTestStages()
+	inj := faults.NewInjector(4)
+	inj.SetRate(faults.KernelFault, 0.15)
+	inj.SetRate(faults.Straggler, 0.15)
+	sink := telemetry.NewSink(0)
+	rep, err := RunNaive(spec, stages, 64, 256, Options{Faults: inj, Telemetry: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Faults.Injected == 0 {
+		t.Fatal("no faults injected")
+	}
+	if got := sink.Counter("gpusim/faults/injected").Value(); got != int64(rep.Faults.Injected) {
+		t.Fatalf("injected counter = %d, report says %d", got, rep.Faults.Injected)
+	}
+	if got := sink.Counter("gpusim/faults/kernel_retries").Value(); got != int64(rep.Faults.KernelRetries) {
+		t.Fatalf("kernel_retries counter = %d, report says %d", got, rep.Faults.KernelRetries)
+	}
+	if got := sink.Counter("gpusim/faults/stragglers").Value(); got != int64(rep.Faults.Stragglers) {
+		t.Fatalf("stragglers counter = %d, report says %d", got, rep.Faults.Stragglers)
+	}
+}

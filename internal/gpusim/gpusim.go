@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"math"
 
+	"batchzk/internal/faults"
 	"batchzk/internal/telemetry"
 )
 
@@ -141,6 +142,9 @@ type Report struct {
 	Stages []StageRecord
 	// Utilization trace: fraction of device cores busy over time.
 	Trace []UtilSample
+	// Faults is the injected-fault accounting of the run (all zero when
+	// no injector was configured).
+	Faults FaultStats
 }
 
 // StageRecord is the per-stage accounting of one run: where the stage's
@@ -222,6 +226,12 @@ type Options struct {
 	// the run into the given sink; when nil, the process-wide sink
 	// installed via telemetry.Enable is used, if any.
 	Telemetry *telemetry.Sink
+	// Faults, when set, injects deterministic device faults into the run:
+	// every (stage, task) launch is consulted against the injector's plan
+	// and the report's timing and FaultStats reflect the recovery actions
+	// (see faults.go). Unrecoverable faults abort the run with a
+	// LaunchError.
+	Faults *faults.Injector
 }
 
 func (o Options) threads(spec DeviceSpec) int {
@@ -330,6 +340,17 @@ func RunPipelined(spec DeviceSpec, stages []Stage, tasks int, opts Options) (*Re
 		PeakDeviceBytes:   peak,
 		Concurrency:       len(stages),
 		Stages:            records,
+	}
+
+	// Injected device faults: every launch consults the plan; recovery
+	// time stretches the run, unrecoverable faults abort it.
+	if opts.Faults != nil {
+		fs, err := applyFaults(opts.Faults, spec, "pipelined", stages, stageNs, tasks, telemetry.Resolve(opts.Telemetry))
+		if err != nil {
+			return nil, err
+		}
+		rep.Faults = fs
+		rep.TotalNs += fs.ExtraNs
 	}
 
 	// Utilization trace: ramp-up as the pipeline fills, full-occupancy
@@ -449,6 +470,15 @@ func RunNaive(spec DeviceSpec, stages []Stage, tasks, threadsPerTask int, opts O
 		PeakDeviceBytes:   peak,
 		Concurrency:       k,
 		Stages:            records,
+	}
+
+	if opts.Faults != nil {
+		fs, err := applyFaults(opts.Faults, spec, "naive", stages, roundNs, tasks, telemetry.Resolve(opts.Telemetry))
+		if err != nil {
+			return nil, err
+		}
+		rep.Faults = fs
+		rep.TotalNs += fs.ExtraNs
 	}
 
 	if cap := traceCap(opts); cap > 0 {

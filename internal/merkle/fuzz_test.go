@@ -1,0 +1,75 @@
+package merkle
+
+import (
+	"testing"
+
+	"batchzk/internal/sha2"
+)
+
+// FuzzOpeningProofVerify builds a tree from fuzzer-shaped leaves, opens
+// a leaf, and checks that verification accepts exactly the honest proof:
+// any single-bit corruption of the leaf, a sibling, or the root must be
+// rejected, and an honest proof must never be rejected. (Index
+// corruption is deliberately not asserted: with duplicated leaves two
+// indices can legitimately share an authentication path.)
+func FuzzOpeningProofVerify(f *testing.F) {
+	f.Add([]byte("one block of leaf data for the merkle tree......"), uint16(0), uint16(3))
+	f.Add([]byte{}, uint16(5), uint16(100))
+	f.Add([]byte{0xab}, uint16(1), uint16(0))
+	f.Fuzz(func(t *testing.T, data []byte, leafSel, flipSel uint16) {
+		// Shape the raw bytes into 64-byte blocks, at least one, padded
+		// to a power of two the way the commitment layer does.
+		blocks := make([]Block, len(data)/sha2.BlockSize+1)
+		for i := range blocks {
+			copy(blocks[i][:], data[i*sha2.BlockSize:])
+		}
+		blocks = PadBlocks(blocks)
+		tree, err := Build(blocks)
+		if err != nil {
+			t.Fatalf("Build rejected padded blocks: %v", err)
+		}
+		root := tree.Root()
+
+		idx := int(leafSel) % tree.NumLeaves()
+		proof, err := tree.Prove(idx)
+		if err != nil {
+			t.Fatalf("Prove(%d) of %d leaves: %v", idx, tree.NumLeaves(), err)
+		}
+		if !Verify(root, proof) {
+			t.Fatalf("honest proof for leaf %d rejected", idx)
+		}
+
+		// One bit flip anywhere in the authentication data must break it.
+		flipBit := func(d *sha2.Digest, sel uint16) {
+			d[int(sel)%len(d)] ^= 1 << (sel % 8)
+		}
+		leafCopy := *proof
+		flipBit(&leafCopy.Leaf, flipSel)
+		if Verify(root, &leafCopy) {
+			t.Fatal("proof with corrupted leaf verified")
+		}
+		if len(proof.Siblings) > 0 {
+			sibCopy := *proof
+			sibCopy.Siblings = append([]sha2.Digest{}, proof.Siblings...)
+			flipBit(&sibCopy.Siblings[int(flipSel)%len(sibCopy.Siblings)], flipSel)
+			if Verify(root, &sibCopy) {
+				t.Fatal("proof with corrupted sibling verified")
+			}
+		}
+		badRoot := root
+		flipBit(&badRoot, flipSel)
+		if Verify(badRoot, proof) {
+			t.Fatal("proof verified against corrupted root")
+		}
+
+		// A proof claiming a depth its index cannot fit is malformed.
+		if tree.Depth() > 0 {
+			short := *proof
+			short.Siblings = nil
+			short.Index = tree.NumLeaves() - 1
+			if tree.NumLeaves() > 1 && Verify(root, &short) {
+				t.Fatal("truncated proof with out-of-range index verified")
+			}
+		}
+	})
+}

@@ -1,0 +1,134 @@
+package ntt
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"batchzk/internal/field"
+)
+
+// Differential property tests: the Cooley–Tukey butterfly network
+// against an independent O(n²) DFT whose root of unity is re-derived
+// from the field's multiplicative generator — so a shared bug in
+// RootOfUnity cannot mask itself — across many sizes and with
+// adversarial inputs (zeros, constants, single spikes).
+
+// naiveDFT computes â[k] = Σ_j a[j]·ω^{jk} by the definition, with its
+// own root: ω = 5^((r−1)/n).
+func naiveDFT(t *testing.T, a []field.Element) []field.Element {
+	t.Helper()
+	n := len(a)
+	exp := new(big.Int).Sub(field.Modulus(), big.NewInt(1))
+	if new(big.Int).Mod(exp, big.NewInt(int64(n))).Sign() != 0 {
+		t.Fatalf("n=%d does not divide r-1", n)
+	}
+	exp.Div(exp, big.NewInt(int64(n)))
+	g := field.NewElement(5)
+	var w field.Element
+	w.Exp(&g, exp)
+	out := make([]field.Element, n)
+	for k := 0; k < n; k++ {
+		var wk, x field.Element
+		wk.ExpUint64(&w, uint64(k))
+		x.SetOne()
+		var acc, term field.Element
+		for j := 0; j < n; j++ {
+			term.Mul(&a[j], &x)
+			acc.Add(&acc, &term)
+			x.Mul(&x, &wk)
+		}
+		out[k] = acc
+	}
+	return out
+}
+
+// seededVector mixes uniform, zero, and spike inputs deterministically.
+func seededVector(rng *rand.Rand, n int) []field.Element {
+	out := make([]field.Element, n)
+	switch rng.Intn(4) {
+	case 0: // delta spike: DFT must be a geometric sequence
+		out[rng.Intn(n)].SetOne()
+	case 1: // constant: DFT concentrates in bin 0
+		for i := range out {
+			out[i].SetUint64(7)
+		}
+	default:
+		for i := range out {
+			var b [64]byte
+			rng.Read(b[:])
+			out[i].SetBytesWide(b[:])
+		}
+	}
+	return out
+}
+
+func TestForwardMatchesNaiveDFTAcrossSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 4, 16, 32, 128, 256} {
+		for trial := 0; trial < 3; trial++ {
+			orig := seededVector(rng, n)
+			want := naiveDFT(t, orig)
+			got := append([]field.Element{}, orig...)
+			if err := Forward(got); err != nil {
+				t.Fatal(err)
+			}
+			if !field.VectorEqual(got, want) {
+				t.Fatalf("n=%d trial %d: butterfly network diverges from O(n^2) DFT", n, trial)
+			}
+			// And the round trip restores the input exactly.
+			if err := Inverse(got); err != nil {
+				t.Fatal(err)
+			}
+			if !field.VectorEqual(got, orig) {
+				t.Fatalf("n=%d trial %d: INTT(NTT(x)) != x", n, trial)
+			}
+		}
+	}
+}
+
+// TestInverseIsTrueLeftInverse: NTT(INTT(x)) = x too — Inverse is a
+// two-sided inverse, not just a left one.
+func TestInverseIsTrueLeftInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, n := range []int{2, 8, 64} {
+		orig := seededVector(rng, n)
+		a := append([]field.Element{}, orig...)
+		if err := Inverse(a); err != nil {
+			t.Fatal(err)
+		}
+		if err := Forward(a); err != nil {
+			t.Fatal(err)
+		}
+		if !field.VectorEqual(a, orig) {
+			t.Fatalf("n=%d: NTT(INTT(x)) != x", n)
+		}
+	}
+}
+
+// TestConvolutionTheorem: pointwise products in the evaluation domain
+// equal polynomial products in the coefficient domain, at random
+// degrees — the property PolyMul's correctness rides on.
+func TestConvolutionTheorem(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 5; trial++ {
+		la, lb := 1+rng.Intn(20), 1+rng.Intn(20)
+		a := seededVector(rng, la)
+		b := seededVector(rng, lb)
+		got, err := PolyMul(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]field.Element, la+lb-1)
+		var term field.Element
+		for i := range a {
+			for j := range b {
+				term.Mul(&a[i], &b[j])
+				want[i+j].Add(&want[i+j], &term)
+			}
+		}
+		if !field.VectorEqual(got, want) {
+			t.Fatalf("trial %d (deg %d x %d): PolyMul != schoolbook", trial, la-1, lb-1)
+		}
+	}
+}

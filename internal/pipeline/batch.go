@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -11,6 +12,64 @@ import (
 	"batchzk/internal/sumcheck"
 	"batchzk/internal/telemetry"
 )
+
+// TaskError records one poisoned task: the stage it first failed in and
+// the underlying cause (errors.Is/As reach through it).
+type TaskError struct {
+	Task  int
+	Stage int
+	Err   error
+}
+
+func (e *TaskError) Error() string {
+	return fmt.Sprintf("task %d failed at stage %d: %v", e.Task, e.Stage, e.Err)
+}
+
+func (e *TaskError) Unwrap() error { return e.Err }
+
+// TaskErrors aggregates every poisoned task of one pipelined run. The
+// schedule does not abort on a task failure: the failing task's
+// remaining slots are skipped (its per-task state is simply never
+// advanced, which cannot disturb the double-buffer discipline — the
+// other tasks' slots read and write exactly the buffers they would
+// have), and the healthy tasks run to completion. Callers receive both
+// the surviving outputs and this aggregate.
+type TaskErrors struct {
+	Module string
+	Tasks  []TaskError
+}
+
+func (e *TaskErrors) Error() string {
+	first := &e.Tasks[0]
+	if len(e.Tasks) == 1 {
+		return fmt.Sprintf("pipeline: %s: %v", e.Module, first)
+	}
+	return fmt.Sprintf("pipeline: %s: %d tasks failed; first: %v", e.Module, len(e.Tasks), first)
+}
+
+// Unwrap exposes every task error to errors.Is/As.
+func (e *TaskErrors) Unwrap() []error {
+	errs := make([]error, len(e.Tasks))
+	for i := range e.Tasks {
+		errs[i] = &e.Tasks[i]
+	}
+	return errs
+}
+
+// partialResult hands a schedule's outputs back together with its error:
+// on a *TaskErrors the surviving tasks' outputs are valid and returned;
+// any other error (invalid geometry, buffer-discipline violation) is
+// fatal and yields no results.
+func partialResult[T any](results []T, err error) ([]T, error) {
+	if err == nil {
+		return results, nil
+	}
+	var te *TaskErrors
+	if errors.As(err, &te) {
+		return results, err
+	}
+	return nil, err
+}
 
 // runSchedule drives a software pipeline: numStages stages, one task
 // entering per cycle, every stage busy on a different task within a cycle
@@ -30,25 +89,36 @@ func runSchedule(module string, numTasks, numStages int, process func(cycle, sta
 	tracer := sink.Trace()
 	cycles := sink.Counter("pipeline/" + module + "/cycles")
 	slotHist := sink.Histogram("pipeline/" + module + "/slot_ns")
+	taskErrs := sink.Counter("pipeline/" + module + "/task_errors")
+	panics := sink.Counter("pipeline/" + module + "/panics_recovered")
 	root := tracer.Begin("pipeline", module, 0, numStages, -1)
+	var failed map[int]*TaskError
 	for cycle := 0; cycle < numTasks+numStages-1; cycle++ {
 		for stage := numStages - 1; stage >= 0; stage-- {
 			task := cycle - stage
 			if task < 0 || task >= numTasks {
 				continue
 			}
+			if failed[task] != nil {
+				continue // poisoned: the task's remaining slots are skipped
+			}
 			sp := tracer.Begin("pipeline", fmt.Sprintf("%s/stage%d", module, stage), root.ID(), stage, task)
 			start := time.Now()
-			err := process(cycle, stage, task)
+			err := runSlot(process, cycle, stage, task, panics)
 			slotHist.Observe(time.Since(start).Nanoseconds())
 			sp.End()
 			if err != nil {
-				root.End()
-				return err
+				if failed == nil {
+					failed = make(map[int]*TaskError)
+				}
+				failed[task] = &TaskError{Task: task, Stage: stage, Err: err}
+				taskErrs.Inc()
 			}
 		}
 		cycles.Inc()
 		if endCycle != nil {
+			// endCycle failures are infrastructure (buffer-discipline)
+			// violations: the whole schedule is unsound, so abort.
 			if err := endCycle(cycle); err != nil {
 				root.End()
 				return err
@@ -56,7 +126,28 @@ func runSchedule(module string, numTasks, numStages int, process func(cycle, sta
 		}
 	}
 	root.End()
+	if len(failed) > 0 {
+		agg := &TaskErrors{Module: module}
+		for t := 0; t < numTasks; t++ {
+			if fe := failed[t]; fe != nil {
+				agg.Tasks = append(agg.Tasks, *fe)
+			}
+		}
+		return agg
+	}
 	return nil
+}
+
+// runSlot executes one (stage, task) slot, converting a panicking stage
+// into a task error so one poisoned task cannot kill the whole batch.
+func runSlot(process func(cycle, stage, task int) error, cycle, stage, task int, panics *telemetry.Counter) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			panics.Inc()
+			err = fmt.Errorf("pipeline: stage %d panicked on task %d: %v", stage, task, r)
+		}
+	}()
+	return process(cycle, stage, task)
 }
 
 // BatchMerkle builds one Merkle tree per task by streaming the tasks
@@ -112,15 +203,14 @@ func BatchMerkle(tasks [][]merkle.Block) ([]sha2.Digest, error) {
 		}
 		return nil
 	}, nil)
-	if err != nil {
-		return nil, err
-	}
 	if depth == 0 {
 		for t := range tasks {
-			roots[t] = cur[t][0]
+			if cur[t] != nil {
+				roots[t] = cur[t][0]
+			}
 		}
 	}
-	return roots, nil
+	return partialResult(roots, err)
 }
 
 // SumcheckChallenge supplies the round randomness for one task: called
@@ -203,10 +293,7 @@ func BatchSumcheck(tables [][]field.Element, challenge SumcheckChallenge) ([]Sum
 		}
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	return results, nil
+	return partialResult(results, err)
 }
 
 // BatchEncode encodes one message per task by streaming the tasks through
@@ -294,8 +381,5 @@ func BatchEncode(enc *encoder.Encoder, msgs [][]field.Element) ([][]field.Elemen
 			return nil
 		}
 	}, nil)
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	return partialResult(out, err)
 }

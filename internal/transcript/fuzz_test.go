@@ -1,0 +1,81 @@
+package transcript
+
+import (
+	"testing"
+
+	"batchzk/internal/field"
+)
+
+// FuzzChallengeDerivation drives the Fiat–Shamir sponge with arbitrary
+// absorb sequences and checks the soundness-critical invariants:
+//
+//   - determinism: prover and verifier running the identical sequence
+//     derive the identical challenges;
+//   - binding: perturbing any absorbed byte, the label, or the domain
+//     changes the next challenge (a transcript that ignores part of its
+//     input lets a prover grind);
+//   - framing: absorbing (a, b) as two messages differs from absorbing
+//     the concatenation as one (length-prefix framing works);
+//   - well-formedness: squeezed indices respect their bound.
+func FuzzChallengeDerivation(f *testing.F) {
+	f.Add("domain", "label", []byte("data"), uint16(4))
+	f.Add("", "", []byte{}, uint16(1))
+	f.Add("sumcheck", "round", []byte{0xff, 0x00, 0xff}, uint16(64))
+	f.Fuzz(func(t *testing.T, domain, label string, data []byte, bound uint16) {
+		run := func(dom, lab string, payload []byte) field.Element {
+			tr := New(dom)
+			tr.AppendBytes(lab, payload)
+			return tr.ChallengeElement("fuzz")
+		}
+
+		// Determinism.
+		c1 := run(domain, label, data)
+		c2 := run(domain, label, data)
+		if !c1.Equal(&c2) {
+			t.Fatal("identical transcripts derived different challenges")
+		}
+
+		// Binding to the payload, label, and domain. (SHA-256 collisions
+		// are beyond the fuzzer's reach, so inequality is a fair oracle.)
+		mut := append(append([]byte{}, data...), 0x5a)
+		if c := run(domain, label, mut); c.Equal(&c1) {
+			t.Fatal("challenge ignores appended payload bytes")
+		}
+		if c := run(domain, label+"x", data); c.Equal(&c1) {
+			t.Fatal("challenge ignores the absorb label")
+		}
+		if c := run(domain+"x", label, data); c.Equal(&c1) {
+			t.Fatal("challenge ignores the protocol domain")
+		}
+
+		// Framing: two absorbs never alias one concatenated absorb.
+		split := len(data) / 2
+		two := New(domain)
+		two.AppendBytes(label, data[:split])
+		two.AppendBytes(label, data[split:])
+		ctwo := two.ChallengeElement("fuzz")
+		if ctwo.Equal(&c1) {
+			t.Fatal("split absorb aliases concatenated absorb")
+		}
+
+		// Consecutive challenges from one transcript differ (the counter
+		// advances) and batch derivation matches itself run-to-run.
+		tr := New(domain)
+		tr.AppendBytes(label, data)
+		a := tr.ChallengeElement("x")
+		b := tr.ChallengeElement("x")
+		if a.Equal(&b) {
+			t.Fatal("consecutive challenges repeated")
+		}
+
+		n := int(bound%8) + 1
+		lim := int(bound) + 1
+		tr2 := New(domain)
+		tr2.AppendBytes(label, data)
+		for _, idx := range tr2.ChallengeIndices("cols", n, lim) {
+			if idx < 0 || idx >= lim {
+				t.Fatalf("index %d outside [0,%d)", idx, lim)
+			}
+		}
+	})
+}
