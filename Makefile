@@ -7,7 +7,7 @@ REPORT_DIR ?= .
 # Per-target budget for the fuzz smoke (see `make fuzz`).
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet bench bench-report bench-check fuzz check
+.PHONY: build test race vet bench bench-report bench-sched bench-check fuzz check
 
 build:
 	$(GO) build ./...
@@ -32,12 +32,21 @@ bench:
 bench-report:
 	$(GO) run ./cmd/batchzk-profile -scenario $(SCENARIO) -out $(REPORT_DIR)
 
-# Gate the working tree against the committed report: regenerate into a
-# temp dir and fail on any gated metric >10% worse.
+# Regenerate BENCH_scheduler.json: the batch prover measured under the
+# 1/1/1/1 baseline, the §4 proportional split, and the elastic
+# autobalanced split, plus the host-independent simulated contrast.
+bench-sched:
+	$(GO) run ./cmd/batchzk-bench sched -out $(REPORT_DIR)
+
+# Gate the working tree against the committed reports: regenerate into a
+# temp dir and fail on any gated metric >10% worse. The scenario report
+# and the scheduler report are both gated.
 bench-check:
 	@tmp=$$(mktemp -d) && \
 	$(GO) run ./cmd/batchzk-profile -scenario $(SCENARIO) -out $$tmp >/dev/null && \
-	$(GO) run ./cmd/batchzk-profile compare $(REPORT_DIR)/BENCH_$(SCENARIO).json $$tmp/BENCH_$(SCENARIO).json; \
+	$(GO) run ./cmd/batchzk-profile compare $(REPORT_DIR)/BENCH_$(SCENARIO).json $$tmp/BENCH_$(SCENARIO).json && \
+	$(GO) run ./cmd/batchzk-bench sched -out $$tmp >/dev/null && \
+	$(GO) run ./cmd/batchzk-profile compare $(REPORT_DIR)/BENCH_scheduler.json $$tmp/BENCH_scheduler.json; \
 	status=$$?; rm -rf $$tmp; exit $$status
 
 # Short coverage-guided fuzz of the codec/derivation/verification

@@ -38,6 +38,7 @@ import (
 	"batchzk/internal/nn"
 	"batchzk/internal/perfmodel"
 	"batchzk/internal/protocol"
+	"batchzk/internal/sched"
 	"batchzk/internal/vml"
 )
 
@@ -108,6 +109,37 @@ func NewBatchProver(c *Circuit, p *Params, depth int) (*BatchProver, error) {
 // ProverStats is a point-in-time snapshot of a batch prover's counters,
 // including its resilience accounting (retries, quarantines, timeouts).
 type ProverStats = core.Stats
+
+// ProverSchedule configures the batch prover's per-stage worker pools —
+// the host-side analogue of the paper's §4 thread allocation. Install it
+// with BatchProver.SetSchedule; derive one from measured stage times
+// with ProportionalProverSchedule or BatchProver.CalibrateSchedule.
+type ProverSchedule = core.Schedule
+
+// ProportionalProverSchedule splits a worker budget across the four
+// prover stages in proportion to their measured busy times (§4's
+// amortized-time-ratio rule), at least one worker per stage.
+func ProportionalProverSchedule(stats ProverStats, budget int) ProverSchedule {
+	return core.ProportionalSchedule(stats, budget)
+}
+
+// ParseWorkerSpec parses a -workers flag value: a comma-separated
+// per-stage list ("2,4,1,1") or a single total budget ("8") to be split
+// by the amortized-time-ratio rule. Empty means the 1/1/1/1 default.
+func ParseWorkerSpec(spec string) (workers []int, budget int, err error) {
+	return sched.ParseWorkers(spec, len(core.StageNames))
+}
+
+// ShardedProver splits one batch across S independent prover shards,
+// scattering jobs round-robin and merging results deterministically in
+// global submission order.
+type ShardedProver = core.ShardedProver
+
+// NewShardedProver builds shards independent batch provers over one
+// circuit, each with its own in-flight budget of depth proofs.
+func NewShardedProver(c *Circuit, p *Params, shards, depth int) (*ShardedProver, error) {
+	return core.NewShardedProver(c, p, shards, depth)
+}
 
 // FaultClass names one injectable fault class: "mem", "kernel",
 // "transfer", "panic", or "straggler".
@@ -203,6 +235,17 @@ func SimulateSystem(spec DeviceSpec, scale, batch int) (*SystemReport, error) {
 	return core.SimulateSystem(spec, perfmodel.GPUCosts(), scale, batch, true)
 }
 
+// ShardedSystemReport summarizes a sharded simulation: one batch split
+// across S simulated devices with per-device memory budgets.
+type ShardedSystemReport = core.ShardedSystemReport
+
+// SimulateSystemSharded models batch proof generation at circuit scale S
+// with the batch split across shards simulated devices; a positive
+// deviceMemBytes overrides each device's memory budget.
+func SimulateSystemSharded(spec DeviceSpec, scale, batch, shards int, deviceMemBytes int64) (*ShardedSystemReport, error) {
+	return core.SimulateSystemSharded(spec, perfmodel.GPUCosts(), scale, batch, shards, true, deviceMemBytes)
+}
+
 // ExperimentTable is one regenerated table/figure of the paper.
 type ExperimentTable = bench.Table
 
@@ -283,3 +326,36 @@ func CompareBenchReports(old, cur *BenchReport, threshold float64) ([]BenchRegre
 
 // BenchReportFileName is the BENCH_<scenario>.json naming convention.
 func BenchReportFileName(scenario string) string { return bench.ReportFileName(scenario) }
+
+// SchedulerBenchReport is the schema-versioned content of
+// BENCH_scheduler.json: measured batch-prover throughput under the
+// baseline, proportional and autobalanced worker allocations, plus the
+// deterministic simulated allocation contrast.
+type SchedulerBenchReport = bench.SchedulerReport
+
+// BuildSchedulerBenchReport measures the prover's throughput under the
+// three worker allocations and verifies the ordering and bit-identity
+// invariants against the sequential reference prover.
+func BuildSchedulerBenchReport(gates, batch, depth, budget int, seed int64) (*SchedulerBenchReport, error) {
+	return bench.BuildSchedulerReport(gates, batch, depth, budget, seed)
+}
+
+// ReadSchedulerBenchReport parses and schema-checks a
+// BENCH_scheduler.json stream.
+func ReadSchedulerBenchReport(r io.Reader) (*SchedulerBenchReport, error) {
+	return bench.ReadSchedulerReport(r)
+}
+
+// CompareSchedulerBenchReports gates a new scheduler report against an
+// old one (correctness invariants and the simulated gain always;
+// measured throughput only between equal-core hosts).
+func CompareSchedulerBenchReports(old, cur *SchedulerBenchReport, threshold float64) ([]BenchRegression, error) {
+	return bench.CompareScheduler(old, cur, threshold)
+}
+
+// SchedulerBenchFileName is the BENCH_scheduler.json naming convention.
+func SchedulerBenchFileName() string { return bench.SchedulerReportFileName() }
+
+// SchedulerBenchKind is the "kind" discriminator scheduler reports carry
+// so tooling can route a BENCH_*.json to the right comparator.
+func SchedulerBenchKind() string { return bench.SchedulerReportKind }

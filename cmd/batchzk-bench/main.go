@@ -12,6 +12,10 @@
 //	batchzk-bench -faults all -fault-seed 7
 //	                                    # reproducible chaos run through
 //	                                    # the resilient batch prover
+//	batchzk-bench -faults all -workers 8 -shards 2 -autobalance
+//	                                    # chaos through pooled/sharded provers
+//	batchzk-bench sched -out .          # scheduler bench: throughput vs
+//	                                    # worker allocation → BENCH_scheduler.json
 package main
 
 import (
@@ -19,15 +23,71 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"batchzk"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "sched" {
+		if err := runSched(os.Args[2:], os.Stdout, os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "batchzk-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "batchzk-bench:", err)
 		os.Exit(1)
 	}
+}
+
+// runSched implements `batchzk-bench sched`: measure the batch prover's
+// throughput under the baseline, proportional, and autobalanced worker
+// allocations and write the schema-versioned BENCH_scheduler.json.
+func runSched(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sched", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	gates := fs.Int("gates", 256, "multiplication gates in the bench circuit")
+	batch := fs.Int("batch", 48, "proofs per allocation run")
+	depth := fs.Int("depth", 16, "pipeline depth (proofs in flight)")
+	budget := fs.Int("budget", 8, "worker budget for the proportional and autobalanced allocations")
+	seed := fs.Int64("seed", 1, "circuit synthesis seed")
+	out := fs.String("out", ".", "directory for BENCH_scheduler.json ('' = don't write)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep, err := batchzk.BuildSchedulerBenchReport(*gates, *batch, *depth, *budget, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "scheduler bench: %d gates, batch %d, depth %d, budget %d (%d cores)\n",
+		rep.Gates, rep.Batch, rep.Depth, rep.Budget, rep.Cores)
+	fmt.Fprintf(stdout, "  %-13s workers %v  %8.2f jobs/s\n", rep.Baseline.Name, rep.Baseline.Workers, rep.Baseline.JobsPerSec)
+	fmt.Fprintf(stdout, "  %-13s workers %v  %8.2f jobs/s\n", rep.Proportional.Name, rep.Proportional.Workers, rep.Proportional.JobsPerSec)
+	fmt.Fprintf(stdout, "  %-13s workers %v  %8.2f jobs/s\n", rep.Autobalanced.Name, rep.Autobalanced.Workers, rep.Autobalanced.JobsPerSec)
+	fmt.Fprintf(stdout, "  measured speedup (proportional/baseline): %.2fx\n", rep.MeasuredSpeedupX)
+	fmt.Fprintf(stdout, "  simulated §4 allocation gain vs equal shares: %.2fx\n", rep.SimGainX)
+	fmt.Fprintf(stdout, "  order ok: %v, bit-identical to sequential reference: %v\n", rep.OrderOK, rep.BitIdentical)
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			return fmt.Errorf("cannot create report directory %s: %w", *out, err)
+		}
+		path := filepath.Join(*out, batchzk.SchedulerBenchFileName())
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("cannot write report: %w", err)
+		}
+		werr := rep.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("cannot write report %s: %w", path, werr)
+		}
+		fmt.Fprintf(stderr, "report written to %s\n", path)
+	}
+	return nil
 }
 
 func run(args []string, stdout, stderr io.Writer) error {
@@ -42,6 +102,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	faultSpec := fs.String("faults", "", `chaos spec, e.g. "all", "all=0.25", "kernel=0.2,straggler=0.05"; runs a fault-injected batch instead of the experiments`)
 	faultSeed := fs.Uint64("fault-seed", 1, "seed for the deterministic fault plan (same seed = same faults)")
 	faultJobs := fs.Int("fault-jobs", 32, "number of proof jobs in the chaos run")
+	workers := fs.String("workers", "", `chaos-run worker pools: a list "2,4,1,1" or a total budget "8" split by measured stage shares (empty = one worker per stage)`)
+	shards := fs.Int("shards", 1, "chaos-run prover shards the batch is split across")
+	autobalance := fs.Bool("autobalance", false, "chaos run: elastically rebalance the worker pools at runtime")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -54,7 +117,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	if *faultSpec != "" {
-		return runChaos(*faultSpec, *faultSeed, *faultJobs, stdout)
+		return runChaos(*faultSpec, *faultSeed, *faultJobs, *workers, *shards, *autobalance, stdout)
+	}
+	if *workers != "" || *shards != 1 || *autobalance {
+		return fmt.Errorf("-workers/-shards/-autobalance apply to chaos runs; pass -faults as well")
 	}
 
 	if *telemetryDir != "" {
@@ -126,12 +192,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
+// chaosProver is the surface runChaos needs from either a single
+// BatchProver or a ShardedProver.
+type chaosProver interface {
+	SetResilience(*batchzk.Resilience)
+	SetSchedule(*batchzk.ProverSchedule)
+	ProveBatch([]batchzk.Job) []batchzk.Result
+	Verify([]batchzk.Element, *batchzk.Proof) error
+	Stats() batchzk.ProverStats
+	Quarantined() []batchzk.QuarantinedJob
+}
+
 // runChaos streams a batch of proof jobs through the resilient prover
 // under an injected fault plan and reports how the pipeline coped: what
 // fired, what was retried, what was quarantined, and whether every
 // surviving proof still verifies. The same -faults/-fault-seed pair
-// replays the identical fault plan.
-func runChaos(spec string, seed uint64, jobs int, stdout io.Writer) error {
+// replays the identical fault plan; -workers/-shards/-autobalance route
+// the same plan through pooled or sharded provers.
+func runChaos(spec string, seed uint64, jobs int, workers string, shards int, autobalance bool, stdout io.Writer) error {
 	if jobs < 1 {
 		return fmt.Errorf("chaos run needs at least one job, got %d", jobs)
 	}
@@ -147,10 +225,29 @@ func runChaos(spec string, seed uint64, jobs int, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	bp, err := batchzk.NewBatchProver(c, p, 4)
+	schedule, err := chaosSchedule(c, p, workers, autobalance)
 	if err != nil {
 		return err
 	}
+	depth := 4
+	if schedule != nil && depth < schedule.TotalWorkers() {
+		depth = schedule.TotalWorkers()
+	}
+	var bp chaosProver
+	if shards > 1 {
+		sp, err := batchzk.NewShardedProver(c, p, shards, depth)
+		if err != nil {
+			return err
+		}
+		bp = sp
+	} else {
+		single, err := batchzk.NewBatchProver(c, p, depth)
+		if err != nil {
+			return err
+		}
+		bp = single
+	}
+	bp.SetSchedule(schedule)
 	res := batchzk.DefaultResilience()
 	res.Injector = inj
 	bp.SetResilience(res)
@@ -173,7 +270,7 @@ func runChaos(spec string, seed uint64, jobs int, stdout io.Writer) error {
 	}
 
 	st := bp.Stats()
-	fmt.Fprintf(stdout, "chaos run: spec=%q seed=%d jobs=%d\n", spec, seed, jobs)
+	fmt.Fprintf(stdout, "chaos run: spec=%q seed=%d jobs=%d shards=%d\n", spec, seed, jobs, shards)
 	fmt.Fprintf(stdout, "  completed=%d failed=%d retries=%d quarantined=%d timeouts=%d panics-recovered=%d\n",
 		st.Completed, st.Failed, st.Retries, st.Quarantined, st.Timeouts, st.PanicsRecovered)
 	fmt.Fprintf(stdout, "  faults: %s\n", inj.Summary())
@@ -186,4 +283,40 @@ func runChaos(spec string, seed uint64, jobs int, stdout io.Writer) error {
 		return fmt.Errorf("fault ledger not reconciled: %d pending, %d conflicts", ls.Pending, inj.Conflicts())
 	}
 	return nil
+}
+
+// chaosSchedule resolves the chaos run's -workers/-autobalance flags,
+// mirroring the batchzk CLI's buildSchedule.
+func chaosSchedule(c *batchzk.Circuit, p *batchzk.Params, spec string, autobalance bool) (*batchzk.ProverSchedule, error) {
+	list, budget, err := batchzk.ParseWorkerSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	if list == nil && budget == 0 && !autobalance {
+		return nil, nil
+	}
+	var s batchzk.ProverSchedule
+	switch {
+	case list != nil:
+		copy(s.Workers[:], list)
+	case budget > 0:
+		probe, err := batchzk.NewBatchProver(c, p, 1)
+		if err != nil {
+			return nil, err
+		}
+		if s, err = probe.CalibrateSchedule(budget, 4); err != nil {
+			return nil, err
+		}
+	default:
+		s.Workers = [4]int{1, 1, 1, 1}
+	}
+	if autobalance {
+		s.Autobalance = true
+		if budget > 0 {
+			s.Budget = budget
+		} else {
+			s.Budget = s.TotalWorkers()
+		}
+	}
+	return &s, nil
 }

@@ -6,6 +6,10 @@
 // Usage:
 //
 //	batchzk -gates 1024 -batch 16 -depth 4      # batch proving demo
+//	batchzk -batch 64 -workers 8                 # 8 workers split by stage shares (§4)
+//	batchzk -batch 64 -workers 2,3,2,1           # explicit per-stage pools
+//	batchzk -batch 64 -workers 8 -autobalance    # elastic runtime rebalance
+//	batchzk -batch 64 -shards 4                  # split the batch across 4 provers
 //	batchzk -batch 16 -telemetry out/            # + metrics & Chrome trace dump
 //	batchzk -debug-addr localhost:6060           # + live pprof/expvar server
 //	batchzk prove  -gates 512 -out proof.bzk     # write a proof bundle
@@ -57,8 +61,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	gates := fs.Int("gates", 256, "multiplication gates in the synthesized circuit (scale S)")
 	batch := fs.Int("batch", 8, "number of proofs to generate")
-	depth := fs.Int("depth", 4, "pipeline depth (proofs in flight)")
+	depth := fs.Int("depth", 4, "pipeline depth (proofs in flight per shard)")
 	seed := fs.Int64("seed", 1, "circuit synthesis seed")
+	workers := fs.String("workers", "", `per-stage worker pools: a list "2,4,1,1" or a total budget "8" split by measured stage shares (empty = one worker per stage)`)
+	shards := fs.Int("shards", 1, "independent prover shards the batch is split across")
+	autobalance := fs.Bool("autobalance", false, "elastically rebalance the worker pools from live per-stage busy shares")
 	telemetryDir := fs.String("telemetry", "", "directory to dump telemetry (metrics.json, trace.json, spans.jsonl)")
 	debugAddr := fs.String("debug-addr", "", "serve /debug/vars, /debug/pprof and /debug/telemetry on this address")
 	if err := fs.Parse(args); err != nil {
@@ -93,11 +100,39 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	prover, err := batchzk.NewBatchProver(c, params, *depth)
+	schedule, err := buildSchedule(c, params, *workers, *autobalance)
 	if err != nil {
 		return err
 	}
+	effDepth := *depth
+	if schedule != nil && effDepth < schedule.TotalWorkers() {
+		// The in-flight bound gates concurrency; wider pools need at
+		// least that many proofs in flight to be useful.
+		effDepth = schedule.TotalWorkers()
+	}
+
+	var prove func([]batchzk.Job) []batchzk.Result
+	var stageWorkers [4]int
+	if *shards > 1 {
+		sp, err := batchzk.NewShardedProver(c, params, *shards, effDepth)
+		if err != nil {
+			return err
+		}
+		sp.SetSchedule(schedule)
+		prove = sp.ProveBatch
+		stageWorkers = sp.Shard(0).StageWorkers()
+	} else {
+		bp, err := batchzk.NewBatchProver(c, params, effDepth)
+		if err != nil {
+			return err
+		}
+		bp.SetSchedule(schedule)
+		prove = bp.ProveBatch
+		stageWorkers = bp.StageWorkers()
+	}
 	fmt.Fprintf(stdout, "circuit: %d mul gates, %d wires\n", c.NumMulGates(), c.NumWires())
+	fmt.Fprintf(stdout, "schedule: %d shard(s), stage workers %v, autobalance %v, depth %d\n",
+		*shards, stageWorkers, *autobalance, effDepth)
 
 	jobs := make([]batchzk.Job, *batch)
 	publics := make([][]batchzk.Element, *batch)
@@ -107,7 +142,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	start := time.Now()
-	results := prover.ProveBatch(jobs)
+	results := prove(jobs)
 	elapsed := time.Since(start)
 
 	verified := 0
@@ -122,7 +157,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "generated and verified %d proofs in %v (%.2f proofs/s, pipeline depth %d)\n",
 		verified, elapsed.Round(time.Millisecond),
-		float64(verified)/elapsed.Seconds(), *depth)
+		float64(verified)/elapsed.Seconds(), effDepth)
 
 	if *telemetryDir != "" {
 		if err := sink.Dump(*telemetryDir); err != nil {
@@ -131,4 +166,42 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "telemetry written to %s (load trace.json in chrome://tracing)\n", *telemetryDir)
 	}
 	return nil
+}
+
+// buildSchedule resolves the -workers/-autobalance flags into a prover
+// schedule (nil = the one-worker-per-stage default). A per-stage list is
+// applied directly; a single budget is split by the §4 amortized-time-
+// ratio rule, calibrated on a few sample proofs of this circuit.
+func buildSchedule(c *batchzk.Circuit, params *batchzk.Params, spec string, autobalance bool) (*batchzk.ProverSchedule, error) {
+	list, budget, err := batchzk.ParseWorkerSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	if list == nil && budget == 0 && !autobalance {
+		return nil, nil
+	}
+	var s batchzk.ProverSchedule
+	switch {
+	case list != nil:
+		copy(s.Workers[:], list)
+	case budget > 0:
+		probe, err := batchzk.NewBatchProver(c, params, 1)
+		if err != nil {
+			return nil, err
+		}
+		if s, err = probe.CalibrateSchedule(budget, 4); err != nil {
+			return nil, err
+		}
+	default:
+		s.Workers = [4]int{1, 1, 1, 1}
+	}
+	if autobalance {
+		s.Autobalance = true
+		if budget > 0 {
+			s.Budget = budget
+		} else {
+			s.Budget = s.TotalWorkers()
+		}
+	}
+	return &s, nil
 }

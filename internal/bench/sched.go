@@ -1,0 +1,286 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"batchzk/internal/circuit"
+	"batchzk/internal/core"
+	"batchzk/internal/encoder"
+	"batchzk/internal/field"
+	"batchzk/internal/gpusim"
+	"batchzk/internal/perfmodel"
+	"batchzk/internal/protocol"
+)
+
+// Scheduler bench report: throughput of the real batch prover under
+// three worker allocations (the 1/1/1/1 baseline, the §4 proportional
+// split of a worker budget, and the elastic autobalanced split), plus a
+// deterministic simulated contrast (work-proportional vs equal core
+// shares on the simulated device) that is independent of the host's core
+// count. Serialized as BENCH_scheduler.json with a "kind" discriminator
+// so tooling can dispatch between this report and the scenario reports.
+
+// SchedulerReportKind discriminates scheduler reports from scenario
+// reports in BENCH_*.json files.
+const SchedulerReportKind = "scheduler"
+
+// SchedulerSchemaVersion identifies the BENCH_scheduler.json layout.
+const SchedulerSchemaVersion = 1
+
+// SchedulerAlloc is one measured allocation point.
+type SchedulerAlloc struct {
+	Name    string `json:"name"`
+	Workers [4]int `json:"workers"`
+	// JobsPerSec is the measured end-to-end batch throughput.
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	TotalNs    int64   `json:"total_ns"`
+}
+
+// SchedulerReport is the schema-versioned content of
+// BENCH_scheduler.json.
+type SchedulerReport struct {
+	SchemaVersion int    `json:"schema_version"`
+	Kind          string `json:"kind"`
+	// Cores is the host's logical CPU count. Measured throughput is only
+	// comparable between reports from equal-core hosts; the simulated
+	// contrast below is host-independent.
+	Cores int `json:"cores"`
+	Gates int `json:"gates"`
+	Batch int `json:"batch"`
+	Depth int `json:"depth"`
+	// Budget is the total worker count of the proportional and
+	// autobalanced allocations.
+	Budget int `json:"budget"`
+
+	Baseline     SchedulerAlloc `json:"baseline"`
+	Proportional SchedulerAlloc `json:"proportional"`
+	Autobalanced SchedulerAlloc `json:"autobalanced"`
+	// MeasuredSpeedupX is proportional over baseline jobs/sec.
+	MeasuredSpeedupX float64 `json:"measured_speedup_x"`
+
+	// Correctness invariants checked during the measurement runs.
+	OrderOK      bool `json:"order_ok"`
+	BitIdentical bool `json:"bit_identical"`
+
+	// Deterministic simulated contrast (3090Ti profile, system pipeline):
+	// the §4 work-proportional core allocation vs the equal-shares
+	// ablation. Pure function of the device model — identical on every
+	// host, so it is always gated.
+	SimProportionalPerMs float64 `json:"sim_proportional_per_ms"`
+	SimEqualPerMs        float64 `json:"sim_equal_per_ms"`
+	SimGainX             float64 `json:"sim_gain_x"`
+}
+
+// SchedulerReportFileName is the on-disk name of the scheduler report.
+func SchedulerReportFileName() string { return "BENCH_scheduler.json" }
+
+// BuildSchedulerReport measures the batch prover's throughput under the
+// three worker allocations on a deterministic circuit, verifies the
+// ordering and bit-identity invariants against the sequential reference
+// prover, and attaches the simulated allocation contrast.
+func BuildSchedulerReport(gates, batch, depth, budget int, seed int64) (*SchedulerReport, error) {
+	if gates < 16 {
+		gates = 16
+	}
+	if batch < 8 {
+		batch = 8
+	}
+	if budget < 4 {
+		budget = 4
+	}
+	if depth < budget {
+		depth = budget
+	}
+	c, err := circuit.RandomCircuit(gates, 2, 2, seed)
+	if err != nil {
+		return nil, err
+	}
+	p, err := protocol.Setup(c)
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]core.Job, batch)
+	for i := range jobs {
+		jobs[i] = core.Job{ID: i, Public: field.RandVector(2), Secret: field.RandVector(2)}
+	}
+	// Sequential reference proofs, computed once, compared against every
+	// allocation's output.
+	refs := make([]*protocol.Proof, batch)
+	for i := range jobs {
+		refs[i], err = protocol.Prove(c, p, jobs[i].Public, jobs[i].Secret)
+		if err != nil {
+			return nil, fmt.Errorf("bench: reference proof %d: %w", i, err)
+		}
+	}
+
+	rep := &SchedulerReport{
+		SchemaVersion: SchedulerSchemaVersion,
+		Kind:          SchedulerReportKind,
+		Cores:         runtime.NumCPU(),
+		Gates:         gates,
+		Batch:         batch,
+		Depth:         depth,
+		Budget:        budget,
+		OrderOK:       true,
+		BitIdentical:  true,
+	}
+
+	run := func(name string, schedule *core.Schedule) (SchedulerAlloc, error) {
+		bp, err := core.NewBatchProver(c, p, depth)
+		if err != nil {
+			return SchedulerAlloc{}, err
+		}
+		bp.SetSchedule(schedule)
+		start := time.Now()
+		results := bp.ProveBatch(jobs)
+		elapsed := time.Since(start)
+		if len(results) != batch {
+			return SchedulerAlloc{}, fmt.Errorf("bench: %s lost results: %d of %d", name, len(results), batch)
+		}
+		for i, r := range results {
+			if r.Err != nil {
+				return SchedulerAlloc{}, fmt.Errorf("bench: %s job %d: %w", name, i, r.Err)
+			}
+			if r.ID != i {
+				rep.OrderOK = false
+			}
+			if r.Proof.Commitment.Root != refs[i].Commitment.Root ||
+				!r.Proof.OTau.Equal(&refs[i].OTau) || !r.Proof.WSigma.Equal(&refs[i].WSigma) {
+				rep.BitIdentical = false
+			}
+		}
+		return SchedulerAlloc{
+			Name:       name,
+			Workers:    bp.StageWorkers(),
+			JobsPerSec: float64(batch) / elapsed.Seconds(),
+			TotalNs:    elapsed.Nanoseconds(),
+		}, nil
+	}
+
+	// Calibrate the proportional split from the prover's own amortized
+	// stage times (the §4 offline profiling step).
+	calib, err := core.NewBatchProver(c, p, depth)
+	if err != nil {
+		return nil, err
+	}
+	prop, err := calib.CalibrateSchedule(budget, 4)
+	if err != nil {
+		return nil, err
+	}
+
+	if rep.Baseline, err = run("baseline", nil); err != nil {
+		return nil, err
+	}
+	if rep.Proportional, err = run("proportional", &prop); err != nil {
+		return nil, err
+	}
+	auto := prop
+	auto.Autobalance = true
+	auto.Budget = budget
+	auto.RebalanceEvery = 5 * time.Millisecond
+	if rep.Autobalanced, err = run("autobalanced", &auto); err != nil {
+		return nil, err
+	}
+	if rep.Baseline.JobsPerSec > 0 {
+		rep.MeasuredSpeedupX = rep.Proportional.JobsPerSec / rep.Baseline.JobsPerSec
+	}
+
+	// Simulated contrast: host-independent, so the regression gate can
+	// hold it to a hard line on any CI machine.
+	shape, err := core.ShapeForScale(1 << 12)
+	if err != nil {
+		return nil, err
+	}
+	stages, err := core.SystemStages(shape, perfmodel.GPUCosts(), encoder.DefaultParams())
+	if err != nil {
+		return nil, err
+	}
+	spec := perfmodel.RTX3090Ti()
+	simOpts := gpusim.Options{Overlap: true, TaskBytes: core.SystemTaskBytes(shape), TraceCap: -1}
+	propRep, err := gpusim.RunPipelined(spec, stages, 64, simOpts)
+	if err != nil {
+		return nil, err
+	}
+	eqOpts := simOpts
+	eqOpts.EqualShares = true
+	eqRep, err := gpusim.RunPipelined(spec, stages, 64, eqOpts)
+	if err != nil {
+		return nil, err
+	}
+	rep.SimProportionalPerMs = propRep.ThroughputPerMs()
+	rep.SimEqualPerMs = eqRep.ThroughputPerMs()
+	if rep.SimEqualPerMs > 0 {
+		rep.SimGainX = rep.SimProportionalPerMs / rep.SimEqualPerMs
+	}
+	return rep, nil
+}
+
+// WriteJSON serializes the report, indented, trailing newline included.
+func (r *SchedulerReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadSchedulerReport parses a BENCH_scheduler.json stream and validates
+// its schema and kind.
+func ReadSchedulerReport(rd io.Reader) (*SchedulerReport, error) {
+	var r SchedulerReport
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("bench: parse scheduler report: %w", err)
+	}
+	if r.Kind != SchedulerReportKind {
+		return nil, fmt.Errorf("bench: report kind %q, want %q", r.Kind, SchedulerReportKind)
+	}
+	if r.SchemaVersion != SchedulerSchemaVersion {
+		return nil, fmt.Errorf("bench: scheduler report schema v%d, this build reads v%d", r.SchemaVersion, SchedulerSchemaVersion)
+	}
+	return &r, nil
+}
+
+// CompareScheduler gates a new scheduler report against an old one. The
+// correctness invariants (order, bit-identity) and the deterministic
+// simulated allocation gain are always gated. Measured throughput is
+// hardware-dependent, so those metrics are gated only when both reports
+// come from hosts with the same core count — a report regenerated on a
+// different machine can't spuriously fail the gate.
+func CompareScheduler(old, cur *SchedulerReport, threshold float64) ([]Regression, error) {
+	if old == nil || cur == nil {
+		return nil, fmt.Errorf("bench: compare needs two reports")
+	}
+	if threshold < 0 {
+		return nil, fmt.Errorf("bench: negative threshold %v", threshold)
+	}
+	var regs []Regression
+	boolMetric := func(metric string, oldV, newV bool) {
+		if oldV && !newV {
+			regs = append(regs, Regression{Metric: metric, Old: 1, New: 0, DeltaFrac: 1})
+		}
+	}
+	boolMetric("order_ok", old.OrderOK, cur.OrderOK)
+	boolMetric("bit_identical", old.BitIdentical, cur.BitIdentical)
+
+	check := func(metric string, oldV, newV float64, higherIsBetter bool) {
+		if oldV <= 0 {
+			return
+		}
+		delta := (oldV - newV) / oldV
+		if !higherIsBetter {
+			delta = -delta
+		}
+		if delta > threshold {
+			regs = append(regs, Regression{Metric: metric, Old: oldV, New: newV, DeltaFrac: delta})
+		}
+	}
+	check("sim_gain_x", old.SimGainX, cur.SimGainX, true)
+	check("sim_proportional_per_ms", old.SimProportionalPerMs, cur.SimProportionalPerMs, true)
+	if old.Cores == cur.Cores {
+		check("proportional.jobs_per_sec", old.Proportional.JobsPerSec, cur.Proportional.JobsPerSec, true)
+		check("measured_speedup_x", old.MeasuredSpeedupX, cur.MeasuredSpeedupX, true)
+	}
+	return regs, nil
+}

@@ -27,6 +27,7 @@ import (
 	"batchzk/internal/circuit"
 	"batchzk/internal/field"
 	"batchzk/internal/protocol"
+	"batchzk/internal/sched"
 	"batchzk/internal/telemetry"
 )
 
@@ -107,6 +108,11 @@ type BatchProver struct {
 
 	// tel overrides the process-wide telemetry sink when non-nil.
 	tel *telemetry.Sink
+
+	// schedCfg configures the stage worker pools (see schedule.go); graph
+	// is the live scheduler of the current Run, for introspection.
+	schedCfg *Schedule
+	graph    *sched.Graph[stageMsg]
 }
 
 // Stats returns a snapshot of the prover's counters.
@@ -212,129 +218,149 @@ func (bp *BatchProver) Params() *protocol.Params { return bp.p }
 
 // stageMsg carries an in-flight proof between stage workers.
 type stageMsg struct {
-	id  int
-	f   *protocol.InFlight
-	err error
+	id    int
+	src   Job
+	f     *protocol.InFlight
+	proof *protocol.Proof
+	err   error
 	// started stamps stage-1 dequeue for the end-to-end latency metric;
-	// enq stamps the last channel send for the queue-wait metric.
+	// enq stamps the end of the previous stage for the queue-wait metric.
 	started time.Time
 	enq     time.Time
 	// job is the per-job telemetry span, open from dequeue to result.
 	job *telemetry.ActiveSpan
 }
 
+// processStage runs one prover stage on one message, from whichever
+// worker goroutine the scheduler assigned. All mutable state is either
+// inside the message or atomic, so any number of concurrent workers per
+// stage is safe; runStage layers the resilience semantics (retries,
+// deadlines, panic recovery, quarantine) per message.
+func (bp *BatchProver) processStage(stage int, ins instruments, m *stageMsg) {
+	switch stage {
+	case 0:
+		m.started = time.Now()
+		bp.inFlight.Add(1)
+		ins.inFlight.Add(1)
+		m.job = ins.tracer.Begin("core", "job", 0, len(StageNames), m.id)
+		job := m.src
+		bp.runStage(0, ins, m, func() error {
+			w := job.Witness
+			var err error
+			if w == nil {
+				w, err = bp.c.Evaluate(job.Public, job.Secret)
+			}
+			if err != nil {
+				return err
+			}
+			m.f, err = protocol.StartProof(bp.c, bp.p, w)
+			return err
+		})
+		m.src = Job{} // drop the witness; the in-flight proof carries on
+	case 1:
+		ins.observeWait(m.enq)
+		bp.runStage(1, ins, m, func() error { return m.f.RunHadamard() })
+	case 2:
+		ins.observeWait(m.enq)
+		bp.runStage(2, ins, m, func() error { return m.f.RunLinear() })
+	case 3:
+		ins.observeWait(m.enq)
+		bp.runStage(3, ins, m, func() error {
+			var err error
+			m.proof, err = m.f.Finish()
+			return err
+		})
+	}
+	m.enq = time.Now()
+}
+
 // Run consumes jobs until the channel closes and emits one Result per job
 // on the returned channel, in submission order. The four stages run
-// concurrently, each on a different proof — the software realization of
-// the full-workload state of §4.
+// concurrently on the sched execution layer, each served by a worker
+// pool sized by the prover's Schedule (one worker per stage by default —
+// the software realization of the full-workload state of §4; wider pools
+// realize the §4 amortized-time-ratio thread allocation). The scheduler's
+// reorder buffer restores submission order, and at most depth proofs are
+// in flight (the dynamic-loading memory bound).
 func (bp *BatchProver) Run(jobs <-chan Job) <-chan Result {
-	results := make(chan Result, bp.depth)
 	ins := bp.instruments()
+	sc := bp.scheduleOrDefault()
 
-	// Stage 1: witness evaluation + commitment (encoder + Merkle).
-	s1out := make(chan stageMsg, bp.depth)
+	specs := make([]sched.StageSpec, len(StageNames))
+	for i, name := range StageNames {
+		specs[i] = sched.StageSpec{Name: name, Workers: sc.Workers[i]}
+	}
+	opts := sched.Options{
+		Name:      "core",
+		InFlight:  bp.depth,
+		Telemetry: bp.tel,
+	}
+	if sc.Autobalance {
+		opts.Autobalance = &sched.Autobalance{
+			Interval: sc.RebalanceEvery,
+			Budget:   sc.Budget,
+		}
+	}
+	g, err := sched.NewGraph(specs, func(stage int, m *stageMsg) {
+		bp.processStage(stage, ins, m)
+	}, opts)
+	if err != nil {
+		// Unreachable: specs are fixed and depth is validated at
+		// construction. Surface loudly rather than wedging the stream.
+		panic(fmt.Sprintf("core: scheduler rejected prover stage graph: %v", err))
+	}
+	// Last-resort backstop: runStage already converts stage panics into
+	// job errors, so this only fires if the resilience layer itself dies.
+	g.SetRecover(func(stage int, m *stageMsg, r any) {
+		if m.err == nil {
+			m.err = fmt.Errorf("core: stage %s scheduler panic on job %d: %v", StageNames[stage], m.id, r)
+		}
+	})
+	bp.graph = g
+
+	gin := make(chan stageMsg, bp.depth)
 	go func() {
-		defer close(s1out)
+		defer close(gin)
 		for job := range jobs {
-			var m stageMsg
-			m.id = job.ID
-			m.started = time.Now()
-			bp.inFlight.Add(1)
-			ins.inFlight.Add(1)
-			m.job = ins.tracer.Begin("core", "job", 0, len(StageNames), job.ID)
-			job := job
-			bp.runStage(0, ins, &m, func() error {
-				w := job.Witness
-				var err error
-				if w == nil {
-					w, err = bp.c.Evaluate(job.Public, job.Secret)
-				}
-				if err != nil {
-					return err
-				}
-				m.f, err = protocol.StartProof(bp.c, bp.p, w)
-				return err
-			})
-			m.enq = time.Now()
-			s1out <- m
+			gin <- stageMsg{id: job.ID, src: job}
 		}
 	}()
 
-	// Stage 2: gate-consistency (Hadamard) sum-check.
-	s2out := make(chan stageMsg, bp.depth)
-	go func() {
-		defer close(s2out)
-		for m := range s1out {
-			ins.observeWait(m.enq)
-			bp.runStage(1, ins, &m, func() error { return m.f.RunHadamard() })
-			m.enq = time.Now()
-			s2out <- m
-		}
-	}()
-
-	// Stage 3: batched linear sum-check.
-	s3out := make(chan stageMsg, bp.depth)
-	go func() {
-		defer close(s3out)
-		for m := range s2out {
-			ins.observeWait(m.enq)
-			bp.runStage(2, ins, &m, func() error { return m.f.RunLinear() })
-			m.enq = time.Now()
-			s3out <- m
-		}
-	}()
-
-	// Stage 4: polynomial-commitment opening + assembly.
+	results := make(chan Result, bp.depth)
 	go func() {
 		defer close(results)
-		for m := range s3out {
-			ins.observeWait(m.enq)
-			finish := func(r Result) {
-				m.job.End()
-				ins.e2e.Observe(time.Since(m.started).Nanoseconds())
-				bp.inFlight.Add(-1)
-				ins.inFlight.Add(-1)
-				results <- r
-			}
-			var proof *protocol.Proof
-			bp.runStage(3, ins, &m, func() error {
-				var err error
-				proof, err = m.f.Finish()
-				return err
-			})
+		for m := range g.Run(gin) {
+			m.job.End()
+			ins.e2e.Observe(time.Since(m.started).Nanoseconds())
+			bp.inFlight.Add(-1)
+			ins.inFlight.Add(-1)
 			if m.err != nil {
 				bp.failed.Add(1)
 				ins.failed.Inc()
-				finish(Result{ID: m.id, Err: m.err})
+				results <- Result{ID: m.id, Err: m.err}
 				continue
 			}
 			bp.completed.Add(1)
 			ins.completed.Inc()
-			finish(Result{ID: m.id, Proof: proof, Err: m.err})
+			results <- Result{ID: m.id, Proof: m.proof}
 		}
 	}()
 	return results
 }
 
 // ProveBatch is the convenience form: submit a slice of jobs, collect all
-// results (in order).
+// results (in order). The whole batch is buffered up front so a slow
+// stage or consumer never serializes submission.
 func (bp *BatchProver) ProveBatch(jobs []Job) []Result {
-	in := make(chan Job)
-	out := bp.Run(in)
-	var wg sync.WaitGroup
-	wg.Add(1)
-	results := make([]Result, 0, len(jobs))
-	go func() {
-		defer wg.Done()
-		for r := range out {
-			results = append(results, r)
-		}
-	}()
+	in := make(chan Job, len(jobs))
 	for _, j := range jobs {
 		in <- j
 	}
 	close(in)
-	wg.Wait()
+	results := make([]Result, 0, len(jobs))
+	for r := range bp.Run(in) {
+		results = append(results, r)
+	}
 	return results
 }
 

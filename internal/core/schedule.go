@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"batchzk/internal/field"
+	"batchzk/internal/sched"
+)
+
+// Schedule configures how the batch prover's four stages are staffed —
+// the host-side analogue of the paper's §4 thread allocation, where each
+// prover module owns a share of the device proportional to its amortized
+// time ratio.
+type Schedule struct {
+	// Workers is the per-stage pool size (entries ≤ 0 mean 1). The
+	// zero-value Schedule is the classic one-worker-per-stage pipeline.
+	Workers [4]int
+	// Autobalance enables elastic rebalancing: a controller re-derives the
+	// pool split from live per-stage busy shares while the run progresses.
+	Autobalance bool
+	// RebalanceEvery is the controller period (0 means 50ms).
+	RebalanceEvery time.Duration
+	// Budget is the total worker count the controller may distribute
+	// (0 means the sum of the initial Workers).
+	Budget int
+}
+
+// TotalWorkers returns the sum of the per-stage pool sizes.
+func (s Schedule) TotalWorkers() int {
+	total := 0
+	for _, w := range s.Workers {
+		if w < 1 {
+			w = 1
+		}
+		total += w
+	}
+	return total
+}
+
+// SetSchedule installs a stage-scheduling configuration. Call before
+// Run/ProveBatch; nil restores the default one-worker-per-stage pipeline.
+// For the wider pools to help, the prover's depth (proofs in flight)
+// should be at least the schedule's total worker count — otherwise the
+// dynamic-loading bound, not the pools, limits concurrency.
+func (bp *BatchProver) SetSchedule(s *Schedule) { bp.schedCfg = s }
+
+// Schedule returns the installed scheduling configuration (the
+// one-worker-per-stage default when none was set).
+func (bp *BatchProver) Schedule() Schedule { return bp.scheduleOrDefault() }
+
+func (bp *BatchProver) scheduleOrDefault() Schedule {
+	if bp.schedCfg != nil {
+		return *bp.schedCfg
+	}
+	return Schedule{Workers: [4]int{1, 1, 1, 1}}
+}
+
+// StageWorkers returns the current per-stage pool sizes of the live run —
+// the values autobalance moves at runtime — or the configured schedule
+// when no run is active.
+func (bp *BatchProver) StageWorkers() [4]int {
+	if g := bp.graph; g != nil {
+		var out [4]int
+		copy(out[:], g.Workers())
+		return out
+	}
+	sc := bp.scheduleOrDefault()
+	for i, w := range sc.Workers {
+		if w < 1 {
+			sc.Workers[i] = 1
+		}
+	}
+	return sc.Workers
+}
+
+// ProportionalSchedule derives a schedule from measured stage busy times
+// by the paper's §4 amortized-time-ratio rule: a budget of workers split
+// across the four stages in proportion to each stage's share of the
+// total busy time, with at least one worker per stage. The stats
+// typically come from a calibration run (see CalibrateSchedule) or a
+// previous production run of the same circuit.
+func ProportionalSchedule(stats Stats, budget int) Schedule {
+	weights := make([]float64, len(stats.StageNs))
+	for i, ns := range stats.StageNs {
+		weights[i] = float64(ns)
+	}
+	split := sched.Proportional(weights, budget, 1)
+	var s Schedule
+	copy(s.Workers[:], split)
+	return s
+}
+
+// CalibrateSchedule measures the prover's per-stage amortized times on
+// samples random jobs (run through a fresh sequential prover so the
+// measurement is undisturbed by concurrency) and returns the
+// proportional split of budget workers. This is the reproduction of the
+// paper's offline profiling step that feeds the §4 thread allocation.
+func (bp *BatchProver) CalibrateSchedule(budget, samples int) (Schedule, error) {
+	if budget < len(StageNames) {
+		return Schedule{}, fmt.Errorf("core: calibration budget %d < %d stages", budget, len(StageNames))
+	}
+	if samples < 1 {
+		samples = 4
+	}
+	probe, err := NewBatchProver(bp.c, bp.p, 1)
+	if err != nil {
+		return Schedule{}, err
+	}
+	probe.SetTelemetry(bp.tel)
+	jobs := make([]Job, samples)
+	for i := range jobs {
+		jobs[i] = Job{
+			ID:     i,
+			Public: field.RandVector(bp.c.NumPublic),
+			Secret: field.RandVector(bp.c.NumSecret),
+		}
+	}
+	for _, r := range probe.ProveBatch(jobs) {
+		if r.Err != nil {
+			return Schedule{}, fmt.Errorf("core: calibration job %d failed: %w", r.ID, r.Err)
+		}
+	}
+	return ProportionalSchedule(probe.Stats(), budget), nil
+}

@@ -249,6 +249,58 @@ func maxI(a, b int) int {
 	return b
 }
 
+// ShardedSystemReport summarizes a sharded simulation: one batch split
+// across S simulated devices with per-device memory budgets.
+type ShardedSystemReport struct {
+	Shape  SystemShape
+	Shards int
+	Batch  int
+	// PerShard holds each simulated device's pipeline report, in the
+	// deterministic scatter order (device i proves jobs i, i+S, …).
+	PerShard []*gpusim.Report
+	// TotalNs is the batch wall time (the slowest device).
+	TotalNs float64
+	// ThroughputPerMs is aggregate proofs per millisecond.
+	ThroughputPerMs float64
+	// PeakDeviceBytes is the largest per-device memory high-water mark.
+	PeakDeviceBytes int64
+}
+
+// SimulateSystemSharded models batch proof generation at scale S with the
+// batch split across shards simulated devices — the system-model twin of
+// core.ShardedProver. deviceMemBytes, when positive, overrides each
+// device's memory budget (so a budget too small for the dynamic-loading
+// working set surfaces as gpusim.ErrOutOfMemory, per device).
+func SimulateSystemSharded(spec gpusim.DeviceSpec, costs perfmodel.OpCosts, S, batch, shards int, overlap bool, deviceMemBytes int64) (*ShardedSystemReport, error) {
+	shape, err := ShapeForScale(S)
+	if err != nil {
+		return nil, err
+	}
+	stages, err := SystemStages(shape, costs, encoder.DefaultParams())
+	if err != nil {
+		return nil, err
+	}
+	if deviceMemBytes > 0 {
+		spec.DeviceMemBytes = deviceMemBytes
+	}
+	rep, err := gpusim.RunSharded(spec, stages, batch, shards, gpusim.Options{
+		Overlap:   overlap,
+		TaskBytes: SystemTaskBytes(shape),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedSystemReport{
+		Shape:           shape,
+		Shards:          shards,
+		Batch:           batch,
+		PerShard:        rep.PerShard,
+		TotalNs:         rep.TotalNs,
+		ThroughputPerMs: rep.ThroughputPerMs(),
+		PeakDeviceBytes: rep.PeakDeviceBytes,
+	}, nil
+}
+
 // MultiGPUReport summarizes a multi-device deployment.
 type MultiGPUReport struct {
 	PerDevice       *SystemReport

@@ -1,0 +1,56 @@
+package gpusim
+
+import "testing"
+
+func shardSpec() DeviceSpec {
+	return DeviceSpec{
+		Name: "test", Cores: 1024, ClockGHz: 1.0,
+		MemBandwidthGBs: 500, LinkGBs: 16,
+		DeviceMemBytes: 1 << 30, SIMDWidth: 32,
+	}
+}
+
+func TestRunShardedValidation(t *testing.T) {
+	stages := []Stage{{Name: "s", WorkOps: 1024, CyclesPerOp: 4}}
+	if _, err := RunSharded(shardSpec(), stages, 16, 0, Options{}); err == nil {
+		t.Fatal("accepted zero shards")
+	}
+	if _, err := RunSharded(shardSpec(), stages, 2, 4, Options{}); err == nil {
+		t.Fatal("accepted more shards than tasks")
+	}
+}
+
+func TestRunShardedSplitsAndScales(t *testing.T) {
+	stages := []Stage{
+		{Name: "a", WorkOps: 1 << 16, CyclesPerOp: 8},
+		{Name: "b", WorkOps: 1 << 14, CyclesPerOp: 8},
+	}
+	one, err := RunSharded(shardSpec(), stages, 64, 1, Options{TaskBytes: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	three, err := RunSharded(shardSpec(), stages, 64, 3, Options{TaskBytes: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-robin split: 64 = 22 + 21 + 21.
+	if got := []int{three.PerShard[0].Tasks, three.PerShard[1].Tasks, three.PerShard[2].Tasks}; got[0] != 22 || got[1] != 21 || got[2] != 21 {
+		t.Fatalf("task split %v", got)
+	}
+	if three.TotalNs >= one.TotalNs {
+		t.Fatal("sharding did not reduce wall time")
+	}
+	if three.ThroughputPerMs() <= one.ThroughputPerMs() {
+		t.Fatal("sharding did not raise aggregate throughput")
+	}
+	// Wall time is the slowest shard.
+	max := 0.0
+	for _, r := range three.PerShard {
+		if r.TotalNs > max {
+			max = r.TotalNs
+		}
+	}
+	if three.TotalNs != max {
+		t.Fatalf("TotalNs %v != slowest shard %v", three.TotalNs, max)
+	}
+}

@@ -3,14 +3,13 @@ package pipeline
 import (
 	"errors"
 	"fmt"
-	"time"
 
 	"batchzk/internal/encoder"
 	"batchzk/internal/field"
 	"batchzk/internal/merkle"
+	"batchzk/internal/sched"
 	"batchzk/internal/sha2"
 	"batchzk/internal/sumcheck"
-	"batchzk/internal/telemetry"
 )
 
 // TaskError records one poisoned task: the stage it first failed in and
@@ -73,8 +72,11 @@ func partialResult[T any](results []T, err error) ([]T, error) {
 
 // runSchedule drives a software pipeline: numStages stages, one task
 // entering per cycle, every stage busy on a different task within a cycle
-// (the schedule of Figure 4b). Stages are invoked in descending order so
-// that a cycle's writes never overtake its reads.
+// (the schedule of Figure 4b). It delegates to the unified execution
+// layer's cycle-synchronous discipline (sched.RunCycles) — stages run in
+// descending order within a cycle so a cycle's writes never overtake its
+// reads, which the modules' shared double buffers require — and converts
+// the per-task slot errors into this package's *TaskErrors aggregate.
 //
 // When a process-wide telemetry sink is enabled, each (stage, task) slot
 // becomes a "pipeline" layer span on the stage's track under one
@@ -85,69 +87,21 @@ func runSchedule(module string, numTasks, numStages int, process func(cycle, sta
 	if numTasks <= 0 || numStages <= 0 {
 		return fmt.Errorf("pipeline: need positive task and stage counts")
 	}
-	sink := telemetry.Active()
-	tracer := sink.Trace()
-	cycles := sink.Counter("pipeline/" + module + "/cycles")
-	slotHist := sink.Histogram("pipeline/" + module + "/slot_ns")
-	taskErrs := sink.Counter("pipeline/" + module + "/task_errors")
-	panics := sink.Counter("pipeline/" + module + "/panics_recovered")
-	root := tracer.Begin("pipeline", module, 0, numStages, -1)
-	var failed map[int]*TaskError
-	for cycle := 0; cycle < numTasks+numStages-1; cycle++ {
-		for stage := numStages - 1; stage >= 0; stage-- {
-			task := cycle - stage
-			if task < 0 || task >= numTasks {
-				continue
-			}
-			if failed[task] != nil {
-				continue // poisoned: the task's remaining slots are skipped
-			}
-			sp := tracer.Begin("pipeline", fmt.Sprintf("%s/stage%d", module, stage), root.ID(), stage, task)
-			start := time.Now()
-			err := runSlot(process, cycle, stage, task, panics)
-			slotHist.Observe(time.Since(start).Nanoseconds())
-			sp.End()
-			if err != nil {
-				if failed == nil {
-					failed = make(map[int]*TaskError)
-				}
-				failed[task] = &TaskError{Task: task, Stage: stage, Err: err}
-				taskErrs.Inc()
-			}
-		}
-		cycles.Inc()
-		if endCycle != nil {
-			// endCycle failures are infrastructure (buffer-discipline)
-			// violations: the whole schedule is unsound, so abort.
-			if err := endCycle(cycle); err != nil {
-				root.End()
-				return err
-			}
-		}
+	slots, err := sched.RunCycles(numTasks, numStages, process, endCycle, sched.CycleConfig{
+		Layer:  "pipeline",
+		Module: module,
+	})
+	if err != nil {
+		return err
 	}
-	root.End()
-	if len(failed) > 0 {
-		agg := &TaskErrors{Module: module}
-		for t := 0; t < numTasks; t++ {
-			if fe := failed[t]; fe != nil {
-				agg.Tasks = append(agg.Tasks, *fe)
-			}
+	if len(slots) > 0 {
+		agg := &TaskErrors{Module: module, Tasks: make([]TaskError, len(slots))}
+		for i, s := range slots {
+			agg.Tasks[i] = TaskError{Task: s.Task, Stage: s.Stage, Err: s.Err}
 		}
 		return agg
 	}
 	return nil
-}
-
-// runSlot executes one (stage, task) slot, converting a panicking stage
-// into a task error so one poisoned task cannot kill the whole batch.
-func runSlot(process func(cycle, stage, task int) error, cycle, stage, task int, panics *telemetry.Counter) (err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			panics.Inc()
-			err = fmt.Errorf("pipeline: stage %d panicked on task %d: %v", stage, task, r)
-		}
-	}()
-	return process(cycle, stage, task)
 }
 
 // BatchMerkle builds one Merkle tree per task by streaming the tasks

@@ -1,0 +1,118 @@
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"batchzk/internal/telemetry"
+)
+
+// CycleConfig names a cycle-synchronous run for telemetry: series are
+// emitted as <layer>/<module>/{cycles,slot_ns,task_errors,
+// panics_recovered} and spans as layer Layer with names
+// <module>/stage<i>, matching the scheme the pipelined modules have
+// always used.
+type CycleConfig struct {
+	Layer  string
+	Module string
+	// Telemetry overrides the process-wide sink when non-nil.
+	Telemetry *telemetry.Sink
+}
+
+// SlotError records one poisoned task of a cycle-synchronous run: the
+// stage it first failed in and the underlying cause.
+type SlotError struct {
+	Task  int
+	Stage int
+	Err   error
+}
+
+// RunCycles drives the static Figure-4b schedule — the cycle-synchronous
+// discipline of the unified execution layer, for modules whose stages
+// share cross-task state (recyclable double buffers) and therefore must
+// not run stages of different tasks concurrently. One task enters per
+// cycle; within a cycle stages run in descending order so a cycle's
+// writes never overtake its reads; endCycle (when non-nil) runs as a
+// barrier after every cycle.
+//
+// A slot that fails (or panics — recovered and counted) poisons its
+// task: the task's remaining slots are skipped, which cannot disturb the
+// buffer discipline, and the healthy tasks run to completion. The
+// per-task first errors are returned sorted by task. An endCycle failure
+// is an infrastructure violation and aborts the whole run with a non-nil
+// fatal error.
+func RunCycles(numTasks, numStages int, slot func(cycle, stage, task int) error, endCycle func(cycle int) error, cfg CycleConfig) ([]SlotError, error) {
+	if numTasks <= 0 || numStages <= 0 {
+		return nil, fmt.Errorf("sched: need positive task and stage counts")
+	}
+	if cfg.Layer == "" {
+		cfg.Layer = "sched"
+	}
+	if cfg.Module == "" {
+		cfg.Module = "cycles"
+	}
+	sink := telemetry.Resolve(cfg.Telemetry)
+	tracer := sink.Trace()
+	prefix := cfg.Layer + "/" + cfg.Module
+	cycles := sink.Counter(prefix + "/cycles")
+	slotHist := sink.Histogram(prefix + "/slot_ns")
+	taskErrs := sink.Counter(prefix + "/task_errors")
+	panics := sink.Counter(prefix + "/panics_recovered")
+	root := tracer.Begin(cfg.Layer, cfg.Module, 0, numStages, -1)
+	var failed map[int]*SlotError
+	for cycle := 0; cycle < numTasks+numStages-1; cycle++ {
+		for stage := numStages - 1; stage >= 0; stage-- {
+			task := cycle - stage
+			if task < 0 || task >= numTasks {
+				continue
+			}
+			if failed[task] != nil {
+				continue // poisoned: the task's remaining slots are skipped
+			}
+			sp := tracer.Begin(cfg.Layer, fmt.Sprintf("%s/stage%d", cfg.Module, stage), root.ID(), stage, task)
+			start := time.Now()
+			err := runSlot(cfg.Layer, slot, cycle, stage, task, panics)
+			slotHist.Observe(time.Since(start).Nanoseconds())
+			sp.End()
+			if err != nil {
+				if failed == nil {
+					failed = make(map[int]*SlotError)
+				}
+				failed[task] = &SlotError{Task: task, Stage: stage, Err: err}
+				taskErrs.Inc()
+			}
+		}
+		cycles.Inc()
+		if endCycle != nil {
+			// endCycle failures are infrastructure (buffer-discipline)
+			// violations: the whole schedule is unsound, so abort.
+			if err := endCycle(cycle); err != nil {
+				root.End()
+				return nil, err
+			}
+		}
+	}
+	root.End()
+	if len(failed) == 0 {
+		return nil, nil
+	}
+	out := make([]SlotError, 0, len(failed))
+	for t := 0; t < numTasks; t++ {
+		if fe := failed[t]; fe != nil {
+			out = append(out, *fe)
+		}
+	}
+	return out, nil
+}
+
+// runSlot executes one (stage, task) slot, converting a panicking stage
+// into a task error so one poisoned task cannot kill the whole batch.
+func runSlot(layer string, slot func(cycle, stage, task int) error, cycle, stage, task int, panics *telemetry.Counter) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			panics.Inc()
+			err = fmt.Errorf("%s: stage %d panicked on task %d: %v", layer, stage, task, r)
+		}
+	}()
+	return slot(cycle, stage, task)
+}

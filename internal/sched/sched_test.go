@@ -1,0 +1,369 @@
+package sched
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"batchzk/internal/telemetry"
+)
+
+type item struct {
+	id   int
+	trace []int
+	err  error
+}
+
+func feed(n int) <-chan item {
+	in := make(chan item, n)
+	for i := 0; i < n; i++ {
+		in <- item{id: i}
+	}
+	close(in)
+	return in
+}
+
+func collect(out <-chan item) []item {
+	var got []item
+	for it := range out {
+		got = append(got, it)
+	}
+	return got
+}
+
+func TestGraphValidation(t *testing.T) {
+	proc := func(int, *item) {}
+	if _, err := NewGraph[item](nil, proc, Options{InFlight: 1}); err == nil {
+		t.Fatal("accepted empty stage list")
+	}
+	if _, err := NewGraph[item]([]StageSpec{{Name: "a"}}, nil, Options{InFlight: 1}); err == nil {
+		t.Fatal("accepted nil process")
+	}
+	if _, err := NewGraph([]StageSpec{{Name: "a"}}, proc, Options{InFlight: 0}); err == nil {
+		t.Fatal("accepted zero in-flight bound")
+	}
+}
+
+// Every item must traverse every stage exactly once, in stage order, and
+// emerge in submission order — even with pools > 1 and deliberately
+// skewed per-stage latencies that reorder items inside the stages.
+func TestGraphOrderingWithPools(t *testing.T) {
+	specs := []StageSpec{
+		{Name: "a", Workers: 3},
+		{Name: "b", Workers: 1},
+		{Name: "c", Workers: 2},
+	}
+	g, err := NewGraph(specs, func(stage int, it *item) {
+		// Early items sleep longer, so later items overtake them inside
+		// the pools and the reorder buffer has to restore order.
+		if stage == 0 {
+			time.Sleep(time.Duration((97-it.id)%7) * time.Millisecond / 4)
+		}
+		it.trace = append(it.trace, stage)
+	}, Options{Name: "t", InFlight: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	got := collect(g.Run(feed(n)))
+	if len(got) != n {
+		t.Fatalf("got %d items, want %d", len(got), n)
+	}
+	for i, it := range got {
+		if it.id != i {
+			t.Fatalf("out of order: id %d at position %d", it.id, i)
+		}
+		if len(it.trace) != len(specs) {
+			t.Fatalf("item %d visited %d stages", i, len(it.trace))
+		}
+		for s, v := range it.trace {
+			if v != s {
+				t.Fatalf("item %d stage order %v", i, it.trace)
+			}
+		}
+	}
+}
+
+// The in-flight bound must hold at every instant: even with a wider
+// worker pool, no more than InFlight items may be inside process calls
+// at once, because admission is gated by the in-flight semaphore.
+func TestGraphInFlightBound(t *testing.T) {
+	const bound = 3
+	var inProcess, peak atomic.Int64
+	g, err := NewGraph([]StageSpec{{Name: "only", Workers: 8}}, func(stage int, it *item) {
+		v := inProcess.Add(1)
+		for {
+			p := peak.Load()
+			if v <= p || peak.CompareAndSwap(p, v) {
+				break
+			}
+		}
+		time.Sleep(200 * time.Microsecond)
+		inProcess.Add(-1)
+	}, Options{Name: "bound", InFlight: bound})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for range g.Run(feed(32)) {
+		n++
+	}
+	if n != 32 {
+		t.Fatalf("emitted %d items", n)
+	}
+	if p := peak.Load(); p > bound {
+		t.Fatalf("observed %d concurrent items, bound %d", p, bound)
+	}
+}
+
+// A panicking process call must be recovered, reported through the
+// handler, and the item still emitted in order.
+func TestGraphPanicRecovery(t *testing.T) {
+	sink := telemetry.NewSink(0)
+	g, err := NewGraph([]StageSpec{{Name: "s", Workers: 2}}, func(stage int, it *item) {
+		if it.id == 3 {
+			panic("boom")
+		}
+	}, Options{Name: "p", InFlight: 4, Telemetry: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SetRecover(func(stage int, it *item, r any) {
+		it.err = fmt.Errorf("stage %d: %v", stage, r)
+	})
+	got := collect(g.Run(feed(8)))
+	if len(got) != 8 {
+		t.Fatalf("got %d items", len(got))
+	}
+	for i, it := range got {
+		if it.id != i {
+			t.Fatalf("out of order after panic: %d at %d", it.id, i)
+		}
+		if (it.id == 3) != (it.err != nil) {
+			t.Fatalf("item %d error state %v", it.id, it.err)
+		}
+	}
+	if n := sink.Metrics.Snapshot().Counters["sched/p/panics_recovered"]; n != 1 {
+		t.Fatalf("panics_recovered = %d", n)
+	}
+}
+
+func TestGraphWorkerGauges(t *testing.T) {
+	sink := telemetry.NewSink(0)
+	specs := []StageSpec{{Name: "commit", Workers: 2}, {Name: "open", Workers: 5}}
+	g, err := NewGraph(specs, func(int, *item) {}, Options{Name: "core", InFlight: 4, Telemetry: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	collect(g.Run(feed(4)))
+	snap := sink.Metrics.Snapshot()
+	if v := snap.Gauges["sched/core/stage/commit/workers"].Value; v != 2 {
+		t.Fatalf("commit workers gauge = %d", v)
+	}
+	if v := snap.Gauges["sched/core/stage/open/workers"].Value; v != 5 {
+		t.Fatalf("open workers gauge = %d", v)
+	}
+	if snap.Histograms["sched/core/stage/open/queue_wait_ns"].Count == 0 {
+		t.Fatal("no queue-wait observations")
+	}
+}
+
+// Elastic rebalance must shift workers toward the stage with the
+// dominant busy share, never dropping any stage below the floor, and
+// keep the total at the budget.
+func TestGraphAutobalance(t *testing.T) {
+	specs := []StageSpec{
+		{Name: "light", Workers: 3},
+		{Name: "heavy", Workers: 3},
+		{Name: "light2", Workers: 2},
+	}
+	g, err := NewGraph(specs, func(stage int, it *item) {
+		if stage == 1 {
+			time.Sleep(2 * time.Millisecond)
+		} else {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}, Options{
+		Name: "ab", InFlight: 16,
+		Autobalance: &Autobalance{Interval: 5 * time.Millisecond, Budget: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := g.Run(feed(48))
+	for range out {
+	}
+	// The run is over; apply one final deterministic rebalance from the
+	// all-time busy totals so the assertion does not race the ticker.
+	g.RebalanceNow(nil)
+	w := g.Workers()
+	total := 0
+	for i, v := range w {
+		if v < 1 {
+			t.Fatalf("stage %d below floor: %v", i, w)
+		}
+		total += v
+	}
+	if total != 8 {
+		t.Fatalf("budget not preserved: %v (total %d)", w, total)
+	}
+	if w[1] <= w[0] || w[1] <= w[2] {
+		t.Fatalf("heavy stage not favored: %v", w)
+	}
+	if g.Rebalances() == 0 {
+		t.Fatal("no rebalances recorded")
+	}
+}
+
+func TestProportional(t *testing.T) {
+	cases := []struct {
+		w      []float64
+		budget int
+		min    int
+		want   []int
+	}{
+		{[]float64{1, 1, 1, 1}, 4, 1, []int{1, 1, 1, 1}},
+		{[]float64{3, 1, 1, 1}, 8, 1, []int{3, 2, 2, 1}},
+		{[]float64{70, 10, 10, 10}, 10, 1, []int{5, 2, 2, 1}},
+		{[]float64{0, 0}, 6, 1, []int{3, 3}},
+		{[]float64{5, 5}, 1, 1, []int{1, 1}}, // budget below floor → floor
+		{[]float64{1, 1000}, 4, 1, []int{1, 3}},
+	}
+	for i, c := range cases {
+		got := Proportional(c.w, c.budget, c.min)
+		if len(got) != len(c.want) {
+			t.Fatalf("case %d: got %v", i, got)
+		}
+		for j := range got {
+			if got[j] != c.want[j] {
+				t.Fatalf("case %d: got %v want %v", i, got, c.want)
+			}
+		}
+	}
+	if Proportional(nil, 4, 1) != nil {
+		t.Fatal("empty weights should yield nil")
+	}
+	// Determinism: same inputs, same split, every time.
+	for i := 0; i < 10; i++ {
+		a := Proportional([]float64{2.5, 2.5, 5}, 7, 1)
+		b := Proportional([]float64{2.5, 2.5, 5}, 7, 1)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatal("non-deterministic split")
+			}
+		}
+	}
+}
+
+func TestParseWorkers(t *testing.T) {
+	if w, b, err := ParseWorkers("", 4); err != nil || w != nil || b != 0 {
+		t.Fatalf("empty spec: %v %v %v", w, b, err)
+	}
+	w, b, err := ParseWorkers("2,4,1,1", 4)
+	if err != nil || b != 0 {
+		t.Fatalf("list spec: %v %v %v", w, b, err)
+	}
+	if len(w) != 4 || w[0] != 2 || w[1] != 4 || w[2] != 1 || w[3] != 1 {
+		t.Fatalf("list spec parsed %v", w)
+	}
+	if w, b, err = ParseWorkers("8", 4); err != nil || w != nil || b != 8 {
+		t.Fatalf("budget spec: %v %v %v", w, b, err)
+	}
+	for _, bad := range []string{"0", "a", "1,2", "1,2,3,4,5", "-3", "2,,2,2"} {
+		if _, _, err := ParseWorkers(bad, 4); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}
+
+func TestRunCycles(t *testing.T) {
+	sink := telemetry.NewSink(0)
+	var order []string
+	slots, err := RunCycles(3, 2, func(cycle, stage, task int) error {
+		order = append(order, fmt.Sprintf("c%d s%d t%d", cycle, stage, task))
+		return nil
+	}, nil, CycleConfig{Layer: "pipeline", Module: "m", Telemetry: sink})
+	if err != nil || len(slots) != 0 {
+		t.Fatalf("clean run: %v %v", slots, err)
+	}
+	// Figure 4b: stages descend within a cycle; one task enters per cycle.
+	want := []string{
+		"c0 s0 t0",
+		"c1 s1 t0", "c1 s0 t1",
+		"c2 s1 t1", "c2 s0 t2",
+		"c3 s1 t2",
+	}
+	if len(order) != len(want) {
+		t.Fatalf("slot order %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("slot order %v, want %v", order, want)
+		}
+	}
+	snap := sink.Metrics.Snapshot()
+	if snap.Counters["pipeline/m/cycles"] != 4 {
+		t.Fatalf("cycles counter = %d", snap.Counters["pipeline/m/cycles"])
+	}
+	if snap.Histograms["pipeline/m/slot_ns"].Count != 6 {
+		t.Fatal("slot histogram incomplete")
+	}
+}
+
+func TestRunCyclesPoisonAndPanic(t *testing.T) {
+	sink := telemetry.NewSink(0)
+	var ran []string
+	slots, err := RunCycles(3, 3, func(cycle, stage, task int) error {
+		ran = append(ran, fmt.Sprintf("s%d t%d", stage, task))
+		if task == 1 && stage == 0 {
+			return fmt.Errorf("bad task")
+		}
+		if task == 2 && stage == 1 {
+			panic("kaboom")
+		}
+		return nil
+	}, nil, CycleConfig{Layer: "pipeline", Module: "m", Telemetry: sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slots) != 2 {
+		t.Fatalf("slot errors: %+v", slots)
+	}
+	if slots[0].Task != 1 || slots[0].Stage != 0 {
+		t.Fatalf("first slot error %+v", slots[0])
+	}
+	if slots[1].Task != 2 || slots[1].Stage != 1 {
+		t.Fatalf("second slot error %+v", slots[1])
+	}
+	// Poisoned tasks must not run later stages.
+	for _, s := range ran {
+		if s == "s1 t1" || s == "s2 t1" || s == "s2 t2" {
+			t.Fatalf("poisoned slot ran: %v", ran)
+		}
+	}
+	snap := sink.Metrics.Snapshot()
+	if snap.Counters["pipeline/m/task_errors"] != 2 {
+		t.Fatal("task_errors counter wrong")
+	}
+	if snap.Counters["pipeline/m/panics_recovered"] != 1 {
+		t.Fatal("panics_recovered counter wrong")
+	}
+}
+
+func TestRunCyclesEndCycleAborts(t *testing.T) {
+	boom := fmt.Errorf("buffer discipline violated")
+	_, err := RunCycles(2, 2, func(int, int, int) error { return nil },
+		func(cycle int) error {
+			if cycle == 1 {
+				return boom
+			}
+			return nil
+		}, CycleConfig{})
+	if err != boom {
+		t.Fatalf("endCycle error not fatal: %v", err)
+	}
+	if _, err := RunCycles(0, 2, func(int, int, int) error { return nil }, nil, CycleConfig{}); err == nil {
+		t.Fatal("accepted zero tasks")
+	}
+}
