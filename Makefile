@@ -7,7 +7,7 @@ REPORT_DIR ?= .
 # Per-target budget for the fuzz smoke (see `make fuzz`).
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet bench bench-report bench-sched bench-check fuzz check
+.PHONY: build test race vet bench bench-report bench-sched bench-kernels bench-check fuzz check
 
 build:
 	$(GO) build ./...
@@ -19,7 +19,8 @@ test:
 # pipelined module schedules, fault injector, telemetry registry/tracer)
 # under the race detector.
 race:
-	$(GO) test -race ./internal/core/... ./internal/pipeline/... ./internal/telemetry/... ./internal/faults/... ./internal/gpusim/...
+	$(GO) test -race ./internal/core/... ./internal/pipeline/... ./internal/telemetry/... ./internal/faults/... ./internal/gpusim/... \
+		./internal/par/... ./internal/merkle/... ./internal/encoder/... ./internal/sumcheck/... ./internal/ntt/... ./internal/pcs/... ./internal/msm/...
 
 vet:
 	$(GO) vet ./...
@@ -38,15 +39,23 @@ bench-report:
 bench-sched:
 	$(GO) run ./cmd/batchzk-bench sched -out $(REPORT_DIR)
 
+# Regenerate BENCH_kernels.json: every hot kernel (Merkle, encoder,
+# sum-check, NTT, PCS commit, batch inversion) timed serial vs parallel
+# on the multicore runtime, with bit-identity asserted.
+bench-kernels:
+	$(GO) run ./cmd/batchzk-bench kernels -out $(REPORT_DIR)
+
 # Gate the working tree against the committed reports: regenerate into a
-# temp dir and fail on any gated metric >10% worse. The scenario report
-# and the scheduler report are both gated.
+# temp dir and fail on any gated metric >10% worse. The scenario report,
+# the scheduler report, and the kernels report are all gated.
 bench-check:
 	@tmp=$$(mktemp -d) && \
 	$(GO) run ./cmd/batchzk-profile -scenario $(SCENARIO) -out $$tmp >/dev/null && \
 	$(GO) run ./cmd/batchzk-profile compare $(REPORT_DIR)/BENCH_$(SCENARIO).json $$tmp/BENCH_$(SCENARIO).json && \
 	$(GO) run ./cmd/batchzk-bench sched -out $$tmp >/dev/null && \
-	$(GO) run ./cmd/batchzk-profile compare $(REPORT_DIR)/BENCH_scheduler.json $$tmp/BENCH_scheduler.json; \
+	$(GO) run ./cmd/batchzk-profile compare $(REPORT_DIR)/BENCH_scheduler.json $$tmp/BENCH_scheduler.json && \
+	$(GO) run ./cmd/batchzk-bench kernels -shift 12 -reps 1 -out $$tmp >/dev/null && \
+	$(GO) run ./cmd/batchzk-profile compare $(REPORT_DIR)/BENCH_kernels.json $$tmp/BENCH_kernels.json; \
 	status=$$?; rm -rf $$tmp; exit $$status
 
 # Short coverage-guided fuzz of the codec/derivation/verification

@@ -36,6 +36,7 @@ import (
 	"batchzk/internal/field"
 	"batchzk/internal/gpusim"
 	"batchzk/internal/nn"
+	"batchzk/internal/par"
 	"batchzk/internal/perfmodel"
 	"batchzk/internal/protocol"
 	"batchzk/internal/sched"
@@ -359,3 +360,42 @@ func SchedulerBenchFileName() string { return bench.SchedulerReportFileName() }
 // SchedulerBenchKind is the "kind" discriminator scheduler reports carry
 // so tooling can route a BENCH_*.json to the right comparator.
 func SchedulerBenchKind() string { return bench.SchedulerReportKind }
+
+// SetKernelWorkers sets the width of the shared multicore kernel runtime
+// that every hot kernel (Merkle, encoder, sum-check, NTT, PCS, MSM) runs
+// on: w-way parallelism, 1 = fully serial, ≤ 0 = the GOMAXPROCS default.
+// Parallel kernels are bit-identical to their serial forms at any width.
+func SetKernelWorkers(w int) { par.SetWidth(w) }
+
+// KernelWorkers reports the kernel runtime's current width.
+func KernelWorkers() int { return par.Width() }
+
+// KernelsBenchReport is the schema-versioned content of
+// BENCH_kernels.json: serial-vs-parallel timings of every hot kernel on
+// the multicore runtime, each with a bit-identity check.
+type KernelsBenchReport = bench.KernelsReport
+
+// BuildKernelsBenchReport measures every kernel at 2^shift problem sizes,
+// serial (width 1) vs parallel (workers; ≤ 0 = GOMAXPROCS), best of reps
+// runs, asserting bit-identical outputs.
+func BuildKernelsBenchReport(shift, reps, workers int, seed int64) (*KernelsBenchReport, error) {
+	return bench.BuildKernelsReport(shift, reps, workers, seed)
+}
+
+// ReadKernelsBenchReport parses and schema-checks a BENCH_kernels.json
+// stream.
+func ReadKernelsBenchReport(r io.Reader) (*KernelsBenchReport, error) {
+	return bench.ReadKernelsReport(r)
+}
+
+// CompareKernelsBenchReports gates a new kernels report against an old
+// one (bit-identity always; speedups only between equal-core hosts).
+func CompareKernelsBenchReports(old, cur *KernelsBenchReport, threshold float64) ([]BenchRegression, error) {
+	return bench.CompareKernels(old, cur, threshold)
+}
+
+// KernelsBenchFileName is the BENCH_kernels.json naming convention.
+func KernelsBenchFileName() string { return bench.KernelsReportFileName() }
+
+// KernelsBenchKind is the "kind" discriminator kernels reports carry.
+func KernelsBenchKind() string { return bench.KernelsReportKind }

@@ -16,6 +16,8 @@
 //	                                    # chaos through pooled/sharded provers
 //	batchzk-bench sched -out .          # scheduler bench: throughput vs
 //	                                    # worker allocation → BENCH_scheduler.json
+//	batchzk-bench kernels -out .        # multicore kernel bench: serial vs
+//	                                    # parallel per kernel → BENCH_kernels.json
 package main
 
 import (
@@ -31,6 +33,13 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "sched" {
 		if err := runSched(os.Args[2:], os.Stdout, os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "batchzk-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "kernels" {
+		if err := runKernels(os.Args[2:], os.Stdout, os.Stderr); err != nil {
 			fmt.Fprintln(os.Stderr, "batchzk-bench:", err)
 			os.Exit(1)
 		}
@@ -90,6 +99,54 @@ func runSched(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
+// runKernels implements `batchzk-bench kernels`: time every hot kernel on
+// the multicore runtime serial (width 1) vs parallel, assert the outputs
+// are bit-identical, and write the schema-versioned BENCH_kernels.json.
+func runKernels(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("kernels", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	shift := fs.Int("shift", 16, "log2 of the per-kernel problem size")
+	reps := fs.Int("reps", 3, "runs per kernel; best time is kept")
+	workers := fs.Int("workers", 0, "parallel width to measure (0 = GOMAXPROCS)")
+	seed := fs.Int64("seed", 1, "input synthesis seed")
+	out := fs.String("out", ".", "directory for BENCH_kernels.json ('' = don't write)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep, err := batchzk.BuildKernelsBenchReport(*shift, *reps, *workers, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "kernel bench: 2^%d elements, %d rep(s), width %d (%d cores)\n",
+		rep.Shift, rep.Reps, rep.Workers, rep.Cores)
+	for _, k := range rep.Kernels {
+		fmt.Fprintf(stdout, "  %-20s serial %10dns  parallel %10dns  %5.2fx  identical=%v\n",
+			k.Name, k.SerialNs, k.ParallelNs, k.SpeedupX, k.Identical)
+		if !k.Identical {
+			return fmt.Errorf("kernel %s: parallel output is not bit-identical to serial", k.Name)
+		}
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			return fmt.Errorf("cannot create report directory %s: %w", *out, err)
+		}
+		path := filepath.Join(*out, batchzk.KernelsBenchFileName())
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("cannot write report: %w", err)
+		}
+		werr := rep.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("cannot write report %s: %w", path, werr)
+		}
+		fmt.Fprintf(stderr, "report written to %s\n", path)
+	}
+	return nil
+}
+
 func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("batchzk-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -105,9 +162,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	workers := fs.String("workers", "", `chaos-run worker pools: a list "2,4,1,1" or a total budget "8" split by measured stage shares (empty = one worker per stage)`)
 	shards := fs.Int("shards", 1, "chaos-run prover shards the batch is split across")
 	autobalance := fs.Bool("autobalance", false, "chaos run: elastically rebalance the worker pools at runtime")
+	kernelWorkers := fs.Int("kernel-workers", 0, "multicore kernel runtime width: 0 = GOMAXPROCS, 1 = serial")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	batchzk.SetKernelWorkers(*kernelWorkers)
 
 	if *list {
 		for _, id := range batchzk.Experiments() {

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -44,6 +46,36 @@ func TestRunChaosSmoke(t *testing.T) {
 		if !strings.Contains(got, want) {
 			t.Fatalf("chaos output missing %q:\n%s", want, got)
 		}
+	}
+}
+
+// The kernels subcommand times every kernel serial vs parallel, asserts
+// bit-identity, and writes BENCH_kernels.json.
+func TestRunKernelsSmoke(t *testing.T) {
+	dir := t.TempDir()
+	var out, errOut bytes.Buffer
+	if err := runKernels([]string{"-shift", "8", "-reps", "1", "-out", dir}, &out, &errOut); err != nil {
+		t.Fatalf("kernels run: %v\nstderr: %s", err, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{"kernel bench:", "merkle/build", "pcs/commit", "identical=true"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("kernels output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "identical=false") {
+		t.Fatalf("a kernel lost bit-identity:\n%s", got)
+	}
+	path := filepath.Join(dir, "BENCH_kernels.json")
+	if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+		t.Fatalf("report file %s empty or unreadable: %v", path, err)
+	}
+}
+
+func TestRunKernelsRejectsBadShift(t *testing.T) {
+	var out bytes.Buffer
+	if err := runKernels([]string{"-shift", "1", "-out", ""}, &out, &out); err == nil {
+		t.Fatal("out-of-range shift accepted")
 	}
 }
 

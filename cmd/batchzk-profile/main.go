@@ -128,8 +128,9 @@ func runCompare(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	// Reports carry a "kind" discriminator: scenario reports (no kind
-	// field) and scheduler reports ("scheduler") are gated by different
-	// comparators. Both files must be of the same kind.
+	// field), scheduler reports ("scheduler"), and kernel reports
+	// ("kernels") are gated by different comparators. Both files must be
+	// of the same kind.
 	oldKind, err := reportKind(files[0])
 	if err != nil {
 		fmt.Fprintln(stderr, "batchzk-profile:", err)
@@ -147,7 +148,23 @@ func runCompare(args []string, stdout, stderr io.Writer) int {
 
 	var regs []batchzk.BenchRegression
 	var label string
-	if oldKind == batchzk.SchedulerBenchKind() {
+	if oldKind == batchzk.KernelsBenchKind() {
+		oldRep, err := readKernelsReportFile(files[0])
+		if err != nil {
+			fmt.Fprintln(stderr, "batchzk-profile:", err)
+			return 2
+		}
+		newRep, err := readKernelsReportFile(files[1])
+		if err != nil {
+			fmt.Fprintln(stderr, "batchzk-profile:", err)
+			return 2
+		}
+		if regs, err = batchzk.CompareKernelsBenchReports(oldRep, newRep, *threshold); err != nil {
+			fmt.Fprintln(stderr, "batchzk-profile:", err)
+			return 2
+		}
+		label = "kernels"
+	} else if oldKind == batchzk.SchedulerBenchKind() {
 		oldRep, err := readSchedulerReportFile(files[0])
 		if err != nil {
 			fmt.Fprintln(stderr, "batchzk-profile:", err)
@@ -216,6 +233,19 @@ func readReportFile(path string) (*batchzk.BenchReport, error) {
 	}
 	defer f.Close()
 	rep, err := batchzk.ReadBenchReport(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+func readKernelsReportFile(path string) (*batchzk.KernelsBenchReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("cannot read report: %w", err)
+	}
+	defer f.Close()
+	rep, err := batchzk.ReadKernelsBenchReport(f)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}

@@ -67,6 +67,37 @@ func TestRunCompareExitCodes(t *testing.T) {
 	}
 }
 
+// compare dispatches kernel reports to the kernels comparator and
+// refuses to compare across kinds.
+func TestRunCompareKernelsKind(t *testing.T) {
+	dir := t.TempDir()
+	kernels := filepath.Join(dir, "BENCH_kernels.json")
+	const rep = `{"schema_version":1,"kind":"kernels","cores":2,"workers":2,"shift":8,"reps":1,
+		"kernels":[{"name":"merkle/build","size":256,"serial_ns":100,"parallel_ns":60,"speedup_x":1.67,"identical":true}]}`
+	if err := os.WriteFile(kernels, []byte(rep), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var cout, cerr bytes.Buffer
+	if code := runCompare([]string{kernels, kernels}, &cout, &cerr); code != 0 {
+		t.Fatalf("kernels self-compare exit %d, want 0\nstdout: %s\nstderr: %s", code, cout.String(), cerr.String())
+	}
+	if !strings.Contains(cout.String(), "compare kernels") {
+		t.Fatalf("kernels compare not routed to the kernels comparator:\n%s", cout.String())
+	}
+
+	var out bytes.Buffer
+	if err := run([]string{"-scenario", "tiny", "-out", dir}, &out, &out); err != nil {
+		t.Fatalf("generating scenario report: %v\n%s", err, out.String())
+	}
+	scenario := filepath.Join(dir, "BENCH_tiny.json")
+	cout.Reset()
+	cerr.Reset()
+	if code := runCompare([]string{kernels, scenario}, &cout, &cerr); code != 2 {
+		t.Fatalf("cross-kind compare exit %d, want 2\nstderr: %s", code, cerr.String())
+	}
+}
+
 func TestRunRejectsUnknownScenario(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-scenario", "no-such-scenario", "-out", ""}, &out, &out); err == nil {

@@ -10,6 +10,7 @@
 //	batchzk -batch 64 -workers 2,3,2,1           # explicit per-stage pools
 //	batchzk -batch 64 -workers 8 -autobalance    # elastic runtime rebalance
 //	batchzk -batch 64 -shards 4                  # split the batch across 4 provers
+//	batchzk -batch 64 -kernel-workers 4          # 4-way multicore kernel runtime
 //	batchzk -batch 16 -telemetry out/            # + metrics & Chrome trace dump
 //	batchzk -debug-addr localhost:6060           # + live pprof/expvar server
 //	batchzk prove  -gates 512 -out proof.bzk     # write a proof bundle
@@ -68,9 +69,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	autobalance := fs.Bool("autobalance", false, "elastically rebalance the worker pools from live per-stage busy shares")
 	telemetryDir := fs.String("telemetry", "", "directory to dump telemetry (metrics.json, trace.json, spans.jsonl)")
 	debugAddr := fs.String("debug-addr", "", "serve /debug/vars, /debug/pprof and /debug/telemetry on this address")
+	kernelWorkers := fs.Int("kernel-workers", 0, "multicore kernel runtime width: 0 = GOMAXPROCS, 1 = serial")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	batchzk.SetKernelWorkers(*kernelWorkers)
 
 	var sink *batchzk.TelemetrySink
 	if *telemetryDir != "" {

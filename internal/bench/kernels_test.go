@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestKernelsReportBuildAndRoundTrip(t *testing.T) {
+	rep, err := BuildKernelsReport(6, 1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kind != KernelsReportKind || rep.SchemaVersion != KernelsSchemaVersion {
+		t.Fatalf("bad header: kind=%q v%d", rep.Kind, rep.SchemaVersion)
+	}
+	if len(rep.Kernels) != 6 {
+		t.Fatalf("%d kernels measured, want 6", len(rep.Kernels))
+	}
+	for _, k := range rep.Kernels {
+		if !k.Identical {
+			t.Fatalf("kernel %s: parallel output differs from serial", k.Name)
+		}
+		if k.SerialNs <= 0 || k.ParallelNs <= 0 {
+			t.Fatalf("kernel %s: non-positive timing", k.Name)
+		}
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadKernelsReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shift != rep.Shift || len(got.Kernels) != len(rep.Kernels) {
+		t.Fatal("round trip lost fields")
+	}
+}
+
+func TestKernelsReportRejectsWrongKind(t *testing.T) {
+	_, err := ReadKernelsReport(strings.NewReader(`{"schema_version":1,"kind":"scheduler"}`))
+	if err == nil {
+		t.Fatal("wrong kind accepted")
+	}
+}
+
+func TestCompareKernelsGates(t *testing.T) {
+	old := &KernelsReport{
+		SchemaVersion: KernelsSchemaVersion, Kind: KernelsReportKind, Cores: 4,
+		Kernels: []KernelResult{
+			{Name: "a", SpeedupX: 2.0, Identical: true},
+			{Name: "b", SpeedupX: 3.0, Identical: true},
+		},
+	}
+	// Identity break is gated regardless of cores.
+	cur := &KernelsReport{
+		SchemaVersion: KernelsSchemaVersion, Kind: KernelsReportKind, Cores: 8,
+		Kernels: []KernelResult{
+			{Name: "a", SpeedupX: 0.5, Identical: false},
+			{Name: "b", SpeedupX: 0.5, Identical: true},
+		},
+	}
+	regs, err := CompareKernels(old, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "a.identical" {
+		t.Fatalf("cross-core compare gated %v, want only a.identical", regs)
+	}
+	// Same cores: the speedup collapse is also gated.
+	cur.Cores = 4
+	regs, err = CompareKernels(old, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 3 {
+		t.Fatalf("same-core compare found %d regressions, want 3 (identity + 2 speedups)", len(regs))
+	}
+	// A dropped kernel is a regression.
+	cur.Kernels = cur.Kernels[:1]
+	cur.Kernels[0].Identical = true
+	cur.Kernels[0].SpeedupX = 2.0
+	regs, err = CompareKernels(old, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range regs {
+		if r.Metric == "b.present" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("dropped kernel not gated: %v", regs)
+	}
+}

@@ -27,7 +27,13 @@ import (
 	"math/rand"
 
 	"batchzk/internal/field"
+	"batchzk/internal/par"
 )
+
+// parallelRows is the output-row count below which MulVec runs serially
+// (a row is ~a dozen multiply-adds; tiny stages are not worth chunking).
+// Package var so the bit-identity tests can force the parallel path.
+var parallelRows = 256
 
 // RateInv is the codeword expansion factor: |codeword| = RateInv · |message|.
 const RateInv = 4
@@ -52,18 +58,39 @@ type SparseMatrix struct {
 
 // MulVec computes out[j] = Σ_e e.Coeff · x[e.Col] for every row j.
 func (m *SparseMatrix) MulVec(x []field.Element) ([]field.Element, error) {
-	if len(x) != m.InDim {
-		return nil, fmt.Errorf("encoder: input length %d, matrix expects %d", len(x), m.InDim)
-	}
 	out := make([]field.Element, m.OutDim)
-	var t field.Element
-	for j, row := range m.Rows {
-		for _, e := range row {
-			t.Mul(&e.Coeff, &x[e.Col])
-			out[j].Add(&out[j], &t)
-		}
+	if err := m.MulVecInto(out, x); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// MulVecInto is MulVec into a caller-provided (zeroed) output buffer of
+// length OutDim. Rows are independent — one output coordinate per row,
+// the paper's one-GPU-thread-per-row mapping — so the row loop runs
+// in parallel chunks; each row accumulates its entries in order, making
+// the result bit-identical to the serial loop for any chunking.
+func (m *SparseMatrix) MulVecInto(out, x []field.Element) error {
+	if len(x) != m.InDim {
+		return fmt.Errorf("encoder: input length %d, matrix expects %d", len(x), m.InDim)
+	}
+	if len(out) != m.OutDim {
+		return fmt.Errorf("encoder: output length %d, matrix produces %d", len(out), m.OutDim)
+	}
+	w := 0
+	if m.OutDim < parallelRows {
+		w = 1
+	}
+	par.ForWidth(w, m.OutDim, func(lo, hi int) {
+		var t field.Element
+		for j := lo; j < hi; j++ {
+			for _, e := range m.Rows[j] {
+				t.Mul(&e.Coeff, &x[e.Col])
+				out[j].Add(&out[j], &t)
+			}
+		}
+	})
+	return nil
 }
 
 // RowLengths returns the per-row non-zero counts (all < 256), the input of

@@ -1,0 +1,78 @@
+package encoder
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+	"testing/quick"
+
+	"batchzk/internal/field"
+	"batchzk/internal/par"
+)
+
+// Parallel-vs-serial bit-identity for the row-parallel sparse multiply:
+// every row accumulates its entries in order and rows are chunk-disjoint,
+// so the codeword must match the serial one exactly at any width.
+
+func lowerGrain(t *testing.T) {
+	t.Helper()
+	old := parallelRows
+	parallelRows = 1
+	t.Cleanup(func() {
+		parallelRows = old
+		par.SetWidth(0)
+	})
+}
+
+func TestEncodeBitIdenticalAcrossWidths(t *testing.T) {
+	lowerGrain(t)
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 16 << rng.Intn(3) // 16, 32, 64
+		e, err := New(n, DefaultParams())
+		if err != nil {
+			return false
+		}
+		x := seededMsg(rng, n)
+		var want []field.Element
+		for wi, w := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+			par.SetWidth(w)
+			got, err := e.Encode(x)
+			if err != nil {
+				return false
+			}
+			if wi == 0 {
+				want = got
+			} else if !field.VectorEqual(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulVecOddDimsAcrossWidths(t *testing.T) {
+	lowerGrain(t)
+	// Odd, non-power-of-two dimensions: chunk boundaries fall mid-row-range.
+	rng := rand.New(rand.NewSource(77))
+	m := sampleMatrix(rng, 37, 23, 2, 7)
+	x := seededMsg(rng, 37)
+	par.SetWidth(1)
+	want, err := m.MulVec(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 3, runtime.GOMAXPROCS(0)} {
+		par.SetWidth(w)
+		got, err := m.MulVec(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !field.VectorEqual(got, want) {
+			t.Fatalf("width %d: sparse multiply differs from serial", w)
+		}
+	}
+}

@@ -7,6 +7,20 @@ package field
 // Zero entries invert to zero (matching Inverse) and do not disturb the
 // other entries. dst and v may alias.
 func BatchInverse(dst, v []Element) {
+	if len(v) == 0 {
+		if len(dst) != len(v) {
+			panic("field: BatchInverse length mismatch")
+		}
+		return
+	}
+	BatchInverseWithScratch(dst, v, make([]Element, len(v)))
+}
+
+// BatchInverseWithScratch is BatchInverse with a caller-provided prefix
+// buffer (len(scratch) ≥ len(v)), so hot loops can reuse an arena instead
+// of allocating per call. scratch must not alias dst or v; its contents
+// are clobbered.
+func BatchInverseWithScratch(dst, v, scratch []Element) {
 	if len(dst) != len(v) {
 		panic("field: BatchInverse length mismatch")
 	}
@@ -14,8 +28,11 @@ func BatchInverse(dst, v []Element) {
 	if n == 0 {
 		return
 	}
+	if len(scratch) < n {
+		panic("field: BatchInverse scratch too short")
+	}
 	// Prefix products over the non-zero entries.
-	prefix := make([]Element, n)
+	prefix := scratch[:n]
 	acc := One()
 	for i := 0; i < n; i++ {
 		prefix[i] = acc

@@ -104,3 +104,45 @@ func BenchmarkBatchInverse256(b *testing.B) {
 		BatchInverse(dst, v)
 	}
 }
+
+func TestBatchInverseWithScratchMatches(t *testing.T) {
+	v := RandVector(29)
+	v[0], v[13] = Element{}, Element{} // zeros pass through
+	want := make([]Element, len(v))
+	BatchInverse(want, v)
+	dst := make([]Element, len(v))
+	scratch := make([]Element, len(v))
+	BatchInverseWithScratch(dst, v, scratch)
+	if !VectorEqual(dst, want) {
+		t.Fatal("scratch variant differs from BatchInverse")
+	}
+	// Oversized scratch is fine; reuse must not depend on its contents.
+	big := make([]Element, 2*len(v))
+	for i := range big {
+		big[i] = One()
+	}
+	BatchInverseWithScratch(dst, v, big)
+	if !VectorEqual(dst, want) {
+		t.Fatal("dirty oversized scratch changed the result")
+	}
+}
+
+func TestBatchInverseWithScratchShortScratchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short scratch should panic")
+		}
+	}()
+	v := RandVector(4)
+	BatchInverseWithScratch(make([]Element, 4), v, make([]Element, 3))
+}
+
+func BenchmarkBatchInverseWithScratch256(b *testing.B) {
+	v := RandVector(256)
+	dst := make([]Element, 256)
+	scratch := make([]Element, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BatchInverseWithScratch(dst, v, scratch)
+	}
+}

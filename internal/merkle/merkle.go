@@ -19,7 +19,18 @@ import (
 	"math/bits"
 
 	"batchzk/internal/field"
+	"batchzk/internal/par"
 	"batchzk/internal/sha2"
+)
+
+// Parallel grain thresholds: levels/leaf batches below these sizes run
+// serially, since a compression is ~100ns and chunk dispatch is not free.
+// Package vars so the parallel-vs-serial property tests can force the
+// parallel path at small sizes.
+var (
+	parallelNodes   = 256 // interior nodes per level
+	parallelLeaves  = 256 // leaf blocks hashed in Build
+	parallelColumns = 4   // columns in HashColumns
 )
 
 // Block is a 512-bit input block, the unit the paper's Merkle module
@@ -46,10 +57,16 @@ func Build(blocks []Block) (*Tree, error) {
 		return nil, fmt.Errorf("merkle: %d blocks is not a power of two", n)
 	}
 	leaves := make([]sha2.Digest, n)
-	for i := range blocks {
-		b := blocks[i]
-		leaves[i] = sha2.Compress((*[sha2.BlockSize]byte)(&b))
+	w := 0
+	if n < parallelLeaves {
+		w = 1
 	}
+	par.ForWidth(w, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			b := blocks[i]
+			leaves[i] = sha2.Compress((*[sha2.BlockSize]byte)(&b))
+		}
+	})
 	return fromLeaves(leaves), nil
 }
 
@@ -73,7 +90,14 @@ func BuildFromDigests(leaves []sha2.Digest) (*Tree, error) {
 // hashing their canonical encodings. It is how the polynomial commitment
 // turns a matrix column into a Merkle leaf.
 func HashElements(es []field.Element) sha2.Digest {
-	h := sha2.NewHasher()
+	var h sha2.Hasher
+	h.Reset()
+	return HashElementsWith(&h, es)
+}
+
+// HashElementsWith is HashElements into a caller-owned hasher (already
+// reset), which column loops reuse instead of allocating one per column.
+func HashElementsWith(h *sha2.Hasher, es []field.Element) sha2.Digest {
 	for i := range es {
 		b := es[i].ToBytes()
 		h.Write(b[:])
@@ -81,15 +105,29 @@ func HashElements(es []field.Element) sha2.Digest {
 	return h.Sum()
 }
 
+// HashColumns hashes every column to its leaf digest, in parallel across
+// columns with one reused hasher per worker. It is the leaf-production
+// half of BuildFromColumns, exposed so callers that produce columns
+// lazily (the polynomial commitment) can skip materializing them.
+func HashColumns(cols [][]field.Element) []sha2.Digest {
+	leaves := make([]sha2.Digest, len(cols))
+	w := 0
+	if len(cols) < parallelColumns {
+		w = 1
+	}
+	par.ForScratch(w, len(cols), func(s *par.Scratch, lo, hi int) {
+		for j := lo; j < hi; j++ {
+			leaves[j] = HashElementsWith(s.Hasher(), cols[j])
+		}
+	})
+	return leaves
+}
+
 // BuildFromColumns commits to a matrix given by its columns: each column
 // is hashed to a leaf and the tree built above them. Column count must be
 // a power of two.
 func BuildFromColumns(cols [][]field.Element) (*Tree, error) {
-	leaves := make([]sha2.Digest, len(cols))
-	for i, c := range cols {
-		leaves[i] = HashElements(c)
-	}
-	return BuildFromDigests(leaves)
+	return BuildFromDigests(HashColumns(cols))
 }
 
 // PadBlocks appends zero blocks until the length is a power of two.
@@ -108,18 +146,35 @@ func PadBlocks(blocks []Block) []Block {
 	return blocks
 }
 
+// fromLeaves builds the interior layers bottom-up. Each level's nodes are
+// independent, so a level hashes in parallel (the paper's §3.1 thread
+// allocation: N/2 + N/4 + … threads per level); levels themselves are
+// sequential since each consumes the previous one.
 func fromLeaves(leaves []sha2.Digest) *Tree {
 	t := &Tree{layers: [][]sha2.Digest{leaves}}
 	cur := leaves
 	for len(cur) > 1 {
 		next := make([]sha2.Digest, len(cur)/2)
-		for i := range next {
-			next[i] = sha2.Compress2(&cur[2*i], &cur[2*i+1])
-		}
+		hashLevel(next, cur)
 		t.layers = append(t.layers, next)
 		cur = next
 	}
 	return t
+}
+
+// hashLevel fills next[i] = H(cur[2i] ‖ cur[2i+1]) for one tree level.
+// Writes are disjoint by index, so any chunking is bit-identical to the
+// serial loop.
+func hashLevel(next, cur []sha2.Digest) {
+	w := 0
+	if len(next) < parallelNodes {
+		w = 1
+	}
+	par.ForWidth(w, len(next), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			next[i] = sha2.Compress2(&cur[2*i], &cur[2*i+1])
+		}
+	})
 }
 
 // Root returns the Merkle root.

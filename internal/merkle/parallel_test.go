@@ -1,0 +1,105 @@
+package merkle
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+	"testing/quick"
+
+	"batchzk/internal/field"
+	"batchzk/internal/par"
+	"batchzk/internal/sha2"
+)
+
+// Parallel-vs-serial bit-identity: every parallel path must produce the
+// exact digests of the serial loop for any width. Grain thresholds are
+// lowered so the parallel paths trigger at test sizes, and the global
+// runtime width is toggled between runs (package tests run sequentially,
+// so the global toggle is race-free).
+
+func lowerGrains(t *testing.T) {
+	t.Helper()
+	oldN, oldL, oldC := parallelNodes, parallelLeaves, parallelColumns
+	parallelNodes, parallelLeaves, parallelColumns = 1, 1, 1
+	t.Cleanup(func() {
+		parallelNodes, parallelLeaves, parallelColumns = oldN, oldL, oldC
+		par.SetWidth(0)
+	})
+}
+
+func testWidths() []int {
+	return []int{1, 2, runtime.GOMAXPROCS(0)}
+}
+
+func TestBuildBitIdenticalAcrossWidths(t *testing.T) {
+	lowerGrains(t)
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (3 + rng.Intn(4)) // 8..64 blocks (power of two required)
+		blocks := make([]Block, n)
+		for i := range blocks {
+			rng.Read(blocks[i][:])
+		}
+		var want [32]byte
+		for wi, w := range testWidths() {
+			par.SetWidth(w)
+			tree, err := Build(blocks)
+			if err != nil {
+				return false
+			}
+			root := tree.Root()
+			if wi == 0 {
+				want = root
+			} else if root != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashColumnsBitIdenticalAcrossWidths(t *testing.T) {
+	lowerGrains(t)
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Odd column count and odd, non-uniform column lengths: chunk
+		// boundaries land mid-range.
+		nCols := 3 + 2*rng.Intn(8) // 3..17, odd
+		cols := make([][]field.Element, nCols)
+		for j := range cols {
+			cols[j] = field.RandVector(1 + rng.Intn(13))
+		}
+		var want []sha2.Digest
+		for wi, w := range testWidths() {
+			par.SetWidth(w)
+			got := HashColumns(cols)
+			if wi == 0 {
+				want = got
+				continue
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashElementsWithMatchesHashElements(t *testing.T) {
+	var h sha2.Hasher
+	for _, n := range []int{0, 1, 3, 17} {
+		es := field.RandVector(n)
+		h.Reset()
+		if HashElementsWith(&h, es) != HashElements(es) {
+			t.Fatalf("n=%d: reused-hasher digest differs", n)
+		}
+	}
+}

@@ -11,28 +11,30 @@ package msm
 
 import (
 	"fmt"
-	"math/bits"
-	"runtime"
-	"sync"
 
 	"batchzk/internal/curve"
 	"batchzk/internal/field"
+	"batchzk/internal/par"
 )
 
-// WindowBits picks the Pippenger window size c for n points (≈ log₂n − 3,
-// clamped to [2, 16]).
+// WindowBits picks the Pippenger window size c for n points by minimizing
+// the algorithm's group-operation count ⌈Bits/c⌉·(n + 2^{c+1}) over
+// c ∈ [2, 16] — each of the ⌈Bits/c⌉ windows costs n bucket additions
+// plus ~2^{c+1} running-sum additions. Ties break toward the smaller
+// window (fewer buckets, less memory).
 func WindowBits(n int) int {
 	if n <= 1 {
 		return 2
 	}
-	c := bits.Len(uint(n)) - 3
-	if c < 2 {
-		c = 2
+	best, bestCost := 2, -1
+	for c := 2; c <= 16; c++ {
+		numWindows := (field.Bits + c - 1) / c
+		cost := numWindows * (n + 2<<uint(c))
+		if bestCost < 0 || cost < bestCost {
+			best, bestCost = c, cost
+		}
 	}
-	if c > 16 {
-		c = 16
-	}
-	return c
+	return best
 }
 
 // Naive computes Σ kᵢ·Pᵢ by independent scalar multiplications; the
@@ -115,45 +117,33 @@ func scalarDigits(k *field.Element, c, numWindows int) []uint32 {
 	return out
 }
 
-// Parallel computes the MSM by splitting the input across workers and
-// summing the partial results; workers ≤ 0 selects GOMAXPROCS.
+// Parallel computes the MSM by splitting the input across the shared
+// kernel runtime and summing the per-chunk partial MSMs in chunk order;
+// workers ≤ 0 selects the runtime's default width. The group sum is
+// exact, so the result matches Pippenger over the whole input for any
+// chunking.
 func Parallel(points []curve.AffinePoint, scalars []field.Element, workers int) (curve.AffinePoint, error) {
 	if len(points) != len(scalars) {
 		return curve.AffinePoint{}, fmt.Errorf("msm: %d points vs %d scalars", len(points), len(scalars))
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if len(points) == 0 {
+		return curve.Identity(), nil
 	}
-	if workers > len(points) {
-		workers = len(points)
-	}
-	if workers <= 1 {
+	k := par.Chunks(workers, len(points))
+	if k <= 1 {
 		return Pippenger(points, scalars)
 	}
-	partials := make([]curve.AffinePoint, workers)
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	chunk := (len(points) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := min(lo+chunk, len(points))
-		if lo >= hi {
-			partials[w] = curve.Identity()
-			continue
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			partials[w], errs[w] = Pippenger(points[lo:hi], scalars[lo:hi])
-		}(w, lo, hi)
-	}
-	wg.Wait()
+	partials := make([]curve.AffinePoint, k)
+	errs := make([]error, k)
+	par.ForChunks(k, len(points), func(c, lo, hi int) {
+		partials[c], errs[c] = Pippenger(points[lo:hi], scalars[lo:hi])
+	})
 	var acc curve.JacobianPoint
-	for w := range partials {
-		if errs[w] != nil {
-			return curve.AffinePoint{}, errs[w]
+	for c := range partials {
+		if errs[c] != nil {
+			return curve.AffinePoint{}, errs[c]
 		}
-		pj := partials[w].ToJacobian()
+		pj := partials[c].ToJacobian()
 		acc.Add(&acc, &pj)
 	}
 	return acc.ToAffine(), nil

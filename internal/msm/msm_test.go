@@ -130,3 +130,31 @@ func BenchmarkPippenger256(b *testing.B) {
 		}
 	}
 }
+
+// TestWindowBitsMinimizesCost: table-driven check over 2^8..2^18 that the
+// chosen window minimizes the Pippenger cost model ⌈Bits/c⌉·(n + 2^{c+1})
+// and that windows never shrink as inputs grow.
+func TestWindowBitsMinimizesCost(t *testing.T) {
+	cost := func(n, c int) int {
+		numWindows := (field.Bits + c - 1) / c
+		return numWindows * (n + 2<<uint(c))
+	}
+	prev := 0
+	for logN := 8; logN <= 18; logN++ {
+		n := 1 << logN
+		got := WindowBits(n)
+		if got < 2 || got > 16 {
+			t.Fatalf("n=2^%d: window %d out of [2,16]", logN, got)
+		}
+		for c := 2; c <= 16; c++ {
+			if cost(n, c) < cost(n, got) {
+				t.Fatalf("n=2^%d: window %d costs %d, but c=%d costs %d",
+					logN, got, cost(n, got), c, cost(n, c))
+			}
+		}
+		if got < prev {
+			t.Fatalf("n=2^%d: window shrank from %d to %d", logN, prev, got)
+		}
+		prev = got
+	}
+}

@@ -13,7 +13,13 @@ import (
 	"math/bits"
 
 	"batchzk/internal/field"
+	"batchzk/internal/par"
 )
+
+// parallelButterflies is the per-stage butterfly count below which a
+// stage runs serially. Package var so the bit-identity tests can force
+// the parallel path at small sizes.
+var parallelButterflies = 2048
 
 // MaxLogSize is the field's 2-adicity: the largest supported transform is
 // 2^MaxLogSize points.
@@ -82,13 +88,25 @@ func Inverse(a []field.Element) error {
 	var nInv field.Element
 	nInv.SetUint64(uint64(len(a)))
 	nInv.Inverse(&nInv)
-	for i := range a {
-		a[i].Mul(&a[i], &nInv)
+	pw := 0
+	if len(a) < parallelButterflies {
+		pw = 1
 	}
+	par.ForWidth(pw, len(a), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a[i].Mul(&a[i], &nInv)
+		}
+	})
 	return nil
 }
 
-// transform is the iterative Cooley–Tukey butterfly network.
+// transform is the iterative Cooley–Tukey butterfly network. Each stage's
+// n/2 butterflies are independent (each touches a disjoint index pair),
+// so a stage parallelizes along the recursion's natural split: early
+// stages have many blocks and chunk across blocks; late stages have few
+// large blocks and chunk the twiddle range within each block, seeding a
+// chunk's twiddle at wl^lo by exponentiation. Field exponentiation is
+// exact, so both modes are bit-identical to the serial sweep.
 func transform(a []field.Element, w field.Element) {
 	n := len(a)
 	bitReverse(a)
@@ -98,19 +116,53 @@ func transform(a []field.Element, w field.Element) {
 		for m := n; m > length; m >>= 1 {
 			wl.Square(&wl)
 		}
-		half := length / 2
+		stageButterflies(a, wl, length)
+	}
+}
+
+// stageButterflies runs one stage's butterflies over every block.
+func stageButterflies(a []field.Element, wl field.Element, length int) {
+	n := len(a)
+	half := length / 2
+	blocks := n / length
+	if n/2 < parallelButterflies {
 		for start := 0; start < n; start += length {
-			wj := field.One()
-			for j := 0; j < half; j++ {
-				var t field.Element
-				t.Mul(&wj, &a[start+j+half])
-				var u field.Element
-				u = a[start+j]
-				a[start+j].Add(&u, &t)
-				a[start+j+half].Sub(&u, &t)
-				wj.Mul(&wj, &wl)
-			}
+			butterflyRange(a, wl, start, half, 0, half, field.One())
 		}
+		return
+	}
+	if blocks >= half {
+		// Block-parallel: each chunk owns whole blocks (disjoint
+		// [start, start+length) windows).
+		par.For(blocks, func(lo, hi int) {
+			for blk := lo; blk < hi; blk++ {
+				butterflyRange(a, wl, blk*length, half, 0, half, field.One())
+			}
+		})
+		return
+	}
+	// Twiddle-parallel: split each block's j-range; chunk c starts its
+	// twiddle at wl^lo.
+	for start := 0; start < n; start += length {
+		start := start
+		par.For(half, func(lo, hi int) {
+			var wj0 field.Element
+			wj0.ExpUint64(&wl, uint64(lo))
+			butterflyRange(a, wl, start, half, lo, hi, wj0)
+		})
+	}
+}
+
+// butterflyRange applies butterflies j ∈ [jlo, jhi) of one block, with
+// the twiddle for jlo supplied (wl^jlo).
+func butterflyRange(a []field.Element, wl field.Element, start, half, jlo, jhi int, wj field.Element) {
+	for j := jlo; j < jhi; j++ {
+		var t field.Element
+		t.Mul(&wj, &a[start+j+half])
+		u := a[start+j]
+		a[start+j].Add(&u, &t)
+		a[start+j+half].Sub(&u, &t)
+		wj.Mul(&wj, &wl)
 	}
 }
 
@@ -146,9 +198,15 @@ func PolyMul(a, b []field.Element) ([]field.Element, error) {
 	if err := Forward(fb); err != nil {
 		return nil, err
 	}
-	for i := range fa {
-		fa[i].Mul(&fa[i], &fb[i])
+	w := 0
+	if n < parallelButterflies {
+		w = 1
 	}
+	par.ForWidth(w, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fa[i].Mul(&fa[i], &fb[i])
+		}
+	})
 	if err := Inverse(fa); err != nil {
 		return nil, err
 	}

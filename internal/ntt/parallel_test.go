@@ -1,0 +1,103 @@
+package ntt
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+	"testing/quick"
+
+	"batchzk/internal/field"
+	"batchzk/internal/par"
+)
+
+// Parallel-vs-serial bit-identity for the butterfly network: each stage's
+// butterflies touch disjoint index pairs and chunk twiddles are seeded by
+// exact exponentiation, so the transform must match the serial sweep
+// exactly at any width, in both the block-parallel (many small blocks)
+// and twiddle-parallel (few large blocks) regimes.
+
+func lowerGrain(t *testing.T) {
+	t.Helper()
+	old := parallelButterflies
+	parallelButterflies = 2
+	t.Cleanup(func() {
+		parallelButterflies = old
+		par.SetWidth(0)
+	})
+}
+
+func TestForwardBitIdenticalAcrossWidths(t *testing.T) {
+	lowerGrain(t)
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (2 + rng.Intn(7)) // 4..256: sweeps both stage regimes
+		a := make([]field.Element, n)
+		for i := range a {
+			var b [64]byte
+			rng.Read(b[:])
+			a[i].SetBytesWide(b[:])
+		}
+		par.SetWidth(1)
+		want := append([]field.Element(nil), a...)
+		if err := Forward(want); err != nil {
+			return false
+		}
+		for _, w := range []int{2, 3, runtime.GOMAXPROCS(0)} {
+			par.SetWidth(w)
+			got := append([]field.Element(nil), a...)
+			if err := Forward(got); err != nil {
+				return false
+			}
+			if !field.VectorEqual(got, want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInverseBitIdenticalAcrossWidths(t *testing.T) {
+	lowerGrain(t)
+	a := field.RandVector(128)
+	par.SetWidth(1)
+	want := append([]field.Element(nil), a...)
+	if err := Inverse(want); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, runtime.GOMAXPROCS(0)} {
+		par.SetWidth(w)
+		got := append([]field.Element(nil), a...)
+		if err := Inverse(got); err != nil {
+			t.Fatal(err)
+		}
+		if !field.VectorEqual(got, want) {
+			t.Fatalf("width %d: inverse NTT differs from serial", w)
+		}
+	}
+}
+
+func TestPolyMulOddLengthsAcrossWidths(t *testing.T) {
+	lowerGrain(t)
+	// Odd, non-power-of-two operand lengths: the padded transform size
+	// exercises mid-range chunk boundaries and the pointwise multiply.
+	a := field.RandVector(17)
+	b := field.RandVector(23)
+	par.SetWidth(1)
+	want, err := PolyMul(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, runtime.GOMAXPROCS(0)} {
+		par.SetWidth(w)
+		got, err := PolyMul(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !field.VectorEqual(got, want) {
+			t.Fatalf("width %d: PolyMul differs from serial", w)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"batchzk/internal/field"
+)
+
+// coverExactlyOnce checks that a For-style call visits every index in
+// [0, n) exactly once.
+func coverExactlyOnce(t *testing.T, n int, run func(mark func(i int))) {
+	t.Helper()
+	hits := make([]int32, n)
+	run(func(i int) { atomic.AddInt32(&hits[i], 1) })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+}
+
+func TestForCoversRange(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 64, 1000, 1023} {
+		coverExactlyOnce(t, n, func(mark func(int)) {
+			For(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					mark(i)
+				}
+			})
+		})
+	}
+}
+
+func TestForWidthCoversRange(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 8, 100} {
+		for _, n := range []int{0, 1, 5, 17, 256} {
+			coverExactlyOnce(t, n, func(mark func(int)) {
+				ForWidth(w, n, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						mark(i)
+					}
+				})
+			})
+		}
+	}
+}
+
+func TestChunksDeterministic(t *testing.T) {
+	if Chunks(4, 0) != 1 || Chunks(4, 1) != 1 {
+		t.Fatal("tiny inputs must collapse to one chunk")
+	}
+	if Chunks(4, 3) != 3 {
+		t.Fatal("chunk count must not exceed n")
+	}
+	if Chunks(4, 100) != 4 {
+		t.Fatal("chunk count must equal the requested width")
+	}
+	// Pinning property the kernels rely on: Chunks(k, n) == k for k ≤ n.
+	for _, n := range []int{8, 100, 1 << 12} {
+		for w := 1; w <= 8; w++ {
+			k := Chunks(w, n)
+			if Chunks(k, n) != k {
+				t.Fatalf("Chunks not idempotent at w=%d n=%d", w, n)
+			}
+		}
+	}
+}
+
+func TestForChunksBoundaries(t *testing.T) {
+	// Boundaries must be c*n/k .. (c+1)*n/k — a pure function of (k, n).
+	n, k := 103, 7
+	type span struct{ lo, hi int }
+	got := make([]span, k)
+	ForChunks(k, n, func(c, lo, hi int) { got[c] = span{lo, hi} })
+	for c := 0; c < k; c++ {
+		want := span{c * n / k, (c + 1) * n / k}
+		if got[c] != want {
+			t.Fatalf("chunk %d: got [%d,%d) want [%d,%d)", c, got[c].lo, got[c].hi, want.lo, want.hi)
+		}
+	}
+}
+
+func TestOrderedReductionDeterministic(t *testing.T) {
+	// A chunk-ordered partial reduction must be bit-identical across
+	// widths: field addition is exact, so only the combining order could
+	// differ, and the contract pins it.
+	v := field.RandVector(999)
+	sum := func(w int) field.Element {
+		k := Chunks(w, len(v))
+		partials := make([]field.Element, k)
+		ForChunks(k, len(v), func(c, lo, hi int) {
+			var acc field.Element
+			for i := lo; i < hi; i++ {
+				acc.Add(&acc, &v[i])
+			}
+			partials[c] = acc
+		})
+		var total field.Element
+		for c := range partials {
+			total.Add(&total, &partials[c])
+		}
+		return total
+	}
+	want := sum(1)
+	for _, w := range []int{2, 3, 4, runtime.GOMAXPROCS(0)} {
+		if got := sum(w); !got.Equal(&want) {
+			t.Fatalf("width %d reduction differs from serial", w)
+		}
+	}
+}
+
+func TestNestedForDoesNotDeadlock(t *testing.T) {
+	// Outer parallel loop whose chunks each run an inner parallel loop —
+	// the shape of a parallel encoder inside a parallel PCS commit. The
+	// caller help-drains the queue, so this must terminate even at width 1.
+	var total atomic.Int64
+	For(16, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			For(32, func(ilo, ihi int) {
+				total.Add(int64(ihi - ilo))
+			})
+		}
+	})
+	if total.Load() != 16*32 {
+		t.Fatalf("nested loops covered %d items, want %d", total.Load(), 16*32)
+	}
+}
+
+func TestConcurrentKernels(t *testing.T) {
+	// Many goroutines issuing parallel loops at once must all complete
+	// (saturated queue falls back to inline execution).
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var n atomic.Int64
+			For(100, func(lo, hi int) { n.Add(int64(hi - lo)) })
+			if n.Load() != 100 {
+				t.Error("concurrent kernel lost items")
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSetWidth(t *testing.T) {
+	defer SetWidth(0)
+	SetWidth(3)
+	if Width() != 3 {
+		t.Fatalf("Width() = %d after SetWidth(3)", Width())
+	}
+	SetWidth(1)
+	if Width() != 1 {
+		t.Fatalf("Width() = %d after SetWidth(1)", Width())
+	}
+	coverExactlyOnce(t, 50, func(mark func(int)) {
+		For(50, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				mark(i)
+			}
+		})
+	})
+	SetWidth(0)
+	if Width() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Width() = %d after SetWidth(0), want GOMAXPROCS", Width())
+	}
+}
+
+func TestScratchBuffers(t *testing.T) {
+	s := GetScratch()
+	defer PutScratch(s)
+	e := s.Elements(0, 100)
+	if len(e) != 100 {
+		t.Fatalf("Elements length %d", len(e))
+	}
+	e[0] = field.One()
+	z := s.ZeroElements(0, 50)
+	for i := range z {
+		if !z[i].IsZero() {
+			t.Fatalf("ZeroElements left entry %d nonzero", i)
+		}
+	}
+	d := s.Digests(33)
+	if len(d) != 33 {
+		t.Fatalf("Digests length %d", len(d))
+	}
+	// Slots must be independent.
+	a := s.Elements(1, 10)
+	b := s.Elements(2, 10)
+	a[0] = field.One()
+	if !b[0].IsZero() && &a[0] == &b[0] {
+		t.Fatal("scratch slots alias")
+	}
+}
+
+func TestScratchBatchInverse(t *testing.T) {
+	s := GetScratch()
+	defer PutScratch(s)
+	v := field.RandVector(64)
+	v[5] = field.Element{}
+	dst := make([]field.Element, len(v))
+	s.BatchInverse(dst, v)
+	want := make([]field.Element, len(v))
+	field.BatchInverse(want, v)
+	if !field.VectorEqual(dst, want) {
+		t.Fatal("Scratch.BatchInverse differs from field.BatchInverse")
+	}
+}
+
+func TestForScratchDistinctPerChunk(t *testing.T) {
+	// Each concurrent chunk gets its own arena: writes to slot 0 in one
+	// chunk must never corrupt another chunk's view. Detect by filling a
+	// chunk-specific pattern and re-checking it after a yield point.
+	n := 64
+	bad := atomic.Int32{}
+	ForWidth(8, n, func(lo, hi int) {}) // warm pool
+	ForScratch(8, n, func(s *Scratch, lo, hi int) {
+		buf := s.Elements(0, 16)
+		tag := field.NewElement(uint64(lo + 1))
+		for i := range buf {
+			buf[i] = tag
+		}
+		runtime.Gosched()
+		for i := range buf {
+			if !buf[i].Equal(&tag) {
+				bad.Add(1)
+			}
+		}
+	})
+	if bad.Load() != 0 {
+		t.Fatal("scratch arena shared across concurrent chunks")
+	}
+}

@@ -24,9 +24,17 @@ import (
 	"batchzk/internal/encoder"
 	"batchzk/internal/field"
 	"batchzk/internal/merkle"
+	"batchzk/internal/par"
 	"batchzk/internal/poly"
 	"batchzk/internal/sha2"
 	"batchzk/internal/transcript"
+)
+
+// Parallel grain thresholds (package vars so the bit-identity tests can
+// force the parallel paths at small sizes).
+var (
+	parallelCommitRows = 2    // rows encoded in parallel in Commit
+	parallelCombine    = 1024 // matrix cells below which combineRows is serial
 )
 
 // Params configures the matrix layout and security of the scheme.
@@ -118,25 +126,49 @@ func Commit(values []field.Element, params Params) (*ProverState, error) {
 	s := &ProverState{params: params, enc: enc}
 	s.rows = make([][]field.Element, params.NumRows)
 	s.encoded = make([][]field.Element, params.NumRows)
-	for r := 0; r < params.NumRows; r++ {
-		s.rows[r] = values[r*params.NumCols : (r+1)*params.NumCols]
-		cw, err := enc.Encode(s.rows[r])
+	// Row-parallel Spielman encoding: every row encodes independently
+	// (the Encoder is safe for concurrent use once constructed).
+	w := 0
+	if params.NumRows < parallelCommitRows {
+		w = 1
+	}
+	k := par.Chunks(w, params.NumRows)
+	encErrs := make([]error, k)
+	par.ForChunks(k, params.NumRows, func(c, lo, hi int) {
+		for r := lo; r < hi; r++ {
+			s.rows[r] = values[r*params.NumCols : (r+1)*params.NumCols]
+			cw, err := enc.Encode(s.rows[r])
+			if err != nil {
+				encErrs[c] = err
+				return
+			}
+			s.encoded[r] = cw
+		}
+	})
+	for _, err := range encErrs {
 		if err != nil {
 			return nil, err
 		}
-		s.encoded[r] = cw
 	}
-	// Columns of U become Merkle leaves.
+	// Columns of U become Merkle leaves: gather each column into a
+	// per-worker scratch buffer and hash it with a reused hasher, without
+	// materializing the transposed matrix.
 	cwLen := enc.CodewordLen()
-	cols := make([][]field.Element, cwLen)
-	for j := 0; j < cwLen; j++ {
-		col := make([]field.Element, params.NumRows)
-		for r := 0; r < params.NumRows; r++ {
-			col[r] = s.encoded[r][j]
-		}
-		cols[j] = col
+	leaves := make([]sha2.Digest, cwLen)
+	hw := 0
+	if cwLen*params.NumRows < parallelCombine {
+		hw = 1
 	}
-	tree, err := merkle.BuildFromColumns(cols)
+	par.ForScratch(hw, cwLen, func(sc *par.Scratch, lo, hi int) {
+		col := sc.Elements(0, params.NumRows)
+		for j := lo; j < hi; j++ {
+			for r := 0; r < params.NumRows; r++ {
+				col[r] = s.encoded[r][j]
+			}
+			leaves[j] = merkle.HashElementsWith(sc.Hasher(), col)
+		}
+	})
+	tree, err := merkle.BuildFromDigests(leaves)
 	if err != nil {
 		return nil, err
 	}
@@ -167,19 +199,29 @@ func splitPoint(point []field.Element, numCols int) (lo, hi []field.Element) {
 	return point[:logCols], point[logCols:]
 }
 
-// combineRows computes wᵀ·M over the message matrix.
+// combineRows computes wᵀ·M over the message matrix. Chunking is by
+// column: each chunk owns a disjoint out[lo:hi] window and accumulates
+// rows in the same top-to-bottom order as the serial loop, so the result
+// is bit-identical for any chunk count.
 func combineRows(w []field.Element, rows [][]field.Element, width int) []field.Element {
 	out := make([]field.Element, width)
-	var t field.Element
-	for r := range rows {
-		if w[r].IsZero() {
-			continue
-		}
-		for c := 0; c < width; c++ {
-			t.Mul(&w[r], &rows[r][c])
-			out[c].Add(&out[c], &t)
-		}
+	pw := 0
+	if width*len(rows) < parallelCombine {
+		pw = 1
 	}
+	par.ForWidth(pw, width, func(lo, hi int) {
+		var t field.Element
+		for r := range rows {
+			if w[r].IsZero() {
+				continue
+			}
+			row := rows[r]
+			for c := lo; c < hi; c++ {
+				t.Mul(&w[r], &row[c])
+				out[c].Add(&out[c], &t)
+			}
+		}
+	})
 	return out
 }
 
@@ -206,16 +248,34 @@ func (s *ProverState) ProveEval(point []field.Element, tr *transcript.Transcript
 
 	idx := tr.ChallengeIndices("pcs/cols", s.params.NumOpenings, s.enc.CodewordLen())
 	proof := &EvalProof{TestRow: testRow, CombinedRow: combined}
-	for _, j := range idx {
-		col := make([]field.Element, s.params.NumRows)
-		for r := 0; r < s.params.NumRows; r++ {
-			col[r] = s.encoded[r][j]
+	// Column openings are independent (tree reads + disjoint writes into
+	// the preallocated slice keep the idx order of the serial loop).
+	proof.Columns = make([]OpenedColumn, len(idx))
+	ow := 0
+	if len(idx)*s.params.NumRows < parallelCombine {
+		ow = 1
+	}
+	ck := par.Chunks(ow, len(idx))
+	openErrs := make([]error, ck)
+	par.ForChunks(ck, len(idx), func(c, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			j := idx[k]
+			col := make([]field.Element, s.params.NumRows)
+			for r := 0; r < s.params.NumRows; r++ {
+				col[r] = s.encoded[r][j]
+			}
+			mp, err := s.tree.Prove(j)
+			if err != nil {
+				openErrs[c] = err
+				return
+			}
+			proof.Columns[k] = OpenedColumn{Index: j, Values: col, Proof: mp}
 		}
-		mp, err := s.tree.Prove(j)
+	})
+	for _, err := range openErrs {
 		if err != nil {
 			return nil, field.Element{}, err
 		}
-		proof.Columns = append(proof.Columns, OpenedColumn{Index: j, Values: col, Proof: mp})
 	}
 
 	eqLo := eqTableOf(lo)

@@ -130,3 +130,17 @@ func BenchmarkSum256_1KiB(b *testing.B) {
 		_ = Sum256(data)
 	}
 }
+
+// BenchmarkCompress2 measures the interior-node hash — the unit cost the
+// Merkle module's 2N−1 compression budget is priced in.
+func BenchmarkCompress2(b *testing.B) {
+	var l, r Digest
+	for i := range l {
+		l[i] = byte(i)
+		r[i] = byte(255 - i)
+	}
+	b.SetBytes(BlockSize)
+	for i := 0; i < b.N; i++ {
+		l = Compress2(&l, &r)
+	}
+}

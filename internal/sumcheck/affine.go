@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"batchzk/internal/field"
+	"batchzk/internal/par"
 	"batchzk/internal/poly"
 	"batchzk/internal/transcript"
 )
@@ -43,33 +44,37 @@ func ProveAffineProduct(a, v, c *poly.Multilinear, claim field.Element, tr *tran
 	proof := &ProductProof{Rounds: make([]ProductRound, n)}
 	challenges := make([]field.Element, n)
 	two := field.NewElement(2)
+	s := par.GetScratch()
+	defer par.PutScratch(s)
 	for i := 0; i < n; i++ {
 		half := len(at) / 2
-		var r0, r1, r2 field.Element
-		var a2, v2, c2 field.Element
-		for b := 0; b < half; b++ {
-			t.Mul(&at[b], &vt[b])
-			r0.Add(&r0, &t)
-			r0.Add(&r0, &ct[b])
-			t.Mul(&at[b+half], &vt[b+half])
-			r1.Add(&r1, &t)
-			r1.Add(&r1, &ct[b+half])
-			a2.Lerp(&two, &at[b], &at[b+half])
-			v2.Lerp(&two, &vt[b], &vt[b+half])
-			c2.Lerp(&two, &ct[b], &ct[b+half])
-			t.Mul(&a2, &v2)
-			r2.Add(&r2, &t)
-			r2.Add(&r2, &c2)
-		}
-		proof.Rounds[i] = ProductRound{At0: r0, At1: r1, At2: r2}
-		tr.AppendElements("sumcheckA/round", []field.Element{r0, r1, r2})
+		var sums [3]field.Element
+		reduceSums(s, half, 3, sums[:], func(lo, hi int, acc []field.Element) {
+			var r0, r1, r2, t field.Element
+			var a2, v2, c2 field.Element
+			for b := lo; b < hi; b++ {
+				t.Mul(&at[b], &vt[b])
+				r0.Add(&r0, &t)
+				r0.Add(&r0, &ct[b])
+				t.Mul(&at[b+half], &vt[b+half])
+				r1.Add(&r1, &t)
+				r1.Add(&r1, &ct[b+half])
+				a2.Lerp(&two, &at[b], &at[b+half])
+				v2.Lerp(&two, &vt[b], &vt[b+half])
+				c2.Lerp(&two, &ct[b], &ct[b+half])
+				t.Mul(&a2, &v2)
+				r2.Add(&r2, &t)
+				r2.Add(&r2, &c2)
+			}
+			acc[0].Add(&acc[0], &r0)
+			acc[1].Add(&acc[1], &r1)
+			acc[2].Add(&acc[2], &r2)
+		})
+		proof.Rounds[i] = ProductRound{At0: sums[0], At1: sums[1], At2: sums[2]}
+		tr.AppendElements("sumcheckA/round", sums[:])
 		r := tr.ChallengeElement("sumcheckA/r")
 		challenges[i] = r
-		for b := 0; b < half; b++ {
-			at[b].Lerp(&r, &at[b], &at[b+half])
-			vt[b].Lerp(&r, &vt[b], &vt[b+half])
-			ct[b].Lerp(&r, &ct[b], &ct[b+half])
-		}
+		foldTables(&r, at, vt, ct)
 		at, vt, ct = at[:half], vt[:half], ct[:half]
 	}
 	return proof, reversed(challenges), [3]field.Element{at[0], vt[0], ct[0]}, nil

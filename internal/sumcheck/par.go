@@ -1,0 +1,98 @@
+package sumcheck
+
+import (
+	"batchzk/internal/field"
+	"batchzk/internal/par"
+)
+
+// Parallel round kernels shared by every sum-check variant (plain,
+// product, affine, triple). Each round of Algorithm 1 does two
+// data-parallel sweeps over the half table: an evaluation sweep that
+// reduces to the round message, and a fold sweep that binds the round
+// challenge. Both split into deterministic chunks; the evaluation sweep
+// accumulates per-chunk partials and reduces them in chunk order, so the
+// proof bytes are bit-identical to the serial prover for any width.
+
+// parallelHalf is the half-table length below which rounds run serially
+// (late rounds shrink geometrically; chunking a 64-entry fold costs more
+// than the fold). Package var so the bit-identity tests can force the
+// parallel path at small sizes.
+var parallelHalf = 2048
+
+// roundChunks resolves the chunk count for a half-table sweep. The count
+// is pinned before dispatch so a concurrent SetWidth cannot change the
+// partial-buffer layout mid-round.
+func roundChunks(half int) int {
+	if half < parallelHalf {
+		return 1
+	}
+	return par.Chunks(0, half)
+}
+
+// halfSums returns (Σ_b table[b], Σ_b table[b+half]) over the low/high
+// halves — the plain variant's round message.
+func halfSums(s *par.Scratch, table []field.Element) (p1, p2 field.Element) {
+	half := len(table) / 2
+	k := roundChunks(half)
+	if k <= 1 {
+		for b := 0; b < half; b++ {
+			p1.Add(&p1, &table[b])
+			p2.Add(&p2, &table[b+half])
+		}
+		return
+	}
+	partials := s.ZeroElements(0, 2*k)
+	par.ForChunks(k, half, func(c, lo, hi int) {
+		var s1, s2 field.Element
+		for b := lo; b < hi; b++ {
+			s1.Add(&s1, &table[b])
+			s2.Add(&s2, &table[b+half])
+		}
+		partials[2*c] = s1
+		partials[2*c+1] = s2
+	})
+	for c := 0; c < k; c++ {
+		p1.Add(&p1, &partials[2*c])
+		p2.Add(&p2, &partials[2*c+1])
+	}
+	return
+}
+
+// reduceSums runs body over deterministic chunks of [0, half), collecting
+// `arity` partial sums per chunk and reducing them in chunk order into
+// out. body must add its chunk's contribution into out[0..arity).
+func reduceSums(s *par.Scratch, half, arity int, out []field.Element, body func(lo, hi int, acc []field.Element)) {
+	k := roundChunks(half)
+	if k <= 1 {
+		body(0, half, out)
+		return
+	}
+	partials := s.ZeroElements(0, arity*k)
+	par.ForChunks(k, half, func(c, lo, hi int) {
+		body(lo, hi, partials[arity*c:arity*(c+1)])
+	})
+	for c := 0; c < k; c++ {
+		for a := 0; a < arity; a++ {
+			out[a].Add(&out[a], &partials[arity*c+a])
+		}
+	}
+}
+
+// foldTables binds the round challenge: table[b] ← lerp(r, table[b],
+// table[b+half]) for every table, fused per index. Low-half writes are
+// disjoint by index and the high half is read-only during the sweep, so
+// any chunking is bit-identical to the serial fold.
+func foldTables(r *field.Element, tables ...[]field.Element) {
+	half := len(tables[0]) / 2
+	w := 0
+	if half < parallelHalf {
+		w = 1
+	}
+	par.ForWidth(w, half, func(lo, hi int) {
+		for _, tb := range tables {
+			for b := lo; b < hi; b++ {
+				tb[b].Lerp(r, &tb[b], &tb[b+half])
+			}
+		}
+	})
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"batchzk/internal/field"
+	"batchzk/internal/par"
 	"batchzk/internal/poly"
 	"batchzk/internal/transcript"
 )
@@ -56,22 +57,17 @@ func Prove(m *poly.Multilinear, tr *transcript.Transcript) (*Proof, []field.Elem
 	table := append([]field.Element(nil), m.Evals()...)
 	proof := &Proof{Rounds: make([]RoundPair, n)}
 	challenges := make([]field.Element, n) // round order: binds x_n first
+	s := par.GetScratch()
+	defer par.PutScratch(s)
 	for i := 0; i < n; i++ {
-		half := len(table) / 2
-		var p1, p2 field.Element
-		for b := 0; b < half; b++ {
-			p1.Add(&p1, &table[b])
-			p2.Add(&p2, &table[b+half])
-		}
+		p1, p2 := halfSums(s, table)
 		proof.Rounds[i] = RoundPair{P1: p1, P2: p2}
 		tr.AppendElement("sumcheck/p1", &p1)
 		tr.AppendElement("sumcheck/p2", &p2)
 		r := tr.ChallengeElement("sumcheck/r")
 		challenges[i] = r
-		for b := 0; b < half; b++ {
-			table[b].Lerp(&r, &table[b], &table[b+half])
-		}
-		table = table[:half]
+		foldTables(&r, table)
+		table = table[:len(table)/2]
 	}
 	return proof, reversed(challenges), sum
 }
@@ -86,18 +82,13 @@ func ProveWithChallenges(m *poly.Multilinear, rs []field.Element) (*Proof, field
 	}
 	table := append([]field.Element(nil), m.Evals()...)
 	proof := &Proof{Rounds: make([]RoundPair, n)}
+	s := par.GetScratch()
+	defer par.PutScratch(s)
 	for i := 0; i < n; i++ {
-		half := len(table) / 2
-		var p1, p2 field.Element
-		for b := 0; b < half; b++ {
-			p1.Add(&p1, &table[b])
-			p2.Add(&p2, &table[b+half])
-		}
+		p1, p2 := halfSums(s, table)
 		proof.Rounds[i] = RoundPair{P1: p1, P2: p2}
-		for b := 0; b < half; b++ {
-			table[b].Lerp(&rs[i], &table[b], &table[b+half])
-		}
-		table = table[:half]
+		foldTables(&rs[i], table)
+		table = table[:len(table)/2]
 	}
 	return proof, table[0], nil
 }
@@ -186,31 +177,36 @@ func ProveProduct(f, g *poly.Multilinear, tr *transcript.Transcript) (*ProductPr
 	proof := &ProductProof{Rounds: make([]ProductRound, n)}
 	challenges := make([]field.Element, n)
 	two := field.NewElement(2)
+	s := par.GetScratch()
+	defer par.PutScratch(s)
 	for i := 0; i < n; i++ {
 		half := len(ft) / 2
-		var at0, at1, at2 field.Element
-		var t, f2, g2 field.Element
-		for b := 0; b < half; b++ {
-			// g_i(0): x fixed to 0 keeps the low half.
-			t.Mul(&ft[b], &gt[b])
-			at0.Add(&at0, &t)
-			// g_i(1): x fixed to 1 keeps the high half.
-			t.Mul(&ft[b+half], &gt[b+half])
-			at1.Add(&at1, &t)
-			// g_i(2): extrapolate each table linearly to x=2.
-			f2.Lerp(&two, &ft[b], &ft[b+half])
-			g2.Lerp(&two, &gt[b], &gt[b+half])
-			t.Mul(&f2, &g2)
-			at2.Add(&at2, &t)
-		}
-		proof.Rounds[i] = ProductRound{At0: at0, At1: at1, At2: at2}
-		tr.AppendElements("sumcheck2/round", []field.Element{at0, at1, at2})
+		var sums [3]field.Element
+		reduceSums(s, half, 3, sums[:], func(lo, hi int, acc []field.Element) {
+			var at0, at1, at2 field.Element
+			var t, f2, g2 field.Element
+			for b := lo; b < hi; b++ {
+				// g_i(0): x fixed to 0 keeps the low half.
+				t.Mul(&ft[b], &gt[b])
+				at0.Add(&at0, &t)
+				// g_i(1): x fixed to 1 keeps the high half.
+				t.Mul(&ft[b+half], &gt[b+half])
+				at1.Add(&at1, &t)
+				// g_i(2): extrapolate each table linearly to x=2.
+				f2.Lerp(&two, &ft[b], &ft[b+half])
+				g2.Lerp(&two, &gt[b], &gt[b+half])
+				t.Mul(&f2, &g2)
+				at2.Add(&at2, &t)
+			}
+			acc[0].Add(&acc[0], &at0)
+			acc[1].Add(&acc[1], &at1)
+			acc[2].Add(&acc[2], &at2)
+		})
+		proof.Rounds[i] = ProductRound{At0: sums[0], At1: sums[1], At2: sums[2]}
+		tr.AppendElements("sumcheck2/round", sums[:])
 		r := tr.ChallengeElement("sumcheck2/r")
 		challenges[i] = r
-		for b := 0; b < half; b++ {
-			ft[b].Lerp(&r, &ft[b], &ft[b+half])
-			gt[b].Lerp(&r, &gt[b], &gt[b+half])
-		}
+		foldTables(&r, ft, gt)
 		ft, gt = ft[:half], gt[:half]
 	}
 	return proof, reversed(challenges), claim, [2]field.Element{ft[0], gt[0]}, nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"batchzk/internal/field"
+	"batchzk/internal/par"
 	"batchzk/internal/poly"
 	"batchzk/internal/transcript"
 )
@@ -48,29 +49,33 @@ func ProveTriple(e, f, g *poly.Multilinear, tr *transcript.Transcript) (*TripleP
 		field.NewElement(0), field.NewElement(1),
 		field.NewElement(2), field.NewElement(3),
 	}
+	s := par.GetScratch()
+	defer par.PutScratch(s)
 	for i := 0; i < n; i++ {
 		half := len(et) / 2
 		var round TripleRound
-		var ex, fx, gx field.Element
-		for b := 0; b < half; b++ {
-			for x := 0; x < 4; x++ {
-				ex.Lerp(&xs[x], &et[b], &et[b+half])
-				fx.Lerp(&xs[x], &ft[b], &ft[b+half])
-				gx.Lerp(&xs[x], &gt[b], &gt[b+half])
-				t.Mul(&ex, &fx)
-				t.Mul(&t, &gx)
-				round.At[x].Add(&round.At[x], &t)
+		reduceSums(s, half, 4, round.At[:], func(lo, hi int, acc []field.Element) {
+			var at [4]field.Element
+			var ex, fx, gx, t field.Element
+			for b := lo; b < hi; b++ {
+				for x := 0; x < 4; x++ {
+					ex.Lerp(&xs[x], &et[b], &et[b+half])
+					fx.Lerp(&xs[x], &ft[b], &ft[b+half])
+					gx.Lerp(&xs[x], &gt[b], &gt[b+half])
+					t.Mul(&ex, &fx)
+					t.Mul(&t, &gx)
+					at[x].Add(&at[x], &t)
+				}
 			}
-		}
+			for x := 0; x < 4; x++ {
+				acc[x].Add(&acc[x], &at[x])
+			}
+		})
 		proof.Rounds[i] = round
 		tr.AppendElements("sumcheck3/round", round.At[:])
 		r := tr.ChallengeElement("sumcheck3/r")
 		challenges[i] = r
-		for b := 0; b < half; b++ {
-			et[b].Lerp(&r, &et[b], &et[b+half])
-			ft[b].Lerp(&r, &ft[b], &ft[b+half])
-			gt[b].Lerp(&r, &gt[b], &gt[b+half])
-		}
+		foldTables(&r, et, ft, gt)
 		et, ft, gt = et[:half], ft[:half], gt[:half]
 	}
 	return proof, reversed(challenges), claim, [3]field.Element{et[0], ft[0], gt[0]}, nil
