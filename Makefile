@@ -7,7 +7,7 @@ REPORT_DIR ?= .
 # Per-target budget for the fuzz smoke (see `make fuzz`).
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet bench bench-report bench-sched bench-kernels bench-check fuzz check
+.PHONY: build test race vet bench bench-report bench-sched bench-kernels bench-mem bench-check roofline fuzz check
 
 build:
 	$(GO) build ./...
@@ -45,9 +45,16 @@ bench-sched:
 bench-kernels:
 	$(GO) run ./cmd/batchzk-bench kernels -out $(REPORT_DIR)
 
+# Regenerate BENCH_memory.json: a multi-wave soak through one batch
+# prover under the background memory sampler, gating the flat-memory
+# claim and recording per-job flight timelines.
+bench-mem:
+	$(GO) run ./cmd/batchzk-bench mem -out $(REPORT_DIR)
+
 # Gate the working tree against the committed reports: regenerate into a
 # temp dir and fail on any gated metric >10% worse. The scenario report,
-# the scheduler report, and the kernels report are all gated.
+# the scheduler report, the kernels report, and the memory report are
+# all gated.
 bench-check:
 	@tmp=$$(mktemp -d) && \
 	$(GO) run ./cmd/batchzk-profile -scenario $(SCENARIO) -out $$tmp >/dev/null && \
@@ -55,8 +62,15 @@ bench-check:
 	$(GO) run ./cmd/batchzk-bench sched -out $$tmp >/dev/null && \
 	$(GO) run ./cmd/batchzk-profile compare $(REPORT_DIR)/BENCH_scheduler.json $$tmp/BENCH_scheduler.json && \
 	$(GO) run ./cmd/batchzk-bench kernels -shift 12 -reps 1 -out $$tmp >/dev/null && \
-	$(GO) run ./cmd/batchzk-profile compare $(REPORT_DIR)/BENCH_kernels.json $$tmp/BENCH_kernels.json; \
+	$(GO) run ./cmd/batchzk-profile compare $(REPORT_DIR)/BENCH_kernels.json $$tmp/BENCH_kernels.json && \
+	$(GO) run ./cmd/batchzk-bench mem -waves 4 -jobs 16 -out $$tmp >/dev/null && \
+	$(GO) run ./cmd/batchzk-profile compare $(REPORT_DIR)/BENCH_memory.json $$tmp/BENCH_memory.json; \
 	status=$$?; rm -rf $$tmp; exit $$status
+
+# Print the host-kernel roofline: serial ns/element for every hot kernel
+# against the calibrated arithmetic floor, with per-kernel verdicts.
+roofline:
+	$(GO) run ./cmd/batchzk-profile roofline
 
 # Short coverage-guided fuzz of the codec/derivation/verification
 # surfaces (go test allows one -fuzz pattern per invocation, so one run

@@ -399,3 +399,59 @@ func KernelsBenchFileName() string { return bench.KernelsReportFileName() }
 
 // KernelsBenchKind is the "kind" discriminator kernels reports carry.
 func KernelsBenchKind() string { return bench.KernelsReportKind }
+
+// MemoryBenchReport is the schema-versioned content of
+// BENCH_memory.json: a multi-wave soak through one batch prover with
+// per-wave heap high-water marks, the flat-memory verdict, and the
+// per-job SLO summary from the flight recorder.
+type MemoryBenchReport = bench.MemoryReport
+
+// BuildMemoryBenchReport runs the memory soak — waves identical batches
+// of batch jobs through one depth-bounded prover under a background
+// memory sampler — and returns the report plus the telemetry sink the
+// run recorded into, so callers can also export the per-job timeline
+// and Chrome trace of the same run.
+func BuildMemoryBenchReport(gates, batch, waves, depth int, seed int64) (*MemoryBenchReport, *TelemetrySink, error) {
+	return bench.BuildMemorySoak(gates, batch, waves, depth, seed)
+}
+
+// ReadMemoryBenchReport parses and schema-checks a BENCH_memory.json
+// stream.
+func ReadMemoryBenchReport(r io.Reader) (*MemoryBenchReport, error) {
+	return bench.ReadMemoryReport(r)
+}
+
+// CompareMemoryBenchReports gates a new memory report against an old one
+// (flatness and proof success always; absolute heap peaks only between
+// equal-core hosts, with extra slack for GC timing noise).
+func CompareMemoryBenchReports(old, cur *MemoryBenchReport, threshold float64) ([]BenchRegression, error) {
+	return bench.CompareMemory(old, cur, threshold)
+}
+
+// MemoryBenchFileName is the BENCH_memory.json naming convention.
+func MemoryBenchFileName() string { return bench.MemoryReportFileName() }
+
+// MemoryBenchKind is the "kind" discriminator memory reports carry.
+func MemoryBenchKind() string { return bench.MemoryReportKind }
+
+// RooflineReport is the host-kernel roofline: measured serial ns/element
+// for every hot kernel against a calibrated arithmetic floor (measured
+// Montgomery-multiply / add / hash-compress latencies times each
+// kernel's per-element op model), with a percent-of-ceiling verdict per
+// kernel mirroring the GPU simulator's bound verdicts.
+type RooflineReport = bench.RooflineReport
+
+// BuildRooflineReport calibrates the host ALU, times every kernel at
+// 2^shift elements serially (best of reps), and scores each against its
+// arithmetic floor.
+func BuildRooflineReport(shift, reps int, seed int64) (*RooflineReport, error) {
+	return bench.BuildRooflineReport(shift, reps, seed)
+}
+
+// ReadRooflineReport parses and schema-checks a roofline report stream.
+func ReadRooflineReport(r io.Reader) (*RooflineReport, error) {
+	return bench.ReadRooflineReport(r)
+}
+
+// RooflineBenchKind is the "kind" discriminator roofline reports carry.
+func RooflineBenchKind() string { return bench.RooflineReportKind }

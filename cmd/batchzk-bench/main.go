@@ -18,6 +18,10 @@
 //	                                    # worker allocation → BENCH_scheduler.json
 //	batchzk-bench kernels -out .        # multicore kernel bench: serial vs
 //	                                    # parallel per kernel → BENCH_kernels.json
+//	batchzk-bench mem -out .            # flat-memory soak with per-job SLO
+//	                                    # summary → BENCH_memory.json
+//	batchzk-bench mem -timeline out/    # + per-job flight timelines and
+//	                                    # Chrome trace of the soak
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"batchzk"
 )
@@ -40,6 +45,13 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "kernels" {
 		if err := runKernels(os.Args[2:], os.Stdout, os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "batchzk-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "mem" {
+		if err := runMem(os.Args[2:], os.Stdout, os.Stderr); err != nil {
 			fmt.Fprintln(os.Stderr, "batchzk-bench:", err)
 			os.Exit(1)
 		}
@@ -145,6 +157,80 @@ func runKernels(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stderr, "report written to %s\n", path)
 	}
 	return nil
+}
+
+// runMem implements `batchzk-bench mem`: stream identical waves of
+// proof jobs through one batch prover under a background memory sampler,
+// gate the flat-memory claim, and write the schema-versioned
+// BENCH_memory.json. With -timeline it also exports the same run's
+// per-job flight timelines (timeline.json) and Chrome trace (trace.json).
+func runMem(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("mem", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	gates := fs.Int("gates", 256, "multiplication gates in the soak circuit")
+	jobs := fs.Int("jobs", 32, "proof jobs per wave")
+	waves := fs.Int("waves", 6, "identical waves the soak streams")
+	depth := fs.Int("depth", 4, "pipeline depth (proofs in flight)")
+	seed := fs.Int64("seed", 1, "circuit synthesis seed")
+	out := fs.String("out", ".", "directory for BENCH_memory.json ('' = don't write)")
+	timelineDir := fs.String("timeline", "", "directory for the soak's telemetry dump (timeline.json, trace.json, metrics.json)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep, sink, err := batchzk.BuildMemoryBenchReport(*gates, *jobs, *waves, *depth, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "memory soak: %d gates, %d jobs/wave, %d waves, depth %d (%d cores)\n",
+		rep.Gates, rep.Batch, rep.Waves, rep.Depth, rep.Cores)
+	for _, w := range rep.WaveDetail {
+		fmt.Fprintf(stdout, "  %-8s peak heap %12d B  (%d samples, %d gc)\n",
+			w.Name, w.PeakHeapAllocBytes, w.Samples, w.GCCycles)
+	}
+	fmt.Fprintf(stdout, "  soak peak %d B, growth first→last wave %+.1f%%, flat=%v, all proofs ok=%v\n",
+		rep.PeakHeapAllocBytes, rep.GrowthFrac*100, rep.Flat, rep.AllProofsOK)
+	fmt.Fprintf(stdout, "  per-job SLO: %d jobs, p50 %s p90 %s p99 %s e2e, %d retries\n",
+		rep.SLO.Jobs, nsDur(rep.SLO.P50Ns), nsDur(rep.SLO.P90Ns), nsDur(rep.SLO.P99Ns), rep.SLO.Retries)
+	if !rep.Flat {
+		return fmt.Errorf("memory soak is not flat: first wave peak %d B, last %d B (%+.1f%%)",
+			rep.FirstWavePeakBytes, rep.LastWavePeakBytes, rep.GrowthFrac*100)
+	}
+	if !rep.AllProofsOK {
+		return fmt.Errorf("memory soak had failing proofs")
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			return fmt.Errorf("cannot create report directory %s: %w", *out, err)
+		}
+		path := filepath.Join(*out, batchzk.MemoryBenchFileName())
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("cannot write report: %w", err)
+		}
+		werr := rep.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("cannot write report %s: %w", path, werr)
+		}
+		fmt.Fprintf(stderr, "report written to %s\n", path)
+	}
+	if *timelineDir != "" {
+		if err := os.MkdirAll(*timelineDir, 0o755); err != nil {
+			return fmt.Errorf("cannot create timeline directory %s: %w", *timelineDir, err)
+		}
+		if err := sink.Dump(*timelineDir); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "per-job timelines written to %s (timeline.json; trace.json loads in chrome://tracing)\n", *timelineDir)
+	}
+	return nil
+}
+
+// nsDur renders nanoseconds as a rounded time.Duration string.
+func nsDur(ns float64) string {
+	return time.Duration(ns).Round(10 * time.Microsecond).String()
 }
 
 func run(args []string, stdout, stderr io.Writer) error {

@@ -12,7 +12,11 @@
 //	batchzk-profile -device H100 -out out/   # another device, report dir
 //	batchzk-profile -format json             # JSON report to stdout too
 //	batchzk-profile -list                    # list scenario names
+//	batchzk-profile -telemetry out/          # + dump metrics & Chrome trace
+//	batchzk-profile -debug-addr :6060        # + live pprof/expvar server
 //	batchzk-profile compare OLD.json NEW.json [-threshold 0.10]
+//	batchzk-profile roofline                 # host-kernel roofline table:
+//	                                         # ns/element vs calibrated ALU floor
 package main
 
 import (
@@ -30,10 +34,54 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "compare" {
 		os.Exit(runCompare(os.Args[2:], os.Stdout, os.Stderr))
 	}
+	if len(os.Args) > 1 && os.Args[1] == "roofline" {
+		if err := runRoofline(os.Args[2:], os.Stdout, os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "batchzk-profile:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "batchzk-profile:", err)
 		os.Exit(1)
 	}
+}
+
+// runRoofline implements `batchzk-profile roofline`: calibrate the host
+// ALU (measured Montgomery multiply/add and hash-compress latencies),
+// time every hot kernel serially, and print each kernel's ns/element
+// against its arithmetic floor with a percent-of-ceiling verdict —
+// the host-side mirror of the GPU simulator's bound verdicts.
+func runRoofline(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("roofline", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	shift := fs.Int("shift", 14, "log2 of the per-kernel problem size")
+	reps := fs.Int("reps", 3, "runs per kernel; best time is kept")
+	seed := fs.Int64("seed", 1, "input synthesis seed")
+	out := fs.String("out", "", "file for the JSON roofline report ('' = don't write)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep, err := batchzk.BuildRooflineReport(*shift, *reps, *seed)
+	if err != nil {
+		return err
+	}
+	rep.RenderTable(stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return fmt.Errorf("cannot write report: %w", err)
+		}
+		werr := rep.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("cannot write report %s: %w", *out, werr)
+		}
+		fmt.Fprintf(stderr, "report written to %s\n", *out)
+	}
+	return nil
 }
 
 func run(args []string, stdout, stderr io.Writer) error {
@@ -44,6 +92,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	out := fs.String("out", ".", "directory for BENCH_<scenario>.json ('' = don't write)")
 	format := fs.String("format", "text", "stdout format: text (profiler report) or json")
 	list := fs.Bool("list", false, "list scenario names and exit")
+	telemetryDir := fs.String("telemetry", "", "directory to dump telemetry (metrics.json, trace.json, spans.jsonl, timeline.json)")
+	debugAddr := fs.String("debug-addr", "", "serve /debug/vars, /debug/pprof and /debug/telemetry on this address")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,6 +103,29 @@ func run(args []string, stdout, stderr io.Writer) error {
 			fmt.Fprintf(stdout, "%-12s %s\n", sc.Name, sc.Title)
 		}
 		return nil
+	}
+
+	if *telemetryDir != "" {
+		// Create the dump directory up front so a bad path fails before
+		// the scenario runs, not after it.
+		if err := os.MkdirAll(*telemetryDir, 0o755); err != nil {
+			return fmt.Errorf("cannot create telemetry directory %s: %w", *telemetryDir, err)
+		}
+	}
+
+	// Enable telemetry before the scenario runs so the provers and
+	// simulators the harness constructs internally record into the sink.
+	var sink *batchzk.TelemetrySink
+	if *telemetryDir != "" || *debugAddr != "" {
+		sink = batchzk.NewTelemetrySink()
+		batchzk.EnableTelemetry(sink)
+	}
+	if *debugAddr != "" {
+		srv, err := batchzk.ServeTelemetryDebug(*debugAddr, sink)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "debug server on http://%s/debug/telemetry\n", srv.Addr)
 	}
 
 	sc, err := batchzk.BenchScenarioByName(*scenario)
@@ -98,6 +171,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintf(stderr, "report written to %s\n", path)
 	}
+	if *telemetryDir != "" {
+		if err := sink.Dump(*telemetryDir); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "telemetry written to %s (load trace.json in chrome://tracing)\n", *telemetryDir)
+	}
 	return nil
 }
 
@@ -128,9 +207,9 @@ func runCompare(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	// Reports carry a "kind" discriminator: scenario reports (no kind
-	// field), scheduler reports ("scheduler"), and kernel reports
-	// ("kernels") are gated by different comparators. Both files must be
-	// of the same kind.
+	// field), scheduler reports ("scheduler"), kernel reports ("kernels"),
+	// and memory reports ("memory") are gated by different comparators.
+	// Both files must be of the same kind.
 	oldKind, err := reportKind(files[0])
 	if err != nil {
 		fmt.Fprintln(stderr, "batchzk-profile:", err)
@@ -180,6 +259,22 @@ func runCompare(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		label = "scheduler"
+	} else if oldKind == batchzk.MemoryBenchKind() {
+		oldRep, err := readMemoryReportFile(files[0])
+		if err != nil {
+			fmt.Fprintln(stderr, "batchzk-profile:", err)
+			return 2
+		}
+		newRep, err := readMemoryReportFile(files[1])
+		if err != nil {
+			fmt.Fprintln(stderr, "batchzk-profile:", err)
+			return 2
+		}
+		if regs, err = batchzk.CompareMemoryBenchReports(oldRep, newRep, *threshold); err != nil {
+			fmt.Fprintln(stderr, "batchzk-profile:", err)
+			return 2
+		}
+		label = "memory"
 	} else {
 		oldRep, err := readReportFile(files[0])
 		if err != nil {
@@ -246,6 +341,19 @@ func readKernelsReportFile(path string) (*batchzk.KernelsBenchReport, error) {
 	}
 	defer f.Close()
 	rep, err := batchzk.ReadKernelsBenchReport(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+func readMemoryReportFile(path string) (*batchzk.MemoryBenchReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("cannot read report: %w", err)
+	}
+	defer f.Close()
+	rep, err := batchzk.ReadMemoryBenchReport(f)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}

@@ -1,0 +1,232 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"batchzk/internal/circuit"
+	"batchzk/internal/core"
+	"batchzk/internal/field"
+	"batchzk/internal/protocol"
+	"batchzk/internal/telemetry"
+)
+
+// Memory soak report: the flat-memory claim of the pipelined prover —
+// the dynamic-loading discipline bounds the working set to depth proofs,
+// so host heap high-water marks must not grow wave after wave — made
+// CI-enforceable. A soak streams W identical waves of B jobs through one
+// BatchProver while a telemetry.MemSampler records per-wave heap
+// high-water marks; a leak that retains per-job state across waves grows
+// the per-wave peak roughly linearly in the wave index and trips the
+// gate, while steady-state GC noise stays inside the documented slack.
+// Serialized as BENCH_memory.json with kind "memory".
+
+// MemoryReportKind discriminates memory reports in BENCH_*.json files.
+const MemoryReportKind = "memory"
+
+// MemorySchemaVersion identifies the BENCH_memory.json layout.
+const MemorySchemaVersion = 1
+
+// MemoryFlatTolerance is how much the last wave's heap peak may exceed
+// the first wave's before the soak stops counting as flat. The slack
+// absorbs GC timing noise (a collection landing mid-wave vs at its
+// boundary moves the observed peak); a genuine per-wave leak compounds
+// linearly in the wave count and clears this bar by a wide margin.
+const MemoryFlatTolerance = 0.5
+
+// MemoryWave is one soak wave's high-water record.
+type MemoryWave struct {
+	Name               string `json:"name"`
+	Samples            int64  `json:"samples"`
+	PeakHeapAllocBytes uint64 `json:"peak_heap_alloc_bytes"`
+	PeakHeapSysBytes   uint64 `json:"peak_heap_sys_bytes"`
+	GCCycles           uint32 `json:"gc_cycles"`
+}
+
+// MemoryReport is the schema-versioned content of BENCH_memory.json.
+type MemoryReport struct {
+	SchemaVersion int    `json:"schema_version"`
+	Kind          string `json:"kind"`
+	// Cores is the host's logical CPU count; absolute heap figures are
+	// only compared between equal-core hosts (GC pacing depends on it).
+	Cores int `json:"cores"`
+	Gates int `json:"gates"`
+	Batch int `json:"batch"`
+	Waves int `json:"waves"`
+	Depth int `json:"depth"`
+
+	// PeakHeapAllocBytes is the whole soak's live-heap high-water mark.
+	PeakHeapAllocBytes uint64 `json:"peak_heap_alloc_bytes"`
+	// FirstWavePeakBytes / LastWavePeakBytes anchor the growth check.
+	FirstWavePeakBytes uint64 `json:"first_wave_peak_bytes"`
+	LastWavePeakBytes  uint64 `json:"last_wave_peak_bytes"`
+	// GrowthFrac is (last − first) / first; ≤ 0 when memory shrank.
+	GrowthFrac float64 `json:"growth_frac"`
+	// Flat is the gated claim: GrowthFrac ≤ MemoryFlatTolerance.
+	Flat bool `json:"flat"`
+	// AllProofsOK confirms every soak job proved successfully.
+	AllProofsOK bool `json:"all_proofs_ok"`
+
+	WaveDetail []MemoryWave `json:"wave_detail"`
+
+	// SLO is the per-job service-level summary of the soak, from the
+	// flight recorder: e2e latency percentiles and per-stage cost
+	// attribution shares. Informational (host-dependent), never gated.
+	SLO telemetry.SLOSummary `json:"slo"`
+}
+
+// MemoryReportFileName is the on-disk name of the memory report.
+func MemoryReportFileName() string { return "BENCH_memory.json" }
+
+// BuildMemorySoak runs the soak and returns the report along with the
+// sink it recorded into, so callers (batchzk-bench mem) can also export
+// the per-job timeline JSON and Chrome trace of the same run.
+func BuildMemorySoak(gates, batch, waves, depth int, seed int64) (*MemoryReport, *telemetry.Sink, error) {
+	if gates < 16 {
+		gates = 16
+	}
+	if batch < 8 {
+		batch = 8
+	}
+	if waves < 3 {
+		waves = 3
+	}
+	if depth < 1 {
+		depth = 4
+	}
+	c, err := circuit.RandomCircuit(gates, 2, 2, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := protocol.Setup(c)
+	if err != nil {
+		return nil, nil, err
+	}
+	bp, err := core.NewBatchProver(c, p, depth)
+	if err != nil {
+		return nil, nil, err
+	}
+	sink := telemetry.NewSink(0)
+	bp.SetTelemetry(sink)
+
+	jobs := make([]core.Job, batch)
+	for i := range jobs {
+		jobs[i] = core.Job{ID: i, Public: field.RandVector(2), Secret: field.RandVector(2)}
+	}
+
+	rep := &MemoryReport{
+		SchemaVersion: MemorySchemaVersion,
+		Kind:          MemoryReportKind,
+		Cores:         runtime.NumCPU(),
+		Gates:         gates,
+		Batch:         batch,
+		Waves:         waves,
+		Depth:         depth,
+		AllProofsOK:   true,
+	}
+
+	ms := telemetry.StartMemSampler(sink, time.Millisecond)
+	for w := 0; w < waves; w++ {
+		// Collect at the boundary so every wave starts from the same
+		// baseline and the per-wave peak measures the wave's own traffic.
+		runtime.GC()
+		ms.SetPhase(fmt.Sprintf("wave%02d", w))
+		for _, r := range bp.ProveBatch(jobs) {
+			if r.Err != nil {
+				rep.AllProofsOK = false
+			}
+		}
+		ms.Sample()
+	}
+	phases := ms.Stop()
+	rep.PeakHeapAllocBytes = ms.PeakHeapAllocBytes()
+
+	for _, ph := range phases {
+		if ph.Name == "init" {
+			continue
+		}
+		rep.WaveDetail = append(rep.WaveDetail, MemoryWave{
+			Name:               ph.Name,
+			Samples:            ph.Samples,
+			PeakHeapAllocBytes: ph.PeakHeapAllocBytes,
+			PeakHeapSysBytes:   ph.PeakHeapSysBytes,
+			GCCycles:           ph.GCCycles,
+		})
+	}
+	if n := len(rep.WaveDetail); n > 0 {
+		rep.FirstWavePeakBytes = rep.WaveDetail[0].PeakHeapAllocBytes
+		rep.LastWavePeakBytes = rep.WaveDetail[n-1].PeakHeapAllocBytes
+		if rep.FirstWavePeakBytes > 0 {
+			rep.GrowthFrac = float64(rep.LastWavePeakBytes)/float64(rep.FirstWavePeakBytes) - 1
+		}
+		rep.Flat = rep.GrowthFrac <= MemoryFlatTolerance
+	}
+	rep.SLO = sink.FlightRecorder().SLO()
+	return rep, sink, nil
+}
+
+// WriteJSON serializes the report, indented, trailing newline included.
+func (r *MemoryReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadMemoryReport parses a BENCH_memory.json stream and validates its
+// schema and kind.
+func ReadMemoryReport(rd io.Reader) (*MemoryReport, error) {
+	var r MemoryReport
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("bench: parse memory report: %w", err)
+	}
+	if r.Kind != MemoryReportKind {
+		return nil, fmt.Errorf("bench: report kind %q, want %q", r.Kind, MemoryReportKind)
+	}
+	if r.SchemaVersion != MemorySchemaVersion {
+		return nil, fmt.Errorf("bench: memory report schema v%d, this build reads v%d", r.SchemaVersion, MemorySchemaVersion)
+	}
+	return &r, nil
+}
+
+// CompareMemory gates a new memory report against an old one. The
+// host-independent invariants — the soak stayed flat, every proof
+// succeeded — are always gated. The absolute heap high-water mark is
+// gated only between equal-core hosts (GC pacing differs with cores),
+// and with at least 25% slack on top of the caller's threshold, since
+// a single collection's timing moves the observed peak. The SLO block
+// is informational and never gated.
+func CompareMemory(old, cur *MemoryReport, threshold float64) ([]Regression, error) {
+	if old == nil || cur == nil {
+		return nil, fmt.Errorf("bench: compare needs two reports")
+	}
+	if threshold < 0 {
+		return nil, fmt.Errorf("bench: negative threshold %v", threshold)
+	}
+	var regs []Regression
+	boolMetric := func(metric string, oldV, newV bool) {
+		if oldV && !newV {
+			regs = append(regs, Regression{Metric: metric, Old: 1, New: 0, DeltaFrac: 1})
+		}
+	}
+	boolMetric("flat", old.Flat, cur.Flat)
+	boolMetric("all_proofs_ok", old.AllProofsOK, cur.AllProofsOK)
+
+	if old.Cores == cur.Cores && old.PeakHeapAllocBytes > 0 {
+		slack := threshold
+		if slack < 0.25 {
+			slack = 0.25
+		}
+		oldV := float64(old.PeakHeapAllocBytes)
+		newV := float64(cur.PeakHeapAllocBytes)
+		delta := (newV - oldV) / oldV
+		if delta > slack {
+			regs = append(regs, Regression{
+				Metric: "peak_heap_alloc_bytes", Old: oldV, New: newV, DeltaFrac: delta,
+			})
+		}
+	}
+	return regs, nil
+}

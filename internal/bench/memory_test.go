@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func tinyMemorySoak(t *testing.T) *MemoryReport {
+	t.Helper()
+	rep, sink, err := BuildMemorySoak(16, 8, 3, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink == nil {
+		t.Fatal("soak returned no sink")
+	}
+	return rep
+}
+
+func TestMemorySoakReport(t *testing.T) {
+	rep := tinyMemorySoak(t)
+	if rep.Kind != MemoryReportKind || rep.SchemaVersion != MemorySchemaVersion {
+		t.Fatalf("report header: %+v", rep)
+	}
+	if !rep.AllProofsOK {
+		t.Fatal("soak proofs failed")
+	}
+	if len(rep.WaveDetail) != rep.Waves {
+		t.Fatalf("wave detail %d entries for %d waves", len(rep.WaveDetail), rep.Waves)
+	}
+	for _, w := range rep.WaveDetail {
+		if w.PeakHeapAllocBytes == 0 || w.Samples == 0 {
+			t.Fatalf("empty wave record: %+v", w)
+		}
+	}
+	if rep.PeakHeapAllocBytes < rep.LastWavePeakBytes {
+		t.Fatalf("soak peak %d below last wave peak %d", rep.PeakHeapAllocBytes, rep.LastWavePeakBytes)
+	}
+	// Every soak job flows through the flight recorder into the SLO view.
+	if want := rep.Batch * rep.Waves; rep.SLO.Jobs != want {
+		t.Fatalf("slo saw %d jobs, want %d", rep.SLO.Jobs, want)
+	}
+	if rep.SLO.P50Ns <= 0 || len(rep.SLO.StageShares) == 0 {
+		t.Fatalf("slo: %+v", rep.SLO)
+	}
+}
+
+func TestMemoryReportRoundTrip(t *testing.T) {
+	rep := tinyMemorySoak(t)
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMemoryReport(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.PeakHeapAllocBytes != rep.PeakHeapAllocBytes || back.Flat != rep.Flat {
+		t.Fatalf("round trip drifted: %+v vs %+v", back, rep)
+	}
+	// Wrong kind is rejected.
+	if _, err := ReadMemoryReport(strings.NewReader(`{"schema_version":1,"kind":"kernels"}`)); err == nil {
+		t.Fatal("foreign kind accepted")
+	}
+	if _, err := ReadMemoryReport(strings.NewReader(`{"schema_version":99,"kind":"memory"}`)); err == nil {
+		t.Fatal("future schema accepted")
+	}
+}
+
+func TestCompareMemoryGates(t *testing.T) {
+	old := &MemoryReport{Cores: 8, Flat: true, AllProofsOK: true, PeakHeapAllocBytes: 1000}
+	cur := &MemoryReport{Cores: 8, Flat: true, AllProofsOK: true, PeakHeapAllocBytes: 1100}
+	regs, err := CompareMemory(old, cur, 0.10)
+	if err != nil || len(regs) != 0 {
+		t.Fatalf("10%% growth within the 25%% floor slack flagged: %v %v", regs, err)
+	}
+
+	// Losing flatness is always gated.
+	cur2 := &MemoryReport{Cores: 8, Flat: false, AllProofsOK: true, PeakHeapAllocBytes: 1000}
+	regs, _ = CompareMemory(old, cur2, 0.10)
+	if len(regs) != 1 || regs[0].Metric != "flat" {
+		t.Fatalf("flatness loss not gated: %v", regs)
+	}
+
+	// Large absolute growth between equal-core hosts is gated.
+	cur3 := &MemoryReport{Cores: 8, Flat: true, AllProofsOK: true, PeakHeapAllocBytes: 2000}
+	regs, _ = CompareMemory(old, cur3, 0.10)
+	if len(regs) != 1 || regs[0].Metric != "peak_heap_alloc_bytes" {
+		t.Fatalf("2x heap growth not gated: %v", regs)
+	}
+
+	// The same growth across different-core hosts is not comparable.
+	cur4 := &MemoryReport{Cores: 4, Flat: true, AllProofsOK: true, PeakHeapAllocBytes: 2000}
+	regs, _ = CompareMemory(old, cur4, 0.10)
+	if len(regs) != 0 {
+		t.Fatalf("cross-host heap comparison gated: %v", regs)
+	}
+
+	// Failing proofs are always gated.
+	cur5 := &MemoryReport{Cores: 8, Flat: true, AllProofsOK: false, PeakHeapAllocBytes: 1000}
+	regs, _ = CompareMemory(old, cur5, 0.10)
+	if len(regs) != 1 || regs[0].Metric != "all_proofs_ok" {
+		t.Fatalf("proof failure not gated: %v", regs)
+	}
+
+	if _, err := CompareMemory(nil, cur, 0.10); err == nil {
+		t.Fatal("nil report accepted")
+	}
+	if _, err := CompareMemory(old, cur, -1); err == nil {
+		t.Fatal("negative threshold accepted")
+	}
+}

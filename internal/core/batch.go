@@ -40,6 +40,12 @@ type Job struct {
 	// Witness may carry a precomputed wire assignment (e.g. from the ML
 	// engine); when nil, the prover evaluates the circuit itself.
 	Witness circuit.Assignment
+	// Trace is the job's flight-recorder trace id. Zero (the default)
+	// mints a fresh id at submission; a caller that already holds one —
+	// e.g. a service layer that extracted it from a request context with
+	// telemetry.TraceIDFrom — sets it here so the job keeps one timeline
+	// across API boundaries, shard hand-offs, retries, and quarantine.
+	Trace telemetry.TraceID
 }
 
 // Result pairs a job with its proof or error. Results arrive in
@@ -48,6 +54,9 @@ type Result struct {
 	ID    int
 	Proof *protocol.Proof
 	Err   error
+	// Trace is the job's flight-recorder trace id (0 when telemetry was
+	// disabled), the key into the exported per-job timeline.
+	Trace telemetry.TraceID
 }
 
 // StageNames labels the four prover pipeline stages.
@@ -109,6 +118,10 @@ type BatchProver struct {
 	// tel overrides the process-wide telemetry sink when non-nil.
 	tel *telemetry.Sink
 
+	// shard is this prover's index inside a ShardedProver (-1 when the
+	// prover is unsharded), recorded on every job's flight timeline.
+	shard int
+
 	// schedCfg configures the stage worker pools (see schedule.go); graph
 	// is the live scheduler of the current Run, for introspection.
 	schedCfg *Schedule
@@ -154,6 +167,8 @@ type instruments struct {
 	timeouts    *telemetry.Counter
 	panics      *telemetry.Counter
 	backoff     *telemetry.Histogram
+	// flight is the per-job timeline recorder (nil when telemetry is off).
+	flight *telemetry.FlightRecorder
 }
 
 func (bp *BatchProver) instruments() instruments {
@@ -173,6 +188,7 @@ func (bp *BatchProver) instruments() instruments {
 	ins.timeouts = sink.Counter("core/jobs/timeouts")
 	ins.panics = sink.Counter("core/jobs/panics_recovered")
 	ins.backoff = sink.Histogram("core/job/retry_backoff_ns")
+	ins.flight = sink.FlightRecorder()
 	return ins
 }
 
@@ -190,11 +206,15 @@ func (bp *BatchProver) timeStage(i int, ins instruments, parent telemetry.SpanID
 
 // observeWait records how long a message sat in an inter-stage queue —
 // the live signal (together with per-stage histograms) for choosing the
-// pipeline depth from data rather than the static StageShare ratio.
-func (ins instruments) observeWait(enq time.Time) {
-	if !enq.IsZero() {
-		ins.queueWait.Observe(time.Since(enq).Nanoseconds())
+// pipeline depth from data rather than the static StageShare ratio —
+// and returns the wait in ns for the job's flight timeline.
+func (ins instruments) observeWait(enq time.Time) int64 {
+	if enq.IsZero() {
+		return 0
 	}
+	ns := time.Since(enq).Nanoseconds()
+	ins.queueWait.Observe(ns)
+	return ns
 }
 
 // NewBatchProver builds a batch prover for one circuit. depth is the
@@ -207,7 +227,7 @@ func NewBatchProver(c *circuit.Circuit, p *protocol.Params, depth int) (*BatchPr
 	if depth < 1 {
 		return nil, fmt.Errorf("core: pipeline depth %d < 1", depth)
 	}
-	return &BatchProver{c: c, p: p, depth: depth}, nil
+	return &BatchProver{c: c, p: p, depth: depth, shard: -1}, nil
 }
 
 // Circuit returns the circuit being proven.
@@ -229,6 +249,11 @@ type stageMsg struct {
 	enq     time.Time
 	// job is the per-job telemetry span, open from dequeue to result.
 	job *telemetry.ActiveSpan
+	// trace is the job's flight-recorder id, stamped at submission and
+	// carried across every stage hop, retry, and quarantine; waitNs is the
+	// queue wait ahead of the stage currently running, for its timeline.
+	trace  telemetry.TraceID
+	waitNs int64
 }
 
 // processStage runs one prover stage on one message, from whichever
@@ -243,6 +268,8 @@ func (bp *BatchProver) processStage(stage int, ins instruments, m *stageMsg) {
 		bp.inFlight.Add(1)
 		ins.inFlight.Add(1)
 		m.job = ins.tracer.Begin("core", "job", 0, len(StageNames), m.id)
+		m.job.SetTrace(m.trace)
+		m.waitNs = 0 // admission wait is stamped by the flight recorder
 		job := m.src
 		bp.runStage(0, ins, m, func() error {
 			w := job.Witness
@@ -258,13 +285,13 @@ func (bp *BatchProver) processStage(stage int, ins instruments, m *stageMsg) {
 		})
 		m.src = Job{} // drop the witness; the in-flight proof carries on
 	case 1:
-		ins.observeWait(m.enq)
+		m.waitNs = ins.observeWait(m.enq)
 		bp.runStage(1, ins, m, func() error { return m.f.RunHadamard() })
 	case 2:
-		ins.observeWait(m.enq)
+		m.waitNs = ins.observeWait(m.enq)
 		bp.runStage(2, ins, m, func() error { return m.f.RunLinear() })
 	case 3:
-		ins.observeWait(m.enq)
+		m.waitNs = ins.observeWait(m.enq)
 		bp.runStage(3, ins, m, func() error {
 			var err error
 			m.proof, err = m.f.Finish()
@@ -322,7 +349,11 @@ func (bp *BatchProver) Run(jobs <-chan Job) <-chan Result {
 	go func() {
 		defer close(gin)
 		for job := range jobs {
-			gin <- stageMsg{id: job.ID, src: job}
+			// Submit mints a trace id for untagged jobs and re-submits
+			// tagged ones unchanged, so a sharded hand-off keeps one
+			// timeline while recording which shard the job landed on.
+			trace := ins.flight.Submit(job.Trace, job.ID, bp.shard)
+			gin <- stageMsg{id: job.ID, src: job, trace: trace}
 		}
 	}()
 
@@ -337,12 +368,14 @@ func (bp *BatchProver) Run(jobs <-chan Job) <-chan Result {
 			if m.err != nil {
 				bp.failed.Add(1)
 				ins.failed.Inc()
-				results <- Result{ID: m.id, Err: m.err}
+				ins.flight.Emit(m.trace, m.err.Error())
+				results <- Result{ID: m.id, Err: m.err, Trace: m.trace}
 				continue
 			}
 			bp.completed.Add(1)
 			ins.completed.Inc()
-			results <- Result{ID: m.id, Proof: m.proof}
+			ins.flight.Emit(m.trace, "")
+			results <- Result{ID: m.id, Proof: m.proof, Trace: m.trace}
 		}
 	}()
 	return results

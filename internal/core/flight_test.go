@@ -1,0 +1,245 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"batchzk/internal/faults"
+	"batchzk/internal/telemetry"
+)
+
+// The flight-recorder integration contract: a job keeps exactly one
+// coherent timeline across the pipeline, including the hard path —
+// retries under fault injection and the dead-letter quarantine.
+
+func TestFlightTimelineCleanRun(t *testing.T) {
+	c, p := testCircuit(t)
+	bp, err := NewBatchProver(c, p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := telemetry.NewSink(0)
+	bp.SetTelemetry(sink)
+
+	results := bp.ProveBatch(resilienceJobs(6))
+	fr := sink.FlightRecorder()
+	tls := fr.Timelines()
+	if len(tls) != 6 {
+		t.Fatalf("recorded %d timelines for 6 jobs", len(tls))
+	}
+	seen := map[telemetry.TraceID]bool{}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", r.ID, r.Err)
+		}
+		if r.Trace == 0 {
+			t.Fatalf("job %d result carries no trace id", r.ID)
+		}
+		if seen[r.Trace] {
+			t.Fatalf("trace id %d reused across jobs", r.Trace)
+		}
+		seen[r.Trace] = true
+		tl, ok := fr.Timeline(r.Trace)
+		if !ok {
+			t.Fatalf("job %d: no timeline for trace %d", r.ID, r.Trace)
+		}
+		if tl.JobID != r.ID || !tl.Done || tl.Quarantined || tl.Retries != 0 {
+			t.Fatalf("job %d timeline: %+v", r.ID, tl)
+		}
+		if len(tl.Stages) != len(StageNames) {
+			t.Fatalf("job %d recorded %d stages, want %d", r.ID, len(tl.Stages), len(StageNames))
+		}
+		for i, st := range tl.Stages {
+			if st.Stage != StageNames[i] || st.Attempts != 1 || st.DurNs <= 0 {
+				t.Fatalf("job %d stage %d: %+v", r.ID, i, st)
+			}
+		}
+		if tl.EmitNs < tl.StartNs || tl.StartNs < tl.SubmitNs {
+			t.Fatalf("job %d timeline out of order: %+v", r.ID, tl)
+		}
+	}
+	if s := fr.SLO(); s.Jobs != 6 || s.Completed != 6 || s.Retries != 0 {
+		t.Fatalf("slo: %+v", s)
+	}
+}
+
+func TestFlightTimelineSurvivesRetry(t *testing.T) {
+	inj := faults.NewInjector(1)
+	inj.Force(faults.KernelFault, StageNames[1], 0, 1) // transient: attempt 2 succeeds
+	bp, _ := resilientProver(t, inj)
+	sink := telemetry.NewSink(0)
+	bp.SetTelemetry(sink)
+
+	results := bp.ProveBatch(resilienceJobs(2))
+	if results[0].Err != nil {
+		t.Fatalf("job 0 failed despite retry: %v", results[0].Err)
+	}
+	tl, ok := sink.FlightRecorder().Timeline(results[0].Trace)
+	if !ok {
+		t.Fatal("retried job lost its timeline")
+	}
+	// The backoff was taken once, so exactly one retry is recorded — not
+	// one per observer or one per attempt.
+	if tl.Retries != 1 {
+		t.Fatalf("retries recorded %d times, want exactly 1", tl.Retries)
+	}
+	if tl.Quarantined || !tl.Done {
+		t.Fatalf("timeline: %+v", tl)
+	}
+	if len(tl.Stages) != len(StageNames) {
+		t.Fatalf("recorded %d stages: %+v", len(tl.Stages), tl.Stages)
+	}
+	// The faulted stage's record covers both attempts.
+	if tl.Stages[1].Attempts != 2 {
+		t.Fatalf("faulted stage attempts = %d, want 2", tl.Stages[1].Attempts)
+	}
+	// The healthy neighbor stayed untouched.
+	other, _ := sink.FlightRecorder().Timeline(results[1].Trace)
+	if other.Retries != 0 || other.Quarantined {
+		t.Fatalf("healthy job timeline: %+v", other)
+	}
+}
+
+func TestFlightTimelineSurvivesQuarantine(t *testing.T) {
+	inj := faults.NewInjector(1)
+	bp, res := resilientProver(t, inj)
+	for attempt := 1; attempt <= res.Retry.MaxAttempts; attempt++ {
+		inj.Force(faults.KernelFault, StageNames[2], 0, attempt)
+	}
+	sink := telemetry.NewSink(0)
+	bp.SetTelemetry(sink)
+
+	results := bp.ProveBatch(resilienceJobs(1))
+	if results[0].Err == nil {
+		t.Fatal("persistently faulty job succeeded")
+	}
+	fr := sink.FlightRecorder()
+	tls := fr.Timelines()
+	if len(tls) != 1 {
+		t.Fatalf("one job produced %d timelines", len(tls))
+	}
+	tl := tls[0]
+	if tl.TraceID != results[0].Trace {
+		t.Fatalf("result trace %d != timeline trace %d", results[0].Trace, tl.TraceID)
+	}
+	if !tl.Quarantined || tl.QuarantineStage != StageNames[2] {
+		t.Fatalf("quarantine not on the timeline: %+v", tl)
+	}
+	// Retries recorded exactly once per backoff: MaxAttempts-1 in total.
+	if tl.Retries != res.Retry.MaxAttempts-1 {
+		t.Fatalf("retries = %d, want %d", tl.Retries, res.Retry.MaxAttempts-1)
+	}
+	if tl.Error == "" || !tl.Done {
+		t.Fatalf("quarantined timeline not closed: %+v", tl)
+	}
+	// Stages up to and including the failing one are recorded; the
+	// stages the job skipped on its way out are not.
+	if len(tl.Stages) != 3 {
+		t.Fatalf("recorded stages: %+v", tl.Stages)
+	}
+	if last := tl.Stages[2]; last.Stage != StageNames[2] || last.Attempts != res.Retry.MaxAttempts {
+		t.Fatalf("failing stage record: %+v", last)
+	}
+	if s := fr.SLO(); s.Quarantined != 1 || s.Completed != 0 || s.Retries != res.Retry.MaxAttempts-1 {
+		t.Fatalf("slo: %+v", s)
+	}
+}
+
+func TestFlightTimelineRecordsShard(t *testing.T) {
+	c, p := testCircuit(t)
+	sp, err := NewShardedProver(c, p, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := telemetry.NewSink(0)
+	sp.SetTelemetry(sink)
+
+	results := sp.ProveBatch(resilienceJobs(8))
+	fr := sink.FlightRecorder()
+	shardsSeen := map[int]int{}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", r.ID, r.Err)
+		}
+		tl, ok := fr.Timeline(r.Trace)
+		if !ok {
+			t.Fatalf("job %d: no timeline", r.ID)
+		}
+		if tl.Shard < 0 || tl.Shard > 1 {
+			t.Fatalf("job %d assigned to shard %d", r.ID, tl.Shard)
+		}
+		shardsSeen[tl.Shard]++
+		if !tl.Done || len(tl.Stages) != len(StageNames) {
+			t.Fatalf("job %d timeline: %+v", r.ID, tl)
+		}
+	}
+	if len(shardsSeen) != 2 {
+		t.Fatalf("8 jobs over 2 shards landed on %v", shardsSeen)
+	}
+}
+
+// TestFlightTraceIDPropagatesFromCaller: a job tagged by the caller (the
+// service layer propagating an external trace id) keeps that id through
+// the pipeline instead of being re-minted.
+func TestFlightTraceIDPropagatesFromCaller(t *testing.T) {
+	c, p := testCircuit(t)
+	bp, err := NewBatchProver(c, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := telemetry.NewSink(0)
+	bp.SetTelemetry(sink)
+
+	jobs := resilienceJobs(1)
+	jobs[0].Trace = 12345
+	results := bp.ProveBatch(jobs)
+	if results[0].Trace != 12345 {
+		t.Fatalf("caller's trace id replaced: %d", results[0].Trace)
+	}
+	tl, ok := sink.FlightRecorder().Timeline(12345)
+	if !ok || !tl.Done {
+		t.Fatalf("caller-tagged timeline missing: %+v", tl)
+	}
+}
+
+// TestFlightDisabledZeroOverheadPath: with no sink, jobs still prove and
+// results carry no trace ids — the recording path is fully nil-safe.
+func TestFlightDisabledZeroOverheadPath(t *testing.T) {
+	c, p := testCircuit(t)
+	bp, err := NewBatchProver(c, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := bp.ProveBatch(resilienceJobs(2))
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", r.ID, r.Err)
+		}
+		if r.Trace != 0 {
+			t.Fatalf("telemetry disabled but job %d carries trace %d", r.ID, r.Trace)
+		}
+	}
+}
+
+// Guard against the sampler interacting with the prover's hot path: a
+// soak-style run under an aggressive sampler must not deadlock or slow
+// to a crawl.
+func TestMemSamplerUnderProverLoad(t *testing.T) {
+	c, p := testCircuit(t)
+	bp, err := NewBatchProver(c, p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := telemetry.NewSink(0)
+	bp.SetTelemetry(sink)
+	ms := telemetry.StartMemSampler(sink, 100*time.Microsecond)
+	defer ms.Stop()
+	for _, r := range bp.ProveBatch(resilienceJobs(4)) {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", r.ID, r.Err)
+		}
+	}
+	if ms.PeakHeapAllocBytes() == 0 {
+		t.Fatal("sampler recorded nothing under load")
+	}
+}

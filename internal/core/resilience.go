@@ -213,6 +213,10 @@ func (bp *BatchProver) runStage(i int, ins instruments, m *stageMsg, work func()
 	if res != nil {
 		maxAttempts = res.Retry.attempts()
 	}
+	// One flight-recorder Stage record covers the whole stage — every
+	// attempt and backoff — so the timeline's stage duration is what the
+	// job experienced, with the attempt count alongside.
+	stageStart := ins.flight.Now()
 	var pending []*faults.Fault
 	for attempt := 1; ; attempt++ {
 		var err error
@@ -223,6 +227,7 @@ func (bp *BatchProver) runStage(i int, ins instruments, m *stageMsg, work func()
 			for _, f := range pending {
 				f.MarkRecovered()
 			}
+			ins.flight.Stage(m.trace, StageNames[i], stageStart, ins.flight.Now()-stageStart, m.waitNs, attempt)
 			return
 		}
 		var f *faults.Fault
@@ -241,12 +246,14 @@ func (bp *BatchProver) runStage(i int, ins instruments, m *stageMsg, work func()
 		}
 		if !retryable || attempt >= maxAttempts {
 			bp.quarantine(ins, m, i, attempt, err, pending)
+			ins.flight.Stage(m.trace, StageNames[i], stageStart, ins.flight.Now()-stageStart, m.waitNs, attempt)
 			return
 		}
 		d := res.Retry.backoff(attempt)
 		bp.retries.Add(1)
 		ins.retries.Inc()
 		ins.backoff.Observe(d.Nanoseconds())
+		ins.flight.Retry(m.trace, StageNames[i], attempt)
 		bp.sleep(d)
 	}
 }
@@ -271,6 +278,7 @@ func (bp *BatchProver) quarantine(ins instruments, m *stageMsg, stage, attempts 
 	for _, f := range pending {
 		f.MarkQuarantined()
 	}
+	ins.flight.Quarantine(m.trace, StageNames[stage], m.err.Error())
 	bp.quarantinedN.Add(1)
 	ins.quarantined.Inc()
 	if errors.Is(err, ErrJobDeadline) {

@@ -32,6 +32,9 @@ func NewShardedProver(c *circuit.Circuit, p *protocol.Params, shards, depth int)
 		if err != nil {
 			return nil, err
 		}
+		// Each shard knows its own index, so the shard's intake records
+		// the assignment on every job's flight timeline as it lands.
+		bp.shard = i
 		sp.shards[i] = bp
 	}
 	return sp, nil

@@ -232,6 +232,20 @@ type Options struct {
 	// (see faults.go). Unrecoverable faults abort the run with a
 	// LaunchError.
 	Faults *faults.Injector
+	// Shard is the 1-based shard label of this run inside a sharded batch
+	// (0 = unsharded). RunSharded sets it per device so each shard's
+	// simulated spans land on their own trace process ("gpusim/shard<i>")
+	// and the Chrome view shows the per-shard assignment instead of
+	// overlaying every device on one timeline.
+	Shard int
+}
+
+// spanLayer is the trace layer (Chrome trace process) runs record under.
+func (o Options) spanLayer() string {
+	if o.Shard > 0 {
+		return fmt.Sprintf("gpusim/shard%d", o.Shard-1)
+	}
+	return "gpusim"
 }
 
 func (o Options) threads(spec DeviceSpec) int {
@@ -379,7 +393,7 @@ func RunPipelined(spec DeviceSpec, stages []Stage, tasks int, opts Options) (*Re
 		}
 	}
 	if tel := telemetry.Resolve(opts.Telemetry); tel != nil {
-		emitPipelinedTelemetry(tel, stages, stageNs, effCycle, transferNs, tasks, rep)
+		emitPipelinedTelemetry(tel, opts.spanLayer(), stages, stageNs, effCycle, transferNs, tasks, rep)
 	}
 	return rep, nil
 }
@@ -504,7 +518,7 @@ func RunNaive(spec DeviceSpec, stages []Stage, tasks, threadsPerTask int, opts O
 		}
 	}
 	if tel := telemetry.Resolve(opts.Telemetry); tel != nil {
-		emitNaiveTelemetry(tel, stages, roundNs, transferNs, tasks, waves, rep)
+		emitNaiveTelemetry(tel, opts.spanLayer(), stages, roundNs, transferNs, tasks, waves, rep)
 	}
 	return rep, nil
 }

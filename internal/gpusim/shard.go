@@ -48,7 +48,11 @@ func RunSharded(spec DeviceSpec, stages []Stage, tasks, shards int, opts Options
 		if i < tasks%shards {
 			n++
 		}
-		rep, err := RunPipelined(spec, stages, n, opts)
+		// Label each device's run so its simulated spans land on a
+		// per-shard trace process instead of overlaying one timeline.
+		o := opts
+		o.Shard = i + 1
+		rep, err := RunPipelined(spec, stages, n, o)
 		if err != nil {
 			return nil, fmt.Errorf("gpusim: shard %d: %w", i, err)
 		}

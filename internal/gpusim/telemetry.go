@@ -36,7 +36,7 @@ func emitCommonMetrics(tel *telemetry.Sink, scheme string, stages []Stage, tasks
 // thread lane), one task entering per cycle, transfers on a dedicated
 // stream lane. At any steady-state instant several stage kernels overlap
 // — the paper's full-workload state.
-func emitPipelinedTelemetry(tel *telemetry.Sink, stages []Stage, stageNs []float64, effCycle, transferNs float64, tasks int, rep *Report) {
+func emitPipelinedTelemetry(tel *telemetry.Sink, layer string, stages []Stage, stageNs []float64, effCycle, transferNs float64, tasks int, rep *Report) {
 	emitCommonMetrics(tel, "pipelined", stages, tasks, rep)
 	// One persistent kernel per stage for the whole run.
 	tel.Counter("gpusim/kernels/launched").Add(int64(len(stages)))
@@ -50,7 +50,7 @@ func emitPipelinedTelemetry(tel *telemetry.Sink, stages []Stage, stageNs []float
 	if tr == nil {
 		return
 	}
-	root := tr.Add("gpusim", "run/pipelined", 0, 0, -1, 0, rep.TotalNs)
+	root := tr.Add(layer, "run/pipelined", 0, 0, -1, 0, rep.TotalNs)
 	totalCycles := tasks + len(stages) - 1
 	emit := min(totalCycles, spanCycleBudget)
 	for cyc := 0; cyc < emit; cyc++ {
@@ -59,13 +59,13 @@ func emitPipelinedTelemetry(tel *telemetry.Sink, stages []Stage, stageNs []float
 			if task < 0 || task >= tasks {
 				continue
 			}
-			tr.Add("gpusim", "kernel/"+stages[i].Name, root, i, task,
+			tr.Add(layer, "kernel/"+stages[i].Name, root, i, task,
 				float64(cyc)*effCycle, stageNs[i])
 		}
 		// Dynamic loading/storing for the task entering this cycle,
 		// hidden under compute when Overlap is on.
 		if transferNs > 0 && cyc < tasks {
-			tr.Add("gpusim", "stream/h2d+d2h", root, len(stages), cyc,
+			tr.Add(layer, "stream/h2d+d2h", root, len(stages), cyc,
 				float64(cyc)*effCycle, transferNs)
 		}
 	}
@@ -75,7 +75,7 @@ func emitPipelinedTelemetry(tel *telemetry.Sink, stages []Stage, stageNs []float
 // naive run: every task re-launches a kernel per barrier round, rounds
 // execute strictly one after another (no two stages ever overlap), and
 // transfers serialize behind the wave's compute.
-func emitNaiveTelemetry(tel *telemetry.Sink, stages []Stage, roundNs []float64, transferNs float64, tasks, waves int, rep *Report) {
+func emitNaiveTelemetry(tel *telemetry.Sink, layer string, stages []Stage, roundNs []float64, transferNs float64, tasks, waves int, rep *Report) {
 	emitCommonMetrics(tel, "naive", stages, tasks, rep)
 	// A kernel launch per round per task (the launch tax the pipelined
 	// scheme avoids).
@@ -89,15 +89,15 @@ func emitNaiveTelemetry(tel *telemetry.Sink, stages []Stage, roundNs []float64, 
 	if tr == nil {
 		return
 	}
-	root := tr.Add("gpusim", "run/naive", 0, 0, -1, 0, rep.TotalNs)
+	root := tr.Add(layer, "run/naive", 0, 0, -1, 0, rep.TotalNs)
 	t := 0.0
 	for w := 0; w < min(waves, spanWaveBudget); w++ {
 		for i := range stages {
-			tr.Add("gpusim", "kernel/"+stages[i].Name, root, 0, -1, t, roundNs[i])
+			tr.Add(layer, "kernel/"+stages[i].Name, root, 0, -1, t, roundNs[i])
 			t += roundNs[i]
 		}
 		if transferNs > 0 {
-			tr.Add("gpusim", "stream/h2d+d2h", root, 1, -1, t, transferNs)
+			tr.Add(layer, "stream/h2d+d2h", root, 1, -1, t, transferNs)
 			t += transferNs
 		}
 	}

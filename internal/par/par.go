@@ -45,7 +45,61 @@ var (
 	// mu guards the worker set against concurrent SetWidth calls.
 	mu    sync.Mutex
 	quits []chan struct{}
+
+	// Dispatch counters, bumped once per ForChunks call (never per
+	// element), so instrumented benchmarks can attribute measured kernel
+	// time to items processed and detect inline fallbacks. See Stats.
+	statCalls  atomic.Int64
+	statItems  atomic.Int64
+	statChunks atomic.Int64
+	statInline atomic.Int64
 )
+
+// RuntimeStats is a snapshot of the runtime's cumulative dispatch
+// counters since process start (or the last ResetStats).
+type RuntimeStats struct {
+	// Calls counts ForChunks invocations (every For/ForWidth/ForScratch
+	// call funnels through ForChunks).
+	Calls int64 `json:"calls"`
+	// Items counts total loop items across all calls — the denominator
+	// of a ns/element attribution.
+	Items int64 `json:"items"`
+	// Chunks counts chunks dispatched (including the caller's chunk 0).
+	Chunks int64 `json:"chunks"`
+	// Inline counts chunks executed on the calling goroutine: chunk 0 of
+	// every call plus queue-saturation fallbacks. Inline == Chunks means
+	// the runtime is effectively serial (width 1 or fully saturated).
+	Inline int64 `json:"inline"`
+}
+
+// Stats returns the cumulative dispatch counters.
+func Stats() RuntimeStats {
+	return RuntimeStats{
+		Calls:  statCalls.Load(),
+		Items:  statItems.Load(),
+		Chunks: statChunks.Load(),
+		Inline: statInline.Load(),
+	}
+}
+
+// Delta returns s minus prev, for windowed attribution around one
+// measured region.
+func (s RuntimeStats) Delta(prev RuntimeStats) RuntimeStats {
+	return RuntimeStats{
+		Calls:  s.Calls - prev.Calls,
+		Items:  s.Items - prev.Items,
+		Chunks: s.Chunks - prev.Chunks,
+		Inline: s.Inline - prev.Inline,
+	}
+}
+
+// ResetStats zeroes the dispatch counters.
+func ResetStats() {
+	statCalls.Store(0)
+	statItems.Store(0)
+	statChunks.Store(0)
+	statInline.Store(0)
+}
 
 func init() {
 	SetWidth(0)
@@ -113,12 +167,17 @@ func Chunks(w, n int) int {
 // while waiting, so ForChunks may be nested freely.
 func ForChunks(width, n int, fn func(chunk, lo, hi int)) {
 	k := Chunks(width, n)
+	statCalls.Add(1)
+	statItems.Add(int64(n))
+	statChunks.Add(int64(k))
 	if k <= 1 {
+		statInline.Add(1)
 		if n > 0 {
 			fn(0, 0, n)
 		}
 		return
 	}
+	statInline.Add(1) // the caller's chunk 0 below
 	var pending atomic.Int64
 	pending.Store(int64(k - 1))
 	done := make(chan struct{})
@@ -135,6 +194,7 @@ func ForChunks(width, n int, fn func(chunk, lo, hi int)) {
 		default:
 			// Queue saturated (deep nesting or many concurrent kernels):
 			// run the chunk inline rather than blocking or growing.
+			statInline.Add(1)
 			t()
 		}
 	}

@@ -235,3 +235,38 @@ func TestForScratchDistinctPerChunk(t *testing.T) {
 		t.Fatal("scratch arena shared across concurrent chunks")
 	}
 }
+
+func TestRuntimeStatsAttribution(t *testing.T) {
+	// Use deltas, not absolutes: the counters are cumulative and other
+	// tests in the package also drive the runtime.
+	SetWidth(1)
+	defer SetWidth(0)
+	before := Stats()
+	For(1000, func(lo, hi int) {})
+	d := Stats().Delta(before)
+	if d.Calls != 1 || d.Items != 1000 || d.Chunks != 1 || d.Inline != 1 {
+		t.Fatalf("serial dispatch counters: %+v", d)
+	}
+
+	SetWidth(4)
+	before = Stats()
+	ForWidth(4, 1000, func(lo, hi int) {})
+	d = Stats().Delta(before)
+	if d.Calls != 1 || d.Items != 1000 || d.Chunks != 4 {
+		t.Fatalf("parallel dispatch counters: %+v", d)
+	}
+	// The caller always runs chunk 0 inline; saturation fallbacks may
+	// push inline higher but never past the chunk count.
+	if d.Inline < 1 || d.Inline > d.Chunks {
+		t.Fatalf("inline count out of range: %+v", d)
+	}
+}
+
+func TestRuntimeStatsReset(t *testing.T) {
+	For(10, func(lo, hi int) {})
+	ResetStats()
+	s := Stats()
+	if s.Calls != 0 || s.Items != 0 || s.Chunks != 0 || s.Inline != 0 {
+		t.Fatalf("counters survived reset: %+v", s)
+	}
+}

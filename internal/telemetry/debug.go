@@ -13,9 +13,10 @@ import (
 //	/metrics                 — Prometheus text exposition (v0.0.4)
 //	/debug/vars              — expvar (includes batchzk.telemetry)
 //	/debug/pprof/...         — runtime profiles
-//	/debug/telemetry         — metrics snapshot JSON
-//	/debug/telemetry/trace   — Chrome trace_event JSON of spans so far
-//	/debug/telemetry/spans   — raw spans as JSONL
+//	/debug/telemetry          — metrics snapshot JSON
+//	/debug/telemetry/trace    — Chrome trace_event JSON of spans so far
+//	/debug/telemetry/spans    — raw spans as JSONL
+//	/debug/telemetry/timeline — per-job flight-recorder timelines JSON
 func DebugHandler(s *Sink) http.Handler {
 	PublishExpvar()
 	resolve := func() *Sink { return Resolve(s) }
@@ -51,6 +52,10 @@ func DebugHandler(s *Sink) http.Handler {
 	mux.HandleFunc("/debug/telemetry/spans", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/jsonl")
 		_ = resolve().Trace().WriteJSONL(w)
+	})
+	mux.HandleFunc("/debug/telemetry/timeline", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = resolve().FlightRecorder().WriteJSON(w)
 	})
 	return mux
 }

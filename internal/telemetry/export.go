@@ -34,9 +34,25 @@ type chromeTrace struct {
 // simulated layers therefore never share a timeline), and each span's
 // TID becomes a named thread track, so a pipelined run renders as
 // Figure 9's staggered parallelogram while a naive run renders as
-// sequential blocks. Nil-safe: a nil tracer writes an empty trace.
+// sequential blocks. Events are emitted in a canonical order — metadata
+// first, then spans sorted by (timestamp, pid, tid, id) — so two exports
+// of the same spans are byte-identical and trace snapshots diff cleanly
+// in tests and CI artifacts, regardless of the concurrent record order.
+// Nil-safe: a nil tracer writes an empty trace.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	spans := t.Spans()
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		if spans[i].Layer != spans[j].Layer {
+			return spans[i].Layer < spans[j].Layer
+		}
+		if spans[i].TID != spans[j].TID {
+			return spans[i].TID < spans[j].TID
+		}
+		return spans[i].ID < spans[j].ID
+	})
 
 	// Stable layer → pid assignment.
 	layers := map[string]int{}
@@ -66,6 +82,9 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		}
 		if s.Task >= 0 {
 			args["task"] = s.Task
+		}
+		if s.Trace != 0 {
+			args["trace"] = uint64(s.Trace)
 		}
 		if s.Sim {
 			args["clock"] = "simulated"
@@ -107,9 +126,11 @@ func (r *Registry) WriteSnapshot(w io.Writer) error {
 
 // Dump writes the sink's full state into dir (created if missing):
 //
-//	metrics.json — the metrics snapshot (counters, gauges, histograms)
-//	trace.json   — Chrome trace_event timeline (chrome://tracing, Perfetto)
-//	spans.jsonl  — raw spans, one JSON object per line
+//	metrics.json  — the metrics snapshot (counters, gauges, histograms)
+//	trace.json    — Chrome trace_event timeline (chrome://tracing, Perfetto)
+//	spans.jsonl   — raw spans, one JSON object per line
+//	timeline.json — per-job flight-recorder timelines (trace ids, stage
+//	                spans, retries, shard assignment, quarantine)
 //
 // Nil-safe: a nil sink is an error (nothing to dump).
 func (s *Sink) Dump(dir string) error {
@@ -126,6 +147,7 @@ func (s *Sink) Dump(dir string) error {
 		{"metrics.json", s.Metrics.WriteSnapshot},
 		{"trace.json", s.Tracer.WriteChromeTrace},
 		{"spans.jsonl", s.Tracer.WriteJSONL},
+		{"timeline.json", s.Flight.WriteJSON},
 	}
 	for _, f := range files {
 		out, err := os.Create(filepath.Join(dir, f.name))

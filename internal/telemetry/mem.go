@@ -1,0 +1,219 @@
+package telemetry
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Host memory accountant.
+//
+// The ROADMAP's memory-bounded streaming prover needs a CI-enforceable
+// claim: a soak run's host heap stays flat, wave after wave. Go's
+// allocator makes that claim invisible to a single end-of-run
+// measurement — the high-water mark is what matters — so the accountant
+// samples runtime.ReadMemStats on a background ticker, folds every
+// sample into gauges on the sink's registry (whose Peak values surface
+// on /metrics as *_peak series and on expvar via PublishExpvar), and
+// keeps per-phase high-water marks so a report can attribute the peak
+// to the wave or pipeline phase that caused it.
+
+// DefaultMemSampleInterval is the sampler ticker period when none is
+// given: fine enough to catch per-wave peaks, coarse enough that
+// ReadMemStats' stop-the-world cost stays invisible.
+const DefaultMemSampleInterval = 10 * time.Millisecond
+
+// MemPhase is the high-water record of one named sampling phase.
+type MemPhase struct {
+	Name    string `json:"name"`
+	Samples int64  `json:"samples"`
+	// PeakHeapAllocBytes is the phase's high-water live-heap mark — the
+	// figure the flat-memory gate compares across soak waves.
+	PeakHeapAllocBytes uint64 `json:"peak_heap_alloc_bytes"`
+	// PeakHeapSysBytes is the high-water mark of heap memory obtained
+	// from the OS (what the process actually holds).
+	PeakHeapSysBytes uint64 `json:"peak_heap_sys_bytes"`
+	// GCCycles is how many collections completed during the phase.
+	GCCycles uint32 `json:"gc_cycles"`
+}
+
+// MemSampler is a background runtime.ReadMemStats sampler with named
+// phases. All methods are safe for concurrent use and no-ops on a nil
+// receiver, matching the rest of the package.
+type MemSampler struct {
+	sink     *Sink
+	interval time.Duration
+
+	mu     sync.Mutex
+	phase  string
+	phases map[string]*MemPhase
+	order  []string
+	lastGC uint32
+	peak   uint64 // process-wide HeapAlloc high-water mark
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartMemSampler starts a sampler ticking every interval
+// (0 = DefaultMemSampleInterval) into sink (nil = the global sink at
+// each sample). Every sample updates the registry gauges
+//
+//	mem/heap_alloc_bytes   — live heap (peak series = high-water mark)
+//	mem/heap_sys_bytes     — heap obtained from the OS
+//	mem/heap_objects       — live object count
+//	mem/stack_inuse_bytes  — goroutine stack memory
+//	mem/gc_cycles          — completed collections
+//
+// so the high-water marks are visible on /metrics and expvar while the
+// run is still going. Stop the sampler to get the per-phase report.
+func StartMemSampler(sink *Sink, interval time.Duration) *MemSampler {
+	if interval <= 0 {
+		interval = DefaultMemSampleInterval
+	}
+	m := &MemSampler{
+		sink:     sink,
+		interval: interval,
+		phase:    "init",
+		phases:   map[string]*MemPhase{},
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	m.Sample()
+	go func() {
+		defer close(m.done)
+		tick := time.NewTicker(m.interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-tick.C:
+				m.Sample()
+			}
+		}
+	}()
+	return m
+}
+
+// SetPhase switches the sampler to a named phase, taking one sample
+// first so the boundary belongs to the phase that just ended.
+func (m *MemSampler) SetPhase(name string) {
+	if m == nil {
+		return
+	}
+	m.Sample()
+	m.mu.Lock()
+	m.phase = name
+	m.mu.Unlock()
+}
+
+// Sample takes one ReadMemStats reading immediately — call it at the
+// moments that matter (wave boundaries, right after a burst) so peaks
+// cannot slip between ticks.
+func (m *MemSampler) Sample() {
+	if m == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+
+	m.mu.Lock()
+	p := m.phases[m.phase]
+	if p == nil {
+		p = &MemPhase{Name: m.phase}
+		m.phases[m.phase] = p
+		m.order = append(m.order, m.phase)
+	}
+	p.Samples++
+	if ms.HeapAlloc > p.PeakHeapAllocBytes {
+		p.PeakHeapAllocBytes = ms.HeapAlloc
+	}
+	if ms.HeapSys > p.PeakHeapSysBytes {
+		p.PeakHeapSysBytes = ms.HeapSys
+	}
+	p.GCCycles += ms.NumGC - m.lastGC
+	m.lastGC = ms.NumGC
+	if ms.HeapAlloc > m.peak {
+		m.peak = ms.HeapAlloc
+	}
+	m.mu.Unlock()
+
+	sink := Resolve(m.sink)
+	sink.Gauge("mem/heap_alloc_bytes").Set(int64(ms.HeapAlloc))
+	sink.Gauge("mem/heap_sys_bytes").Set(int64(ms.HeapSys))
+	sink.Gauge("mem/heap_objects").Set(int64(ms.HeapObjects))
+	sink.Gauge("mem/stack_inuse_bytes").Set(int64(ms.StackInuse))
+	sink.Gauge("mem/gc_cycles").Set(int64(ms.NumGC))
+}
+
+// PeakHeapAllocBytes returns the process-wide live-heap high-water mark
+// observed so far.
+func (m *MemSampler) PeakHeapAllocBytes() uint64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.peak
+}
+
+// Phases returns copies of the per-phase high-water records in the
+// order the phases were first entered. Nil-safe.
+func (m *MemSampler) Phases() []MemPhase {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]MemPhase, 0, len(m.order))
+	for _, name := range m.order {
+		out = append(out, *m.phases[name])
+	}
+	return out
+}
+
+// PhasePeaks returns phase name → peak live-heap bytes, for gates that
+// compare waves without caring about order. Nil-safe.
+func (m *MemSampler) PhasePeaks() map[string]uint64 {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]uint64, len(m.phases))
+	for name, p := range m.phases {
+		out[name] = p.PeakHeapAllocBytes
+	}
+	return out
+}
+
+// PhaseNames returns the sampled phase names, sorted. Nil-safe.
+func (m *MemSampler) PhaseNames() []string {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := append([]string(nil), m.order...)
+	sort.Strings(out)
+	return out
+}
+
+// Stop takes a final sample, stops the background goroutine, waits for
+// it to exit, and returns the per-phase report. Idempotent and nil-safe.
+func (m *MemSampler) Stop() []MemPhase {
+	if m == nil {
+		return nil
+	}
+	m.Sample()
+	select {
+	case <-m.stop:
+		// already stopped
+	default:
+		close(m.stop)
+	}
+	<-m.done
+	return m.Phases()
+}

@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestMemSamplerPhases(t *testing.T) {
+	s := NewSink(0)
+	// A huge interval makes the ticker irrelevant: only the explicit
+	// Sample/SetPhase/Stop calls below contribute, so counts are exact.
+	m := StartMemSampler(s, time.Hour)
+
+	m.SetPhase("wave00")
+	hold := make([]byte, 1<<20)
+	m.Sample()
+	m.SetPhase("wave01")
+	m.Sample()
+	phases := m.Stop()
+	_ = hold[0]
+
+	names := m.PhaseNames()
+	want := []string{"init", "wave00", "wave01"}
+	if len(names) != len(want) {
+		t.Fatalf("phases: %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("phases: %v, want %v", names, want)
+		}
+	}
+	// Phases() preserves entry order; "init" is first.
+	if phases[0].Name != "init" || phases[1].Name != "wave00" {
+		t.Fatalf("phase order: %+v", phases)
+	}
+	for _, p := range phases {
+		if p.Samples == 0 || p.PeakHeapAllocBytes == 0 || p.PeakHeapSysBytes == 0 {
+			t.Fatalf("phase %s has empty high-water record: %+v", p.Name, p)
+		}
+	}
+	if m.PeakHeapAllocBytes() == 0 {
+		t.Fatal("no process-wide peak recorded")
+	}
+	peaks := m.PhasePeaks()
+	if peaks["wave00"] == 0 {
+		t.Fatalf("phase peaks: %v", peaks)
+	}
+
+	// Every sample feeds the registry gauges, whose Peak values are the
+	// live view of the same high-water marks.
+	g := s.Gauge("mem/heap_alloc_bytes")
+	if g.Value() == 0 || g.Peak() == 0 {
+		t.Fatalf("gauge not fed: value %d peak %d", g.Value(), g.Peak())
+	}
+	if uint64(g.Peak()) != m.PeakHeapAllocBytes() {
+		t.Fatalf("gauge peak %d != sampler peak %d", g.Peak(), m.PeakHeapAllocBytes())
+	}
+
+	// Stop is idempotent.
+	if again := m.Stop(); len(again) != len(phases) {
+		t.Fatalf("second Stop: %+v", again)
+	}
+}
+
+func TestMemSamplerBackgroundTicks(t *testing.T) {
+	m := StartMemSampler(NewSink(0), time.Millisecond)
+	time.Sleep(20 * time.Millisecond)
+	phases := m.Stop()
+	if len(phases) != 1 || phases[0].Samples < 3 {
+		t.Fatalf("background ticker barely sampled: %+v", phases)
+	}
+}
+
+func TestNilMemSamplerSafety(t *testing.T) {
+	var m *MemSampler
+	m.SetPhase("x")
+	m.Sample()
+	if m.PeakHeapAllocBytes() != 0 || m.Phases() != nil || m.PhasePeaks() != nil || m.PhaseNames() != nil {
+		t.Fatal("nil sampler leaked state")
+	}
+	if m.Stop() != nil {
+		t.Fatal("nil Stop returned phases")
+	}
+}
+
+// TestDebugServerReenable is the double-registration guard: enabling
+// telemetry, serving debug handlers, disabling, and enabling again must
+// not panic on expvar re-registration (expvar.Publish panics on reuse).
+func TestDebugServerReenable(t *testing.T) {
+	defer Enable(nil)
+	for round := 0; round < 3; round++ {
+		s := NewSink(0)
+		Enable(s)
+		srv, err := ServeDebug("127.0.0.1:0", s)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		resp, err := http.Get("http://" + srv.Addr + "/debug/telemetry/timeline")
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("round %d: timeline endpoint returned %s", round, resp.Status)
+		}
+		if err := srv.Close(); err != nil {
+			t.Fatalf("round %d: close: %v", round, err)
+		}
+		Enable(nil)
+	}
+}

@@ -31,6 +31,8 @@ type Span struct {
 	Dur    float64 `json:"dur_ns"`         // duration in ns
 	Sim    bool    `json:"sim,omitempty"`  // simulated-clock span
 	Task   int     `json:"task,omitempty"` // job/task id when meaningful (-1 = none)
+	// Trace links the span to a job's flight-recorder timeline (0 = none).
+	Trace TraceID `json:"trace,omitempty"`
 }
 
 // End returns the span's end timestamp in its clock domain.
@@ -90,6 +92,15 @@ func (a *ActiveSpan) ID() SpanID {
 		return 0
 	}
 	return a.span.ID
+}
+
+// SetTrace stamps the job trace id the span belongs to; call between
+// Begin and End. Nil-safe.
+func (a *ActiveSpan) SetTrace(id TraceID) {
+	if a == nil {
+		return
+	}
+	a.span.Trace = id
 }
 
 // End records the span with its measured wall duration.

@@ -30,16 +30,23 @@ package telemetry
 
 import "sync/atomic"
 
-// Sink bundles the two recording surfaces one run writes into.
+// Sink bundles the recording surfaces one run writes into: the metrics
+// registry, the span tracer, and the job-level flight recorder.
 type Sink struct {
 	Metrics *Registry
 	Tracer  *Tracer
+	Flight  *FlightRecorder
 }
 
-// NewSink builds a sink with a fresh registry and a tracer bounded to
-// spanCap spans (0 = DefaultSpanCap).
+// NewSink builds a sink with a fresh registry, a tracer bounded to
+// spanCap spans (0 = DefaultSpanCap), and a flight recorder with the
+// default timeline capacity.
 func NewSink(spanCap int) *Sink {
-	return &Sink{Metrics: NewRegistry(), Tracer: NewTracer(spanCap)}
+	return &Sink{
+		Metrics: NewRegistry(),
+		Tracer:  NewTracer(spanCap),
+		Flight:  NewFlightRecorder(0),
+	}
 }
 
 // global is the process-wide default sink; nil means disabled.
@@ -92,4 +99,13 @@ func (s *Sink) Trace() *Tracer {
 		return nil
 	}
 	return s.Tracer
+}
+
+// FlightRecorder returns the sink's job flight recorder (nil when the
+// sink is nil), whose methods are themselves nil-safe.
+func (s *Sink) FlightRecorder() *FlightRecorder {
+	if s == nil {
+		return nil
+	}
+	return s.Flight
 }

@@ -7,9 +7,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 
 	"batchzk/internal/nn"
 	"batchzk/internal/protocol"
+	"batchzk/internal/telemetry"
 )
 
 // HTTP interface (the first component of the paper's Figure 8): "an
@@ -69,7 +71,20 @@ func (s *Service) Handler() http.Handler {
 		}
 		img := nn.NewTensor(req.C, req.H, req.W)
 		copy(img.Data, req.Pixels)
-		preds, err := s.HandleBatch([]*nn.Tensor{img})
+		// Propagate job identity across the HTTP boundary: an X-Trace-Id
+		// header (or an id already on the request context) keeps the
+		// caller's trace id on the prover's flight timeline, and the
+		// response echoes whichever id the job actually ran under.
+		ctx := r.Context()
+		if h := r.Header.Get("X-Trace-Id"); h != "" {
+			if id, perr := strconv.ParseUint(h, 10, 64); perr == nil && id != 0 {
+				ctx = telemetry.WithTraceID(ctx, telemetry.TraceID(id))
+			}
+		}
+		if id := telemetry.TraceIDFrom(ctx); id != 0 {
+			w.Header().Set("X-Trace-Id", strconv.FormatUint(uint64(id), 10))
+		}
+		preds, err := s.HandleBatchContext(ctx, []*nn.Tensor{img})
 		if err != nil {
 			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
 			return

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"batchzk/internal/nn"
+	"batchzk/internal/telemetry"
 )
 
 func TestHTTPInterfaceEndToEnd(t *testing.T) {
@@ -131,5 +132,52 @@ func TestHTTPTamperedProofDetected(t *testing.T) {
 	}
 	if _, err := rc.Predict(nn.RandImage(1, 8, 8, 66)); err == nil {
 		t.Fatal("tampered response accepted")
+	}
+}
+
+// TestHTTPTraceIDRoundTrip: an X-Trace-Id request header rides the
+// request context into the batch prover's flight recorder, and the
+// response echoes the id the job ran under, so a customer can correlate
+// their request with the provider's per-job timeline.
+func TestHTTPTraceIDRoundTrip(t *testing.T) {
+	sink := telemetry.NewSink(0)
+	telemetry.Enable(sink)
+	defer telemetry.Enable(nil)
+
+	svc := newTinyService(t)
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	img := nn.RandImage(1, 8, 8, 3)
+	body, err := json.Marshal(PredictRequest{C: img.C, H: img.H, W: img.W, Pixels: img.Data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/predict", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Trace-Id", "777")
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict returned %s", resp.Status)
+	}
+	if got := resp.Header.Get("X-Trace-Id"); got != "777" {
+		t.Fatalf("response echoed X-Trace-Id %q, want 777", got)
+	}
+	tl, ok := sink.FlightRecorder().Timeline(telemetry.TraceID(777))
+	if !ok {
+		t.Fatal("caller's trace id did not reach the flight recorder")
+	}
+	if !tl.Done || tl.Error != "" {
+		t.Fatalf("timeline for the proved request: %+v", tl)
+	}
+	if len(tl.Stages) == 0 {
+		t.Fatal("timeline recorded no pipeline stages")
 	}
 }

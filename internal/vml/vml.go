@@ -18,6 +18,7 @@
 package vml
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
@@ -30,6 +31,7 @@ import (
 	"batchzk/internal/perfmodel"
 	"batchzk/internal/protocol"
 	"batchzk/internal/sha2"
+	"batchzk/internal/telemetry"
 	"batchzk/internal/transcript"
 )
 
@@ -151,6 +153,16 @@ type Prediction struct {
 // HandleBatch answers a batch of queries: predictions immediately, proofs
 // via the pipelined batch prover.
 func (s *Service) HandleBatch(images []*nn.Tensor) ([]Prediction, error) {
+	return s.HandleBatchContext(context.Background(), images)
+}
+
+// HandleBatchContext is HandleBatch with request-scoped job identity: a
+// flight-recorder trace id carried by ctx (telemetry.WithTraceID) is
+// stamped on a single-query batch, so the service request and the
+// prover's per-job timeline share one id across the API boundary. A
+// multi-image batch always mints fresh per-job ids — one context id
+// cannot name several jobs.
+func (s *Service) HandleBatchContext(ctx context.Context, images []*nn.Tensor) ([]Prediction, error) {
 	jobs := make([]core.Job, len(images))
 	preds := make([]Prediction, len(images))
 	for i, img := range images {
@@ -159,6 +171,9 @@ func (s *Service) HandleBatch(images []*nn.Tensor) ([]Prediction, error) {
 			return nil, fmt.Errorf("vml: image %d: %w", i, err)
 		}
 		jobs[i] = core.Job{ID: i, Public: public, Secret: secret}
+	}
+	if len(jobs) == 1 {
+		jobs[0].Trace = telemetry.TraceIDFrom(ctx)
 	}
 	results := s.prover.ProveBatch(jobs)
 	for i, r := range results {
