@@ -241,7 +241,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	format := fs.String("format", "text", "output format: text or csv")
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	telemetryDir := fs.String("telemetry", "", "directory to dump telemetry (metrics.json, trace.json, spans.jsonl)")
-	debugAddr := fs.String("debug-addr", "", "serve /debug/vars, /debug/pprof and /debug/telemetry on this address")
+	debugAddr := fs.String("debug-addr", "", "serve /debug/vars, /debug/pprof, /debug/telemetry, /healthz, /readyz and /debug/obs/slo on this address")
+	logDest := fs.String("log", "", `structured JSON event log destination: "-" or "stderr" for stderr, "stdout", or a file path; also enables the obs engine`)
+	floorsPath := fs.String("floors", "", "roofline report (batchzk-profile roofline -out) whose calibrated per-kernel floors seed the obs anomaly sentinel")
+	hold := fs.Duration("hold", 0, "keep the process (and the debug server) alive this long after the run, for live probing")
 	faultSpec := fs.String("faults", "", `chaos spec, e.g. "all", "all=0.25", "kernel=0.2,straggler=0.05"; runs a fault-injected batch instead of the experiments`)
 	faultSeed := fs.Uint64("fault-seed", 1, "seed for the deterministic fault plan (same seed = same faults)")
 	faultJobs := fs.Int("fault-jobs", 32, "number of proof jobs in the chaos run")
@@ -261,13 +264,6 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return nil
 	}
 
-	if *faultSpec != "" {
-		return runChaos(*faultSpec, *faultSeed, *faultJobs, *workers, *shards, *autobalance, stdout)
-	}
-	if *workers != "" || *shards != 1 || *autobalance {
-		return fmt.Errorf("-workers/-shards/-autobalance apply to chaos runs; pass -faults as well")
-	}
-
 	if *telemetryDir != "" {
 		// Create the dump directory up front so a bad path fails before
 		// the experiments run, not after them.
@@ -277,18 +273,67 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	// Enable telemetry before any experiment runs so the provers and
-	// simulators the harness constructs internally record into the sink.
+	// simulators the harness constructs internally record into the sink,
+	// and before chaos dispatch so fault-injected runs are observable too.
 	var sink *batchzk.TelemetrySink
 	if *telemetryDir != "" || *debugAddr != "" {
 		sink = batchzk.NewTelemetrySink()
 		batchzk.EnableTelemetry(sink)
+	}
+
+	// The obs engine rides along whenever a log destination or the debug
+	// server is requested: the event log, SLO windows, and sentinel all
+	// feed from the instrumented layers, and /healthz, /readyz, and
+	// /debug/obs/slo on the debug server answer from it.
+	if *logDest != "" || *debugAddr != "" {
+		logOut, closeLog, err := openLogOutput(*logDest, stderr)
+		if err != nil {
+			return err
+		}
+		if closeLog != nil {
+			defer closeLog()
+		}
+		eng := batchzk.NewObsEngine(batchzk.ObsConfig{LogOutput: logOut})
+		if *floorsPath != "" {
+			f, err := os.Open(*floorsPath)
+			if err != nil {
+				return fmt.Errorf("cannot open roofline floors: %w", err)
+			}
+			roof, rerr := batchzk.ReadRooflineReport(f)
+			_ = f.Close()
+			if rerr != nil {
+				return rerr
+			}
+			eng.SetFloors(roof.Floors())
+		}
+		batchzk.EnableObs(eng)
+		defer batchzk.EnableObs(nil)
+	} else if *floorsPath != "" {
+		return fmt.Errorf("-floors needs the obs engine; pass -log or -debug-addr as well")
 	}
 	if *debugAddr != "" {
 		srv, err := batchzk.ServeTelemetryDebug(*debugAddr, sink)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(stderr, "debug server on http://%s/debug/telemetry\n", srv.Addr)
+		fmt.Fprintf(stderr, "debug server on http://%s/debug/telemetry (health on /healthz, /readyz, SLO on /debug/obs/slo)\n", srv.Addr)
+	}
+	// holdOpen keeps the debug server reachable after the run so probes
+	// (curl, batchzk-top) can read the final state.
+	holdOpen := func() {
+		if *hold > 0 {
+			fmt.Fprintf(stderr, "holding for %v\n", *hold)
+			time.Sleep(*hold)
+		}
+	}
+
+	if *faultSpec != "" {
+		err := runChaos(*faultSpec, *faultSeed, *faultJobs, *workers, *shards, *autobalance, stdout)
+		holdOpen()
+		return err
+	}
+	if *workers != "" || *shards != 1 || *autobalance {
+		return fmt.Errorf("-workers/-shards/-autobalance apply to chaos runs; pass -faults as well")
 	}
 
 	spec, err := batchzk.Device(*device)
@@ -334,7 +379,28 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 		fmt.Fprintf(stderr, "telemetry written to %s (load trace.json in chrome://tracing)\n", *telemetryDir)
 	}
+	holdOpen()
 	return nil
+}
+
+// openLogOutput resolves the -log destination: "-"/"stderr" → the
+// process stderr, "stdout" → stdout, anything else → a created file
+// (with a closer), "" → nil (no event log, engine still runs).
+func openLogOutput(dest string, stderr io.Writer) (io.Writer, func(), error) {
+	switch dest {
+	case "":
+		return nil, nil, nil
+	case "-", "stderr":
+		return stderr, nil, nil
+	case "stdout":
+		return os.Stdout, nil, nil
+	default:
+		f, err := os.Create(dest)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cannot open log destination %s: %w", dest, err)
+		}
+		return f, func() { _ = f.Close() }, nil
+	}
 }
 
 // chaosProver is the surface runChaos needs from either a single

@@ -68,12 +68,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 	shards := fs.Int("shards", 1, "independent prover shards the batch is split across")
 	autobalance := fs.Bool("autobalance", false, "elastically rebalance the worker pools from live per-stage busy shares")
 	telemetryDir := fs.String("telemetry", "", "directory to dump telemetry (metrics.json, trace.json, spans.jsonl)")
-	debugAddr := fs.String("debug-addr", "", "serve /debug/vars, /debug/pprof and /debug/telemetry on this address")
+	debugAddr := fs.String("debug-addr", "", "serve /debug/vars, /debug/pprof, /debug/telemetry, /healthz, /readyz and /debug/obs/slo on this address")
+	logDest := fs.String("log", "", `structured JSON event log destination: "-" or "stderr" for stderr, "stdout", or a file path; also enables the obs engine`)
 	kernelWorkers := fs.Int("kernel-workers", 0, "multicore kernel runtime width: 0 = GOMAXPROCS, 1 = serial")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	batchzk.SetKernelWorkers(*kernelWorkers)
+
+	if *logDest != "" || *debugAddr != "" {
+		logOut, closeLog, err := openLogOutput(*logDest, stderr)
+		if err != nil {
+			return err
+		}
+		if closeLog != nil {
+			defer closeLog()
+		}
+		batchzk.EnableObs(batchzk.NewObsEngine(batchzk.ObsConfig{LogOutput: logOut}))
+		defer batchzk.EnableObs(nil)
+	}
 
 	var sink *batchzk.TelemetrySink
 	if *telemetryDir != "" {
@@ -207,4 +220,24 @@ func buildSchedule(c *batchzk.Circuit, params *batchzk.Params, spec string, auto
 		}
 	}
 	return &s, nil
+}
+
+// openLogOutput resolves the -log destination: "-"/"stderr" → the
+// process stderr, "stdout" → stdout, anything else → a created file
+// (with a closer), "" → nil (no event log, engine still runs).
+func openLogOutput(dest string, stderr io.Writer) (io.Writer, func(), error) {
+	switch dest {
+	case "":
+		return nil, nil, nil
+	case "-", "stderr":
+		return stderr, nil, nil
+	case "stdout":
+		return os.Stdout, nil, nil
+	default:
+		f, err := os.Create(dest)
+		if err != nil {
+			return nil, nil, fmt.Errorf("cannot open log destination %s: %w", dest, err)
+		}
+		return f, func() { _ = f.Close() }, nil
+	}
 }

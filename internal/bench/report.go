@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"batchzk/internal/core"
 	"batchzk/internal/encoder"
 	"batchzk/internal/gpusim"
+	"batchzk/internal/obs"
 	"batchzk/internal/perfmodel"
 	"batchzk/internal/pipeline"
 	"batchzk/internal/telemetry"
@@ -31,10 +33,21 @@ type Scenario struct {
 	Name  string
 	Title string
 	Batch int
+	// SLOTargetP99Ns is the scenario's per-task p99 latency budget for
+	// the pipelined scheme — a fixed, generous bound (several times the
+	// healthy measurement) so the SLO block in the report tells a drift
+	// story rather than tautologically tracking the run it came from.
+	SLOTargetP99Ns int64
 	// build produces the stage list, the per-task device footprint, and
 	// the naive scheme's per-task thread budget for a device.
 	build func(spec gpusim.DeviceSpec, costs perfmodel.OpCosts) ([]gpusim.Stage, int64, int, error)
 }
+
+// SLOErrorBudget is the allowed task failure fraction every scenario
+// reports against. Report runs abort on the first task error, so a
+// written report is always clean here; the objective documents the
+// budget the live obs engine enforces on the same workload.
+const SLOErrorBudget = 0.01
 
 // Scenarios returns the scenario registry in presentation order. "tiny"
 // exists for smoke tests (seconds-scale CI); "quickstart" is the README's
@@ -43,45 +56,50 @@ type Scenario struct {
 func Scenarios() []Scenario {
 	return []Scenario{
 		{
-			Name:  "tiny",
-			Title: "smoke: Merkle trees over 2^8 blocks, batch 32",
-			Batch: 32,
+			Name:           "tiny",
+			Title:          "smoke: Merkle trees over 2^8 blocks, batch 32",
+			Batch:          32,
+			SLOTargetP99Ns: 100 * int64(time.Microsecond),
 			build: func(spec gpusim.DeviceSpec, costs perfmodel.OpCosts) ([]gpusim.Stage, int64, int, error) {
 				stages, err := pipeline.MerkleStages(1<<8, costs)
 				return stages, pipeline.MerkleTaskBytes(1 << 8), 1 << 8, err
 			},
 		},
 		{
-			Name:  "quickstart",
-			Title: "Merkle trees over 2^12 blocks, batch 256",
-			Batch: 256,
+			Name:           "quickstart",
+			Title:          "Merkle trees over 2^12 blocks, batch 256",
+			Batch:          256,
+			SLOTargetP99Ns: int64(time.Millisecond),
 			build: func(spec gpusim.DeviceSpec, costs perfmodel.OpCosts) ([]gpusim.Stage, int64, int, error) {
 				stages, err := pipeline.MerkleStages(1<<12, costs)
 				return stages, pipeline.MerkleTaskBytes(1 << 12), 1 << 12, err
 			},
 		},
 		{
-			Name:  "merkle",
-			Title: "Merkle trees over 2^16 blocks, batch 512",
-			Batch: 512,
+			Name:           "merkle",
+			Title:          "Merkle trees over 2^16 blocks, batch 512",
+			Batch:          512,
+			SLOTargetP99Ns: 20 * int64(time.Millisecond),
 			build: func(spec gpusim.DeviceSpec, costs perfmodel.OpCosts) ([]gpusim.Stage, int64, int, error) {
 				stages, err := pipeline.MerkleStages(1<<16, costs)
 				return stages, pipeline.MerkleTaskBytes(1 << 16), 1 << 16, err
 			},
 		},
 		{
-			Name:  "sumcheck",
-			Title: "sum-check proofs over 2^16 tables, batch 512",
-			Batch: 512,
+			Name:           "sumcheck",
+			Title:          "sum-check proofs over 2^16 tables, batch 512",
+			Batch:          512,
+			SLOTargetP99Ns: 5 * int64(time.Millisecond),
 			build: func(spec gpusim.DeviceSpec, costs perfmodel.OpCosts) ([]gpusim.Stage, int64, int, error) {
 				stages, err := pipeline.SumcheckStages(16, costs)
 				return stages, pipeline.SumcheckTaskBytes(16), 1 << 15, err
 			},
 		},
 		{
-			Name:  "encoder",
-			Title: "linear-time encodings of 2^14 messages, batch 256",
-			Batch: 256,
+			Name:           "encoder",
+			Title:          "linear-time encodings of 2^14 messages, batch 256",
+			Batch:          256,
+			SLOTargetP99Ns: 10 * int64(time.Millisecond),
 			build: func(spec gpusim.DeviceSpec, costs perfmodel.OpCosts) ([]gpusim.Stage, int64, int, error) {
 				const msgLen = 1 << 14
 				work, err := encoder.WorkModel(msgLen, encoder.DefaultParams())
@@ -93,9 +111,10 @@ func Scenarios() []Scenario {
 			},
 		},
 		{
-			Name:  "system",
-			Title: "full proof pipeline at scale 2^12, batch 64",
-			Batch: 64,
+			Name:           "system",
+			Title:          "full proof pipeline at scale 2^12, batch 64",
+			Batch:          64,
+			SLOTargetP99Ns: 10 * int64(time.Millisecond),
 			build: func(spec gpusim.DeviceSpec, costs perfmodel.OpCosts) ([]gpusim.Stage, int64, int, error) {
 				shape, err := core.ShapeForScale(1 << 12)
 				if err != nil {
@@ -172,6 +191,96 @@ type Report struct {
 	// Headline ratios (pipelined over naive) — the Figure 9 story.
 	SpeedupX  float64 `json:"speedup_x"`
 	BusyGainX float64 `json:"busy_gain_x"`
+
+	// SLO summarizes the pipelined scheme against the scenario's fixed
+	// objectives (absent in reports written before the block existed).
+	SLO *SLOSummary `json:"slo,omitempty"`
+}
+
+// SLOObjectiveSummary is one objective's attainment in a report: the
+// same objective vocabulary the live obs engine serves on
+// /debug/obs/slo, evaluated over the batch sweep instead of a rolling
+// window.
+type SLOObjectiveSummary struct {
+	Name string `json:"name"`
+	// Kind is obs.KindLatency or obs.KindErrorRate.
+	Kind            string  `json:"kind"`
+	TargetNs        int64   `json:"target_ns,omitempty"`
+	TargetRate      float64 `json:"target_rate,omitempty"`
+	Value           float64 `json:"value"`
+	Met             bool    `json:"met"`
+	BudgetRemaining float64 `json:"budget_remaining"`
+}
+
+// SLOSummary is the report's error-budget block: per-objective
+// attainment plus the roll-ups Compare gates.
+type SLOSummary struct {
+	Objectives []SLOObjectiveSummary `json:"objectives"`
+	// Attainment is the fraction of objectives met (1.0 = all).
+	Attainment float64 `json:"attainment"`
+	// BudgetRemaining is the minimum error budget left across the
+	// objectives; negative means an objective overspent its budget.
+	BudgetRemaining float64 `json:"budget_remaining"`
+}
+
+// buildSLO evaluates the scenario's objectives against the pipelined
+// scheme's latency histogram. Latency budget: with a p99 objective 1% of
+// tasks may exceed the target; the remaining budget is the unspent share
+// of that allowance. The error-rate objective is clean by construction
+// (BuildReport aborts on any task error) and records the budget the live
+// engine enforces.
+func buildSLO(sc Scenario, lat telemetry.HistogramSnapshot) *SLOSummary {
+	const quantile = 0.99
+	allowed := 1 - quantile
+	badFrac := histFracAbove(lat, float64(sc.SLOTargetP99Ns))
+	p99 := lat.Quantile(quantile)
+	latency := SLOObjectiveSummary{
+		Name:            "task-p99",
+		Kind:            obs.KindLatency,
+		TargetNs:        sc.SLOTargetP99Ns,
+		Value:           p99,
+		Met:             lat.Count == 0 || p99 <= float64(sc.SLOTargetP99Ns),
+		BudgetRemaining: 1 - badFrac/allowed,
+	}
+	errors := SLOObjectiveSummary{
+		Name:            "task-errors",
+		Kind:            obs.KindErrorRate,
+		TargetRate:      SLOErrorBudget,
+		Value:           0,
+		Met:             true,
+		BudgetRemaining: 1,
+	}
+	s := &SLOSummary{Objectives: []SLOObjectiveSummary{latency, errors}}
+	met := 0
+	s.BudgetRemaining = math.Inf(1)
+	for _, o := range s.Objectives {
+		if o.Met {
+			met++
+		}
+		s.BudgetRemaining = math.Min(s.BudgetRemaining, o.BudgetRemaining)
+	}
+	s.Attainment = float64(met) / float64(len(s.Objectives))
+	return s
+}
+
+// histFracAbove estimates the fraction of observations above threshold
+// from a log2-bucketed histogram snapshot, linearly interpolating inside
+// the straddling bucket.
+func histFracAbove(h telemetry.HistogramSnapshot, threshold float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	var above float64
+	for _, b := range h.Buckets {
+		lo, hi := float64(b.Lo), float64(b.Hi)
+		switch {
+		case lo >= threshold:
+			above += float64(b.Count)
+		case hi > threshold:
+			above += float64(b.Count) * (hi - threshold) / (hi - lo)
+		}
+	}
+	return above / float64(h.Count)
 }
 
 // BuildReport runs scenario sc on a device under both schemes and
@@ -188,7 +297,7 @@ func BuildReport(sc Scenario, spec gpusim.DeviceSpec, costs perfmodel.OpCosts) (
 		naiveThreads = spec.Cores
 	}
 
-	runScheme := func(scheme pipeline.Scheme) (*gpusim.Report, LatencySummary, error) {
+	runScheme := func(scheme pipeline.Scheme) (*gpusim.Report, LatencySummary, telemetry.HistogramSnapshot, error) {
 		sink := telemetry.NewSink(0)
 		opts := gpusim.Options{Overlap: true, TaskBytes: taskBytes, Telemetry: sink}
 		var last *gpusim.Report
@@ -201,20 +310,20 @@ func BuildReport(sc Scenario, spec gpusim.DeviceSpec, costs perfmodel.OpCosts) (
 				rep, err = gpusim.RunNaive(spec, stages, batch, naiveThreads, opts)
 			}
 			if err != nil {
-				return nil, LatencySummary{}, fmt.Errorf("bench: scenario %s (%s, batch %d): %w", sc.Name, scheme, batch, err)
+				return nil, LatencySummary{}, telemetry.HistogramSnapshot{}, fmt.Errorf("bench: scenario %s (%s, batch %d): %w", sc.Name, scheme, batch, err)
 			}
 			last = rep
 		}
 		h := sink.Metrics.Snapshot().Histograms["gpusim/task/latency_ns"]
 		lat := LatencySummary{P50Ns: h.Quantile(0.5), P90Ns: h.Quantile(0.9), P99Ns: h.Quantile(0.99)}
-		return last, lat, nil
+		return last, lat, h, nil
 	}
 
-	pipeRep, pipeLat, err := runScheme(pipeline.Pipelined)
+	pipeRep, pipeLat, pipeHist, err := runScheme(pipeline.Pipelined)
 	if err != nil {
 		return nil, nil, err
 	}
-	naiveRep, naiveLat, err := runScheme(pipeline.Naive)
+	naiveRep, naiveLat, _, err := runScheme(pipeline.Naive)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -242,6 +351,9 @@ func BuildReport(sc Scenario, spec gpusim.DeviceSpec, costs perfmodel.OpCosts) (
 		Naive:         schemeStats(np, naiveLat),
 		SpeedupX:      contrast.ThroughputGainX,
 		BusyGainX:     contrast.BusyGainX,
+	}
+	if sc.SLOTargetP99Ns > 0 {
+		rep.SLO = buildSLO(sc, pipeHist)
 	}
 	return rep, contrast, nil
 }
@@ -346,5 +458,20 @@ func Compare(old, cur *Report, threshold float64) ([]Regression, error) {
 	check("pipelined.latency.p50_ns", old.Pipelined.Latency.P50Ns, cur.Pipelined.Latency.P50Ns, false)
 	check("pipelined.peak_device_bytes", float64(old.Pipelined.PeakDeviceBytes), float64(cur.Pipelined.PeakDeviceBytes), false)
 	check("speedup_x", old.SpeedupX, cur.SpeedupX, true)
+	if old.SLO != nil && cur.SLO != nil {
+		// The SLO roll-ups gate harder than the perf metrics: losing a
+		// met objective or any slice of error budget is a regression
+		// regardless of threshold, because the targets are fixed bounds
+		// rather than drifting measurements.
+		if cur.SLO.Attainment < old.SLO.Attainment {
+			regs = append(regs, Regression{
+				Metric:    "slo.attainment",
+				Old:       old.SLO.Attainment,
+				New:       cur.SLO.Attainment,
+				DeltaFrac: (old.SLO.Attainment - cur.SLO.Attainment) / old.SLO.Attainment,
+			})
+		}
+		check("slo.budget_remaining", old.SLO.BudgetRemaining, cur.SLO.BudgetRemaining, true)
+	}
 	return regs, nil
 }

@@ -5,7 +5,9 @@ import (
 	"strings"
 	"testing"
 
+	"batchzk/internal/gpusim"
 	"batchzk/internal/perfmodel"
+	"batchzk/internal/telemetry"
 )
 
 func buildQuickstart(t *testing.T) *Report {
@@ -214,4 +216,94 @@ func TestSweepBatches(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestReportSLOSummary checks the error-budget block: the quickstart
+// run sits far inside its fixed targets, so every objective is met with
+// the full budget intact.
+func TestReportSLOSummary(t *testing.T) {
+	rep := buildQuickstart(t)
+	if rep.SLO == nil {
+		t.Fatal("report has no SLO block")
+	}
+	if len(rep.SLO.Objectives) != 2 {
+		t.Fatalf("objectives = %d, want 2", len(rep.SLO.Objectives))
+	}
+	if rep.SLO.Attainment != 1 {
+		t.Fatalf("attainment %.2f, want 1.0: %+v", rep.SLO.Attainment, rep.SLO.Objectives)
+	}
+	if rep.SLO.BudgetRemaining != 1 {
+		t.Fatalf("budget remaining %.2f, want 1.0", rep.SLO.BudgetRemaining)
+	}
+	for _, o := range rep.SLO.Objectives {
+		if !o.Met {
+			t.Fatalf("objective %s not met: value %.0f", o.Name, o.Value)
+		}
+	}
+	lat := rep.SLO.Objectives[0]
+	if lat.Kind != "latency" || lat.TargetNs == 0 || lat.Value <= 0 {
+		t.Fatalf("latency objective malformed: %+v", lat)
+	}
+}
+
+// TestCompareGatesSLO checks that Compare flags a lost objective and a
+// spent error budget even when the perf metrics hold steady.
+func TestCompareGatesSLO(t *testing.T) {
+	mk := func(attainment, budget float64) *Report {
+		return &Report{
+			SchemaVersion: ReportSchemaVersion,
+			Scenario:      "quickstart",
+			Pipelined:     SchemeStats{ThroughputPerMs: 10, Util: gpusimUtil(0.8), Latency: LatencySummary{P50Ns: 100}, PeakDeviceBytes: 1 << 20},
+			SpeedupX:      3,
+			SLO:           &SLOSummary{Attainment: attainment, BudgetRemaining: budget},
+		}
+	}
+	regs, err := Compare(mk(1, 1), mk(0.5, -2), 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, r := range regs {
+		got[r.Metric] = true
+	}
+	if !got["slo.attainment"] || !got["slo.budget_remaining"] {
+		t.Fatalf("missing SLO regressions in %v", regs)
+	}
+
+	// Identical SLO blocks pass; an old report without one is ignored.
+	if regs, _ = Compare(mk(1, 1), mk(1, 1), 0.10); len(regs) != 0 {
+		t.Fatalf("clean compare flagged %v", regs)
+	}
+	old := mk(1, 1)
+	old.SLO = nil
+	if regs, _ = Compare(old, mk(0, -1), 0.10); len(regs) != 0 {
+		t.Fatalf("compare against pre-SLO report flagged %v", regs)
+	}
+}
+
+// TestHistFracAbove exercises the bucket interpolation the latency
+// budget is computed from.
+func TestHistFracAbove(t *testing.T) {
+	var hist telemetry.Histogram
+	for i := 0; i < 90; i++ {
+		hist.Observe(100)
+	}
+	for i := 0; i < 10; i++ {
+		hist.Observe(1 << 20)
+	}
+	snap := hist.Snapshot()
+	if f := histFracAbove(snap, 1<<19); f < 0.05 || f > 0.15 {
+		t.Fatalf("fracAbove(2^19) = %.3f, want ~0.10", f)
+	}
+	if f := histFracAbove(snap, 1<<30); f != 0 {
+		t.Fatalf("fracAbove(huge) = %.3f, want 0", f)
+	}
+	if f := histFracAbove(telemetry.HistogramSnapshot{}, 1); f != 0 {
+		t.Fatalf("fracAbove(empty) = %.3f, want 0", f)
+	}
+}
+
+func gpusimUtil(busy float64) (u gpusim.Utilization) {
+	u.Busy = busy
+	return u
 }

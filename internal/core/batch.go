@@ -26,6 +26,7 @@ import (
 
 	"batchzk/internal/circuit"
 	"batchzk/internal/field"
+	"batchzk/internal/obs"
 	"batchzk/internal/protocol"
 	"batchzk/internal/sched"
 	"batchzk/internal/telemetry"
@@ -201,6 +202,7 @@ func (bp *BatchProver) timeStage(i int, ins instruments, parent telemetry.SpanID
 	ns := time.Since(start).Nanoseconds()
 	bp.stageNs[i].Add(ns)
 	ins.stageHist[i].Observe(ns)
+	obs.Active().ObserveStage(StageNames[i], ns)
 	sp.End()
 }
 
@@ -254,6 +256,10 @@ type stageMsg struct {
 	// queue wait ahead of the stage currently running, for its timeline.
 	trace  telemetry.TraceID
 	waitNs int64
+	// quarantined marks a job the resilience layer dead-lettered, so the
+	// result loop can distinguish "failed" from "failed and given up on"
+	// when it feeds the obs quarantine-storm detector.
+	quarantined bool
 }
 
 // processStage runs one prover stage on one message, from whichever
@@ -265,7 +271,7 @@ func (bp *BatchProver) processStage(stage int, ins instruments, m *stageMsg) {
 	switch stage {
 	case 0:
 		m.started = time.Now()
-		bp.inFlight.Add(1)
+		obs.Active().ObserveQueueDepth(bp.inFlight.Add(1))
 		ins.inFlight.Add(1)
 		m.job = ins.tracer.Begin("core", "job", 0, len(StageNames), m.id)
 		m.job.SetTrace(m.trace)
@@ -362,9 +368,11 @@ func (bp *BatchProver) Run(jobs <-chan Job) <-chan Result {
 		defer close(results)
 		for m := range g.Run(gin) {
 			m.job.End()
-			ins.e2e.Observe(time.Since(m.started).Nanoseconds())
-			bp.inFlight.Add(-1)
+			e2eNs := time.Since(m.started).Nanoseconds()
+			ins.e2e.Observe(e2eNs)
+			obs.Active().ObserveQueueDepth(bp.inFlight.Add(-1))
 			ins.inFlight.Add(-1)
+			obs.Active().ObserveJob(bp.shard, e2eNs, m.err != nil, m.quarantined)
 			if m.err != nil {
 				bp.failed.Add(1)
 				ins.failed.Inc()
@@ -375,6 +383,7 @@ func (bp *BatchProver) Run(jobs <-chan Job) <-chan Result {
 			bp.completed.Add(1)
 			ins.completed.Inc()
 			ins.flight.Emit(m.trace, "")
+			obs.Debug("core", "job.completed", obs.Job(m.id), obs.Trace(m.trace), obs.Shard(bp.shard))
 			results <- Result{ID: m.id, Proof: m.proof, Trace: m.trace}
 		}
 	}()

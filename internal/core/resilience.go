@@ -3,9 +3,11 @@ package core
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"batchzk/internal/faults"
+	"batchzk/internal/obs"
 )
 
 // Failure semantics of the batch prover.
@@ -254,6 +256,10 @@ func (bp *BatchProver) runStage(i int, ins instruments, m *stageMsg, work func()
 		ins.retries.Inc()
 		ins.backoff.Observe(d.Nanoseconds())
 		ins.flight.Retry(m.trace, StageNames[i], attempt)
+		obs.Warn("core", "stage.retry",
+			obs.Job(m.id), obs.Trace(m.trace), obs.Stage(StageNames[i]),
+			obs.Shard(bp.shard), obs.Attempt(attempt), obs.Err(err),
+			slog.Int64("backoff_ns", d.Nanoseconds()))
 		bp.sleep(d)
 	}
 }
@@ -275,15 +281,22 @@ func containsFault(pending []*faults.Fault, f *faults.Fault) bool {
 func (bp *BatchProver) quarantine(ins instruments, m *stageMsg, stage, attempts int, err error, pending []*faults.Fault) {
 	m.err = fmt.Errorf("core: job %d quarantined at stage %s after %d attempt(s): %w",
 		m.id, StageNames[stage], attempts, err)
+	m.quarantined = true
 	for _, f := range pending {
 		f.MarkQuarantined()
 	}
 	ins.flight.Quarantine(m.trace, StageNames[stage], m.err.Error())
 	bp.quarantinedN.Add(1)
 	ins.quarantined.Inc()
+	obs.Error("core", "job.quarantined",
+		obs.Job(m.id), obs.Trace(m.trace), obs.Stage(StageNames[stage]),
+		obs.Shard(bp.shard), obs.Attempt(attempts), obs.Err(m.err))
 	if errors.Is(err, ErrJobDeadline) {
 		bp.timeouts.Add(1)
 		ins.timeouts.Inc()
+		obs.Warn("core", "job.deadline_exceeded",
+			obs.Job(m.id), obs.Trace(m.trace), obs.Stage(StageNames[stage]),
+			obs.Shard(bp.shard), obs.Err(err))
 	}
 	bp.qmu.Lock()
 	if len(bp.quarantined) < quarantineCap {

@@ -2,8 +2,10 @@ package gpusim
 
 import (
 	"fmt"
+	"log/slog"
 
 	"batchzk/internal/faults"
+	"batchzk/internal/obs"
 	"batchzk/internal/telemetry"
 )
 
@@ -89,7 +91,12 @@ func applyFaults(inj *faults.Injector, spec DeviceSpec, scheme string, stages []
 					f.MarkQuarantined()
 					markAll(pending, faults.Quarantined)
 					emitFaultMetrics(tel, fs)
-					return fs, &LaunchError{Scheme: scheme, Stage: stages[i].Name, Task: task, Err: f}
+					lerr := &LaunchError{Scheme: scheme, Stage: stages[i].Name, Task: task, Err: f}
+					obs.Error("gpusim", "launch.failed",
+						slog.String("scheme", scheme), obs.Stage(stages[i].Name),
+						slog.Int("task", task), slog.String("class", "mem-corruption"),
+						obs.Err(lerr))
+					return fs, lerr
 				case faults.TransferStall:
 					// The transfer completes after a stall: 4× the stage's
 					// link time plus a timeout floor of one kernel launch.
@@ -115,8 +122,13 @@ func applyFaults(inj *faults.Injector, spec DeviceSpec, scheme string, stages []
 				markAll(pending, faults.Quarantined)
 				last := pending[len(pending)-1]
 				emitFaultMetrics(tel, fs)
-				return fs, &LaunchError{Scheme: scheme, Stage: stages[i].Name, Task: task,
+				lerr := &LaunchError{Scheme: scheme, Stage: stages[i].Name, Task: task,
 					Err: fmt.Errorf("persisted through %d attempts: %w", launchRetryBudget, last)}
+				obs.Error("gpusim", "launch.failed",
+					slog.String("scheme", scheme), obs.Stage(stages[i].Name),
+					slog.Int("task", task), slog.String("class", "retry-budget-exhausted"),
+					obs.Attempt(launchRetryBudget), obs.Err(lerr))
+				return fs, lerr
 			}
 			markAll(pending, faults.Recovered)
 		}

@@ -1,6 +1,11 @@
 package gpusim
 
-import "fmt"
+import (
+	"fmt"
+	"log/slog"
+
+	"batchzk/internal/obs"
+)
 
 // ShardReport summarizes a sharded run: one batch split across several
 // simulated devices, each running the full stage-per-kernel pipeline
@@ -54,6 +59,8 @@ func RunSharded(spec DeviceSpec, stages []Stage, tasks, shards int, opts Options
 		o.Shard = i + 1
 		rep, err := RunPipelined(spec, stages, n, o)
 		if err != nil {
+			obs.Error("gpusim", "shard.failed",
+				obs.Shard(i), slog.Int("tasks", n), obs.Err(err))
 			return nil, fmt.Errorf("gpusim: shard %d: %w", i, err)
 		}
 		out.PerShard[i] = rep

@@ -1,0 +1,322 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable engine clock.
+type fakeClock struct{ ns int64 }
+
+func (c *fakeClock) now() time.Time          { return time.Unix(0, c.ns) }
+func (c *fakeClock) advance(d time.Duration) { c.ns += int64(d) }
+
+func testEngine(clk *fakeClock, out *bytes.Buffer) *Engine {
+	cfg := Config{
+		Now:             clk.now,
+		MinJudgeSamples: 4,
+		Sentinel:        SentinelConfig{MinSamples: 4, RaiseAfter: 2, ClearAfter: 2},
+	}
+	if out != nil {
+		cfg.LogOutput = out
+	}
+	return New(cfg)
+}
+
+func TestEngineNilSafe(t *testing.T) {
+	var e *Engine
+	e.ObserveJob(0, 100, false, false)
+	e.ObserveStage("commit", 100)
+	e.ObserveKernel("ntt", 1)
+	e.ObserveQueueDepth(3)
+	e.SetFloors(map[string]float64{"x": 1})
+	e.Event(slog.LevelInfo, "test", "noop")
+	if ready, reason := e.Ready(); !ready || reason != "obs disabled" {
+		t.Fatalf("nil engine Ready = %v, %q", ready, reason)
+	}
+	s := e.Snapshot()
+	if !s.Ready || s.SchemaVersion != SnapshotSchemaVersion {
+		t.Fatalf("nil engine snapshot: %+v", s)
+	}
+	if e.Uptime() != 0 {
+		t.Fatal("nil engine uptime nonzero")
+	}
+}
+
+// TestQuarantineStormFlipsReadiness drives the storm condition end to
+// end: healthy → storm (readiness false, critical alert) → recovery
+// (readiness true again, alert cleared).
+func TestQuarantineStormFlipsReadiness(t *testing.T) {
+	clk := &fakeClock{ns: int64(time.Hour)}
+	e := testEngine(clk, nil)
+
+	// Healthy traffic.
+	for i := 0; i < 20; i++ {
+		e.ObserveJob(0, int64(time.Millisecond), false, false)
+		clk.advance(10 * time.Millisecond)
+	}
+	if ready, _ := e.Ready(); !ready {
+		t.Fatal("healthy traffic left the engine not-ready")
+	}
+
+	// Storm: every job quarantined.
+	for i := 0; i < 20; i++ {
+		e.ObserveJob(0, int64(time.Second), true, true)
+		clk.advance(10 * time.Millisecond)
+	}
+	ready, reason := e.Ready()
+	if ready {
+		t.Fatal("quarantine storm did not flip readiness")
+	}
+	if !strings.Contains(reason, AlertQuarantineStorm) {
+		t.Fatalf("not-ready reason %q does not name the storm", reason)
+	}
+	var storm bool
+	for _, a := range e.ActiveAlerts() {
+		if a.Kind == AlertQuarantineStorm && a.Severity == SeverityCritical {
+			storm = true
+		}
+	}
+	if !storm {
+		t.Fatalf("no critical quarantine-storm alert among %+v", e.ActiveAlerts())
+	}
+
+	// Recovery: clean jobs slide the storm out of the fast window.
+	clk.advance(15 * time.Second) // fast window (10s) fully slides
+	for i := 0; i < 20; i++ {
+		e.ObserveJob(0, int64(time.Millisecond), false, false)
+		clk.advance(10 * time.Millisecond)
+	}
+	if ready, reason := e.Ready(); !ready {
+		t.Fatalf("engine did not recover after the storm passed: %q", reason)
+	}
+	// The storm alert is in history, cleared.
+	var cleared bool
+	for _, a := range e.Alerts() {
+		if a.Kind == AlertQuarantineStorm && !a.Active() {
+			cleared = true
+		}
+	}
+	if !cleared {
+		t.Fatal("storm alert missing or still active in history")
+	}
+}
+
+// TestSLOBurnAlert drives sustained objective violation into a critical
+// slo-burn alert via the multi-window rule.
+func TestSLOBurnAlert(t *testing.T) {
+	clk := &fakeClock{ns: int64(time.Hour)}
+	e := testEngine(clk, nil)
+	// Fail half of all jobs against the default 2% error budget: burn 25×.
+	for i := 0; i < 40; i++ {
+		e.ObserveJob(0, int64(time.Millisecond), i%2 == 0, false)
+		clk.advance(50 * time.Millisecond)
+	}
+	var burnAlert bool
+	for _, a := range e.ActiveAlerts() {
+		if a.Kind == AlertSLOBurn && a.Severity == SeverityCritical {
+			burnAlert = true
+		}
+	}
+	if !burnAlert {
+		t.Fatalf("sustained burn raised no slo-burn alert; active = %+v", e.ActiveAlerts())
+	}
+	if ready, _ := e.Ready(); ready {
+		t.Fatal("critical slo-burn alert did not gate readiness")
+	}
+}
+
+// TestShardFailureDivergence: one shard failing while the fleet is
+// healthy raises a warning-severity shard alert that does NOT gate
+// readiness.
+func TestShardFailureDivergence(t *testing.T) {
+	clk := &fakeClock{ns: int64(time.Hour)}
+	e := testEngine(clk, nil)
+	// Three healthy shards, one failing: fleet rate 25%, shard 1 at 100%,
+	// past the fleet×2 + 0.1 divergence limit.
+	for i := 0; i < 30; i++ {
+		e.ObserveJob(0, int64(time.Millisecond), false, false)
+		e.ObserveJob(2, int64(time.Millisecond), false, false)
+		e.ObserveJob(3, int64(time.Millisecond), false, false)
+		e.ObserveJob(1, int64(time.Millisecond), true, false)
+		clk.advance(10 * time.Millisecond)
+	}
+	var shardAlert *Alert
+	for _, a := range e.ActiveAlerts() {
+		if a.Kind == AlertShardFailures {
+			cp := a
+			shardAlert = &cp
+		}
+	}
+	if shardAlert == nil {
+		t.Fatalf("diverging shard raised no alert; active = %+v", e.ActiveAlerts())
+	}
+	if shardAlert.Subject != "shard/1" {
+		t.Fatalf("shard alert subject = %q, want shard/1", shardAlert.Subject)
+	}
+	if shardAlert.Severity != SeverityWarning {
+		t.Fatalf("shard alert severity = %q, want warning", shardAlert.Severity)
+	}
+}
+
+// TestCleanRunRaisesNoAlerts is the acceptance criterion's negative
+// space: steady healthy traffic must never alert.
+func TestCleanRunRaisesNoAlerts(t *testing.T) {
+	clk := &fakeClock{ns: int64(time.Hour)}
+	e := testEngine(clk, nil)
+	for i := 0; i < 500; i++ {
+		shard := i % 4
+		e.ObserveJob(shard, int64(time.Millisecond)+int64(i%7)*int64(100*time.Microsecond), false, false)
+		for _, st := range []string{"commit", "gate-sumcheck", "linear-sumcheck", "opening"} {
+			e.ObserveStage(st, int64(200*time.Microsecond)+int64(i%5)*int64(10*time.Microsecond))
+		}
+		e.ObserveKernel("ntt", 2.0+float64(i%3)*0.1)
+		clk.advance(5 * time.Millisecond)
+	}
+	if alerts := e.Alerts(); len(alerts) != 0 {
+		t.Fatalf("clean run raised %d alerts: %+v", len(alerts), alerts)
+	}
+	if ready, _ := e.Ready(); !ready {
+		t.Fatal("clean run not ready")
+	}
+}
+
+// TestLogEventSchema checks the JSON log contract CI's jq check relies
+// on: time, level, msg, component on every record, fixed attr names.
+func TestLogEventSchema(t *testing.T) {
+	var buf bytes.Buffer
+	clk := &fakeClock{ns: int64(time.Hour)}
+	e := testEngine(clk, &buf)
+	e.Event(slog.LevelWarn, "core", "job.quarantined",
+		Job(7), Trace(42), Stage("opening"), Shard(2), Attempt(3), Err(nil))
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	for _, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("log line is not JSON: %q: %v", line, err)
+		}
+		for _, key := range []string{"time", "level", "msg", "component"} {
+			if _, ok := rec[key]; !ok {
+				t.Fatalf("log record missing %q: %q", key, line)
+			}
+		}
+	}
+	last := lines[len(lines)-1]
+	var rec map[string]any
+	_ = json.Unmarshal([]byte(last), &rec)
+	if rec["msg"] != "job.quarantined" || rec["component"] != "core" {
+		t.Fatalf("event record: %q", last)
+	}
+	if rec["job_id"] != float64(7) || rec["trace_id"] != float64(42) ||
+		rec["stage"] != "opening" || rec["shard"] != float64(2) ||
+		rec["attempt"] != float64(3) || rec["error"] != "" {
+		t.Fatalf("attr names drifted: %q", last)
+	}
+}
+
+// TestAlertEventsLogged: raising and clearing alerts emits the
+// alert.raised / alert.cleared events.
+func TestAlertEventsLogged(t *testing.T) {
+	var buf bytes.Buffer
+	clk := &fakeClock{ns: int64(time.Hour)}
+	e := testEngine(clk, &buf)
+	for i := 0; i < 20; i++ {
+		e.ObserveJob(0, int64(time.Second), true, true)
+		clk.advance(10 * time.Millisecond)
+	}
+	clk.advance(15 * time.Second)
+	for i := 0; i < 20; i++ {
+		e.ObserveJob(0, int64(time.Millisecond), false, false)
+		clk.advance(10 * time.Millisecond)
+	}
+	logs := buf.String()
+	if !strings.Contains(logs, `"msg":"alert.raised"`) {
+		t.Fatal("no alert.raised event in the log")
+	}
+	if !strings.Contains(logs, `"msg":"alert.cleared"`) {
+		t.Fatal("no alert.cleared event in the log")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	clk := &fakeClock{ns: int64(time.Hour)}
+	e := testEngine(clk, nil)
+	e.ObserveQueueDepth(5)
+	for i := 0; i < 10; i++ {
+		e.ObserveJob(0, int64(2*time.Millisecond), false, false)
+		e.ObserveStage("commit", int64(time.Millisecond))
+		clk.advance(100 * time.Millisecond)
+	}
+	s := e.Snapshot()
+	if s.SchemaVersion != SnapshotSchemaVersion {
+		t.Fatalf("schema version = %d", s.SchemaVersion)
+	}
+	if s.Jobs.Total != 10 || s.Jobs.Failed != 0 || s.Jobs.QueueDepth != 5 {
+		t.Fatalf("job counters: %+v", s.Jobs)
+	}
+	if len(s.Stages) != 1 || s.Stages[0].Name != "commit" || s.Stages[0].Count != 10 {
+		t.Fatalf("stages: %+v", s.Stages)
+	}
+	if s.Stages[0].RatePerSec <= 0 || s.Stages[0].P99Ns != float64(time.Millisecond) {
+		t.Fatalf("stage stats: %+v", s.Stages[0])
+	}
+	if len(s.Objectives) != 2 {
+		t.Fatalf("objectives: %+v", s.Objectives)
+	}
+	if !s.Ready || s.ActiveAlerts == nil {
+		t.Fatalf("snapshot readiness: ready=%v alerts=%v", s.Ready, s.ActiveAlerts)
+	}
+	if s.UptimeNs != clk.ns-int64(time.Hour) {
+		t.Fatalf("uptime = %d", s.UptimeNs)
+	}
+	// The snapshot must serialize (it is the /debug/obs/slo body).
+	if _, err := json.Marshal(s); err != nil {
+		t.Fatalf("snapshot does not marshal: %v", err)
+	}
+}
+
+func TestInvalidObjectiveDropped(t *testing.T) {
+	var buf bytes.Buffer
+	e := New(Config{
+		LogOutput: &buf,
+		Objectives: []Objective{
+			{Name: "good", Kind: KindErrorRate, TargetRate: 0.1},
+			{Name: "bad", Kind: KindLatency, Quantile: 7, TargetNs: 1},
+		},
+	})
+	e.mu.Lock()
+	n := len(e.objectives)
+	e.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("engine kept %d objectives, want 1 (invalid dropped)", n)
+	}
+	if !strings.Contains(buf.String(), "objective.invalid") {
+		t.Fatal("dropped objective not logged")
+	}
+}
+
+func TestEnableResolve(t *testing.T) {
+	prev := Active()
+	defer Enable(prev)
+	e := New(Config{})
+	Enable(e)
+	if Active() != e {
+		t.Fatal("Enable did not install the engine")
+	}
+	if Resolve(nil) != e {
+		t.Fatal("Resolve(nil) did not fall back to the global engine")
+	}
+	other := New(Config{})
+	if Resolve(other) != other {
+		t.Fatal("Resolve ignored the explicit engine")
+	}
+	Enable(nil)
+	if Active() != nil {
+		t.Fatal("Enable(nil) did not disable")
+	}
+}

@@ -2,10 +2,12 @@ package sched
 
 import (
 	"fmt"
+	"log/slog"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"batchzk/internal/obs"
 	"batchzk/internal/telemetry"
 )
 
@@ -357,11 +359,15 @@ func (g *Graph[T]) RebalanceNow(last []int64) {
 	}
 	want := Proportional(weights, budget, minW)
 	changed := false
+	before := make([]int, n)
+	after := make([]int, n)
 	for i, w := range want {
 		if w > g.maxPool[i] {
 			w = g.maxPool[i]
 		}
-		if g.limiters[i].Limit() != w {
+		before[i] = g.limiters[i].Limit()
+		after[i] = w
+		if before[i] != w {
 			g.limiters[i].setLimit(w)
 			g.workerGauges[i].Set(int64(w))
 			changed = true
@@ -370,6 +376,11 @@ func (g *Graph[T]) RebalanceNow(last []int64) {
 	if changed {
 		g.rebalanced.Add(1)
 		g.rebalances.Inc()
+		obs.Info("sched", "autobalance.rebalanced",
+			slog.String("graph", g.name),
+			slog.String("workers_before", fmt.Sprint(before)),
+			slog.String("workers_after", fmt.Sprint(after)),
+			slog.Int("budget", budget))
 	}
 }
 

@@ -5,7 +5,46 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sort"
+	"sync"
 )
+
+// Debug-route extension registry: higher layers (internal/obs) mount
+// their operator surfaces — /healthz, /readyz, /debug/obs/slo — onto the
+// same debug server without telemetry importing them. Handlers are
+// registered once per pattern (later registrations overwrite) and are
+// mounted into every DebugHandler built afterwards, so register at
+// package init or before the server starts.
+var (
+	debugRouteMu sync.Mutex
+	debugRoutes  = map[string]http.Handler{}
+)
+
+// RegisterDebugRoute mounts h at pattern on every subsequently built
+// debug handler. Registering the same pattern again replaces the
+// handler. Handlers should resolve their state at request time, so one
+// registration serves every sink and engine lifecycle.
+func RegisterDebugRoute(pattern string, h http.Handler) {
+	if pattern == "" || h == nil {
+		return
+	}
+	debugRouteMu.Lock()
+	debugRoutes[pattern] = h
+	debugRouteMu.Unlock()
+}
+
+// DebugRoutePatterns returns the registered extension patterns, sorted —
+// introspection for tests and the CLI startup banner.
+func DebugRoutePatterns() []string {
+	debugRouteMu.Lock()
+	defer debugRouteMu.Unlock()
+	out := make([]string, 0, len(debugRoutes))
+	for p := range debugRoutes {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
 
 // DebugHandler returns an http.Handler exposing the live introspection
 // surfaces for sink s (falling back to the global sink when s is nil):
@@ -17,6 +56,9 @@ import (
 //	/debug/telemetry/trace    — Chrome trace_event JSON of spans so far
 //	/debug/telemetry/spans    — raw spans as JSONL
 //	/debug/telemetry/timeline — per-job flight-recorder timelines JSON
+//
+// plus any routes registered with RegisterDebugRoute (internal/obs
+// mounts /healthz, /readyz, and /debug/obs/slo).
 func DebugHandler(s *Sink) http.Handler {
 	PublishExpvar()
 	resolve := func() *Sink { return Resolve(s) }
@@ -57,6 +99,11 @@ func DebugHandler(s *Sink) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		_ = resolve().FlightRecorder().WriteJSON(w)
 	})
+	debugRouteMu.Lock()
+	for pattern, h := range debugRoutes {
+		mux.Handle(pattern, h)
+	}
+	debugRouteMu.Unlock()
 	return mux
 }
 

@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Lifecycle management for the long-running telemetry components.
+//
+// The sink itself is passive — counters and histograms live and die with
+// the process — but the mem sampler and the debug server own goroutines
+// and a listener. A Runtime collects every such component started through
+// it and shuts all of them down with one idempotent Close, so a CLI's
+// exit path (or a test's cleanup) cannot leak a ticker goroutine or a
+// bound port no matter how many times, or from how many goroutines, it
+// runs. Components started twice are both tracked; Close stops both.
+
+// Runtime owns the started telemetry components of one process (or one
+// test). The zero value is ready to use. Nil-safe like the rest of the
+// package: every method no-ops on a nil receiver.
+type Runtime struct {
+	mu       sync.Mutex
+	closed   bool
+	done     chan struct{} // closed when the first Close finishes
+	samplers []*MemSampler
+	servers  []*http.Server
+	cleanup  []func()
+}
+
+// StartMemSampler starts a mem sampler (see the package-level function)
+// and registers it for Close. Starting after Close returns a running
+// sampler that Close has already passed — the caller keeps the handle
+// and remains responsible for it — so start components before closing.
+func (rt *Runtime) StartMemSampler(sink *Sink, interval time.Duration) *MemSampler {
+	m := StartMemSampler(sink, interval)
+	if rt == nil {
+		return m
+	}
+	rt.mu.Lock()
+	rt.samplers = append(rt.samplers, m)
+	rt.mu.Unlock()
+	return m
+}
+
+// ServeDebug starts the debug server (see the package-level function)
+// and registers it for Close.
+func (rt *Runtime) ServeDebug(addr string, s *Sink) (*http.Server, error) {
+	srv, err := ServeDebug(addr, s)
+	if err != nil {
+		return nil, err
+	}
+	if rt == nil {
+		return srv, nil
+	}
+	rt.mu.Lock()
+	rt.servers = append(rt.servers, srv)
+	rt.mu.Unlock()
+	return srv, nil
+}
+
+// OnClose registers an arbitrary cleanup to run during Close, after the
+// samplers and servers stop. Nil-safe; nil funcs are ignored.
+func (rt *Runtime) OnClose(f func()) {
+	if rt == nil || f == nil {
+		return
+	}
+	rt.mu.Lock()
+	rt.cleanup = append(rt.cleanup, f)
+	rt.mu.Unlock()
+}
+
+// Close stops every registered component: samplers stop and drain their
+// goroutines, debug servers close their listeners, cleanups run in
+// registration order. Safe to call any number of times from any number
+// of goroutines; only the first call does the work, and every call
+// returns after that work is done. Nil-safe.
+func (rt *Runtime) Close() {
+	if rt == nil {
+		return
+	}
+	rt.mu.Lock()
+	if rt.closed {
+		// A later or concurrent Close: wait for the first one to finish so
+		// every caller returns to a fully shut-down runtime.
+		done := rt.done
+		rt.mu.Unlock()
+		<-done
+		return
+	}
+	rt.closed = true
+	rt.done = make(chan struct{})
+	done := rt.done
+	samplers := rt.samplers
+	servers := rt.servers
+	cleanup := rt.cleanup
+	rt.mu.Unlock()
+
+	defer close(done)
+	for _, m := range samplers {
+		m.Stop()
+	}
+	for _, srv := range servers {
+		_ = srv.Close()
+	}
+	for _, f := range cleanup {
+		f()
+	}
+}

@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"net/http"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// goroutineCount samples the goroutine count after giving stragglers a
+// moment to exit; retries make the leak check robust to scheduler noise.
+func stableGoroutines(t *testing.T, want int) bool {
+	t.Helper()
+	for i := 0; i < 50; i++ {
+		if runtime.NumGoroutine() <= want {
+			return true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return runtime.NumGoroutine() <= want
+}
+
+// TestRuntimeCloseStopsEverything: components started twice all stop on
+// Close, the listener ports are released, and no goroutines leak.
+func TestRuntimeCloseStopsEverything(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	var rt Runtime
+	s := NewSink(0)
+	rt.StartMemSampler(s, time.Millisecond)
+	rt.StartMemSampler(s, time.Millisecond) // started twice, deliberately
+	srv1, err := rt.ServeDebug("127.0.0.1:0", s)
+	if err != nil {
+		t.Fatalf("first debug server: %v", err)
+	}
+	if _, err := rt.ServeDebug("127.0.0.1:0", s); err != nil {
+		t.Fatalf("second debug server: %v", err)
+	}
+
+	// The servers are live before Close.
+	resp, err := http.Get("http://" + srv1.Addr + "/metrics")
+	if err != nil {
+		t.Fatalf("debug server not serving: %v", err)
+	}
+	resp.Body.Close()
+
+	cleaned := 0
+	rt.OnClose(func() { cleaned++ })
+
+	rt.Close()
+	if cleaned != 1 {
+		t.Fatalf("cleanup ran %d times, want 1", cleaned)
+	}
+	if _, err := http.Get("http://" + srv1.Addr + "/metrics"); err == nil {
+		t.Fatal("debug server still serving after Close")
+	}
+	if !stableGoroutines(t, before) {
+		t.Fatalf("goroutines leaked: %d before, %d after Close", before, runtime.NumGoroutine())
+	}
+}
+
+// TestRuntimeCloseIdempotent: Close twice sequentially and many times
+// concurrently — one cleanup run, no panic, every call returns.
+func TestRuntimeCloseIdempotent(t *testing.T) {
+	var rt Runtime
+	rt.StartMemSampler(NewSink(0), time.Millisecond)
+	cleaned := 0
+	rt.OnClose(func() { cleaned++ })
+
+	rt.Close()
+	rt.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); rt.Close() }()
+	}
+	wg.Wait()
+	if cleaned != 1 {
+		t.Fatalf("cleanup ran %d times, want 1", cleaned)
+	}
+}
+
+// TestMemSamplerStopConcurrent: racing Stop calls must not double-close.
+func TestMemSamplerStopConcurrent(t *testing.T) {
+	m := StartMemSampler(NewSink(0), time.Millisecond)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); m.Stop() }()
+	}
+	wg.Wait()
+	m.Stop() // and once more after everyone is done
+}
+
+func TestRuntimeNilSafe(t *testing.T) {
+	var rt *Runtime
+	m := rt.StartMemSampler(NewSink(0), time.Millisecond)
+	if m == nil {
+		t.Fatal("nil runtime did not start the sampler")
+	}
+	m.Stop() // untracked: the caller owns it
+	srv, err := rt.ServeDebug("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatalf("nil runtime ServeDebug: %v", err)
+	}
+	_ = srv.Close()
+	rt.OnClose(func() {})
+	rt.Close()
+}

@@ -52,8 +52,9 @@ type MemSampler struct {
 	lastGC uint32
 	peak   uint64 // process-wide HeapAlloc high-water mark
 
-	stop chan struct{}
-	done chan struct{}
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
 }
 
 // StartMemSampler starts a sampler ticking every interval
@@ -202,18 +203,14 @@ func (m *MemSampler) PhaseNames() []string {
 }
 
 // Stop takes a final sample, stops the background goroutine, waits for
-// it to exit, and returns the per-phase report. Idempotent and nil-safe.
+// it to exit, and returns the per-phase report. Idempotent — including
+// under concurrent Stop calls — and nil-safe.
 func (m *MemSampler) Stop() []MemPhase {
 	if m == nil {
 		return nil
 	}
 	m.Sample()
-	select {
-	case <-m.stop:
-		// already stopped
-	default:
-		close(m.stop)
-	}
+	m.stopOnce.Do(func() { close(m.stop) })
 	<-m.done
 	return m.Phases()
 }

@@ -10,6 +10,7 @@ import (
 	"strconv"
 
 	"batchzk/internal/nn"
+	"batchzk/internal/obs"
 	"batchzk/internal/protocol"
 	"batchzk/internal/telemetry"
 )
@@ -84,18 +85,22 @@ func (s *Service) Handler() http.Handler {
 		if id := telemetry.TraceIDFrom(ctx); id != 0 {
 			w.Header().Set("X-Trace-Id", strconv.FormatUint(uint64(id), 10))
 		}
+		trace := telemetry.TraceIDFrom(ctx)
 		preds, err := s.HandleBatchContext(ctx, []*nn.Tensor{img})
 		if err != nil {
+			obs.Warn("vml", "predict.rejected", obs.Trace(trace), obs.Err(err))
 			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
 			return
 		}
 		p := preds[0]
 		if p.Err != nil {
+			obs.Error("vml", "predict.failed", obs.Trace(trace), obs.Err(p.Err))
 			http.Error(w, "proving failed: "+p.Err.Error(), http.StatusInternalServerError)
 			return
 		}
 		blob, err := p.Proof.MarshalBinary()
 		if err != nil {
+			obs.Error("vml", "predict.serialize_failed", obs.Trace(trace), obs.Err(err))
 			http.Error(w, "serialization failed: "+err.Error(), http.StatusInternalServerError)
 			return
 		}

@@ -1,0 +1,210 @@
+package batchzk
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// End-to-end operations-layer tests: a real batch prover under injected
+// chaos must storm the quarantine path, raise a structured critical
+// alert, flip /readyz to not-ready, and recover once the storm passes —
+// while a clean run of the same pipeline must raise nothing at all.
+
+// syncWriter serializes concurrent slog writes from the pipeline
+// goroutines into one buffer.
+type syncWriter struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.String()
+}
+
+// obsStatus fetches one operator endpoint and decodes its JSON body.
+func obsStatus(t *testing.T, base, path string, v any) int {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("GET %s: decode: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func proverForObs(t *testing.T) (*BatchProver, []Job) {
+	t.Helper()
+	c, err := RandomCircuit(64, 2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, err := Setup(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := NewBatchProver(c, params, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := make([]Job, 16)
+	for i := range jobs {
+		jobs[i] = Job{ID: i, Public: RandVector(2), Secret: RandVector(2)}
+	}
+	return bp, jobs
+}
+
+// TestObsChaosStormFlipsReadyzAndRecovers is the PR's chaos acceptance
+// gate: with every stage attempt failing, the dead-letter storm must
+// raise at least one structured critical alert and flip /readyz to 503;
+// after the storm ages out of the fast window and clean jobs flow, the
+// alert clears and readiness returns.
+func TestObsChaosStormFlipsReadyzAndRecovers(t *testing.T) {
+	prev := ActiveObs()
+	var clockNs atomic.Int64
+	clockNs.Store(int64(time.Hour))
+	logOut := &syncWriter{}
+	eng := NewObsEngine(ObsConfig{
+		LogOutput:       logOut,
+		MinJudgeSamples: 4,
+		Sentinel:        ObsSentinelConfig{RaiseAfter: 2, ClearAfter: 2},
+		Now:             func() time.Time { return time.Unix(0, clockNs.Load()) },
+	})
+	EnableObs(eng)
+	defer EnableObs(prev)
+	srv := httptest.NewServer(ObsHandler())
+	defer srv.Close()
+
+	if code := obsStatus(t, srv.URL, "/readyz", nil); code != http.StatusOK {
+		t.Fatalf("initial /readyz = %d, want 200", code)
+	}
+
+	bp, jobs := proverForObs(t)
+	inj, err := ParseFaultSpec("kernel=1", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp.SetResilience(&Resilience{
+		Retry:    RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Microsecond, MaxBackoff: time.Microsecond},
+		Injector: inj,
+		Sleep:    func(time.Duration) {},
+	})
+	for _, r := range bp.ProveBatch(jobs) {
+		if r.Err == nil {
+			t.Fatal("chaos run produced a successful proof at fault rate 1.0")
+		}
+	}
+	if q := len(bp.Quarantined()); q != len(jobs) {
+		t.Fatalf("quarantined %d of %d jobs", q, len(jobs))
+	}
+
+	var ready struct {
+		Ready  bool   `json:"ready"`
+		Reason string `json:"reason"`
+	}
+	if code := obsStatus(t, srv.URL, "/readyz", &ready); code != http.StatusServiceUnavailable || ready.Ready {
+		t.Fatalf("/readyz during storm = %d ready=%v, want 503 not-ready", code, ready.Ready)
+	}
+	if ready.Reason == "" {
+		t.Fatal("not-ready response carries no reason")
+	}
+	snap := eng.Snapshot()
+	if snap.AlertsTotal < 1 || len(snap.ActiveAlerts) < 1 {
+		t.Fatalf("storm raised %d alerts (%d active), want >= 1", snap.AlertsTotal, len(snap.ActiveAlerts))
+	}
+	var storm, critical bool
+	for _, a := range snap.ActiveAlerts {
+		if a.Severity == ObsSeverityCritical {
+			critical = true
+		}
+		if a.Kind == "quarantine-storm" {
+			storm = true
+		}
+	}
+	if !critical || !storm {
+		t.Fatalf("want a critical quarantine-storm alert among %+v", snap.ActiveAlerts)
+	}
+	logged := logOut.String()
+	for _, want := range []string{"job.quarantined", "stage.retry", "alert.raised", `"component":"core"`} {
+		if !strings.Contains(logged, want) {
+			t.Fatalf("event log missing %q:\n%s", want, logged)
+		}
+	}
+
+	// Recovery: the storm ages out of the fast window, clean jobs flow,
+	// and the hysteresis clears the alert.
+	clockNs.Add(int64(15 * time.Second))
+	clean, cleanJobs := proverForObs(t)
+	for _, r := range clean.ProveBatch(cleanJobs) {
+		if r.Err != nil {
+			t.Fatalf("recovery run failed: %v", r.Err)
+		}
+	}
+	if code := obsStatus(t, srv.URL, "/readyz", &ready); code != http.StatusOK || !ready.Ready {
+		t.Fatalf("/readyz after recovery = %d ready=%v, want 200 ready", code, ready.Ready)
+	}
+	// The storm and burn alerts must clear. A warning-level stage
+	// regression may legitimately remain: the chaos run's fail-fast
+	// stages dragged the EWMA baselines down, so the first real work
+	// afterwards reads as slow until the baselines re-learn.
+	for _, a := range eng.Snapshot().ActiveAlerts {
+		if a.Severity == ObsSeverityCritical {
+			t.Fatalf("critical alert still active after recovery: %+v", a)
+		}
+	}
+	if !strings.Contains(logOut.String(), "alert.cleared") {
+		t.Fatal("event log has no alert.cleared record")
+	}
+}
+
+// TestObsCleanRunRaisesNoAlerts is the other half of the acceptance
+// gate: the same pipeline without injected faults must complete with
+// zero alerts and an untouched readiness surface.
+func TestObsCleanRunRaisesNoAlerts(t *testing.T) {
+	prev := ActiveObs()
+	logOut := &syncWriter{}
+	eng := NewObsEngine(ObsConfig{LogOutput: logOut})
+	EnableObs(eng)
+	defer EnableObs(prev)
+	srv := httptest.NewServer(ObsHandler())
+	defer srv.Close()
+
+	bp, jobs := proverForObs(t)
+	for i, r := range bp.ProveBatch(jobs) {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+	}
+	snap := eng.Snapshot()
+	if snap.AlertsTotal != 0 || len(snap.ActiveAlerts) != 0 {
+		t.Fatalf("clean run raised %d alerts: %+v", snap.AlertsTotal, snap.ActiveAlerts)
+	}
+	if snap.Jobs.Total != int64(len(jobs)) || snap.Jobs.Failed != 0 || snap.Jobs.Quarantined != 0 {
+		t.Fatalf("job counters off: %+v", snap.Jobs)
+	}
+	if code := obsStatus(t, srv.URL, "/readyz", nil); code != http.StatusOK {
+		t.Fatalf("/readyz after clean run = %d, want 200", code)
+	}
+	if logged := logOut.String(); strings.Contains(logged, "alert.raised") || strings.Contains(logged, "job.quarantined") {
+		t.Fatalf("clean run logged failure events:\n%s", logged)
+	}
+}
