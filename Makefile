@@ -7,7 +7,7 @@ REPORT_DIR ?= .
 # Per-target budget for the fuzz smoke (see `make fuzz`).
 FUZZTIME ?= 10s
 
-.PHONY: build test race vet bench bench-report bench-sched bench-kernels bench-mem bench-check roofline fuzz check
+.PHONY: build test race vet bench bench-report bench-sched bench-kernels bench-mem bench-service bench-check roofline fuzz check
 
 build:
 	$(GO) build ./...
@@ -20,7 +20,8 @@ test:
 # under the race detector.
 race:
 	$(GO) test -race ./internal/core/... ./internal/pipeline/... ./internal/telemetry/... ./internal/faults/... ./internal/gpusim/... \
-		./internal/par/... ./internal/merkle/... ./internal/encoder/... ./internal/sumcheck/... ./internal/ntt/... ./internal/pcs/... ./internal/msm/...
+		./internal/par/... ./internal/merkle/... ./internal/encoder/... ./internal/sumcheck/... ./internal/ntt/... ./internal/pcs/... ./internal/msm/... \
+		./internal/service/...
 
 vet:
 	$(GO) vet ./...
@@ -51,10 +52,16 @@ bench-kernels:
 bench-mem:
 	$(GO) run ./cmd/batchzk-bench mem -out $(REPORT_DIR)
 
+# Regenerate BENCH_service.json: the multi-tenant proving gateway under
+# open-loop Poisson load with bursts, gating exactly-once accounting,
+# the drain contract, batching occupancy, and per-tenant fairness.
+bench-service:
+	$(GO) run ./cmd/batchzk-bench service -out $(REPORT_DIR)
+
 # Gate the working tree against the committed reports: regenerate into a
 # temp dir and fail on any gated metric >10% worse. The scenario report,
-# the scheduler report, the kernels report, and the memory report are
-# all gated.
+# the scheduler report, the kernels report, the memory report, and the
+# service report are all gated.
 bench-check:
 	@tmp=$$(mktemp -d) && \
 	$(GO) run ./cmd/batchzk-profile -scenario $(SCENARIO) -out $$tmp >/dev/null && \
@@ -64,7 +71,9 @@ bench-check:
 	$(GO) run ./cmd/batchzk-bench kernels -shift 12 -reps 1 -out $$tmp >/dev/null && \
 	$(GO) run ./cmd/batchzk-profile compare $(REPORT_DIR)/BENCH_kernels.json $$tmp/BENCH_kernels.json && \
 	$(GO) run ./cmd/batchzk-bench mem -waves 4 -jobs 16 -out $$tmp >/dev/null && \
-	$(GO) run ./cmd/batchzk-profile compare $(REPORT_DIR)/BENCH_memory.json $$tmp/BENCH_memory.json; \
+	$(GO) run ./cmd/batchzk-profile compare $(REPORT_DIR)/BENCH_memory.json $$tmp/BENCH_memory.json && \
+	$(GO) run ./cmd/batchzk-bench service -jobs 8 -out $$tmp >/dev/null && \
+	$(GO) run ./cmd/batchzk-profile compare $(REPORT_DIR)/BENCH_service.json $$tmp/BENCH_service.json; \
 	status=$$?; rm -rf $$tmp; exit $$status
 
 # Print the host-kernel roofline: serial ns/element for every hot kernel

@@ -434,6 +434,43 @@ func MemoryBenchFileName() string { return bench.MemoryReportFileName() }
 // MemoryBenchKind is the "kind" discriminator memory reports carry.
 func MemoryBenchKind() string { return bench.MemoryReportKind }
 
+// ServiceBenchReport is the schema-versioned content of
+// BENCH_service.json: the multi-tenant proving gateway measured under
+// open-loop Poisson load with heavy-tailed bursts — e2e latency
+// percentiles, batch occupancy, per-tenant fairness, and the
+// exactly-once traffic accounting.
+type ServiceBenchReport = bench.ServiceReport
+
+// ServiceBenchConfig parameterizes BuildServiceBenchReport.
+type ServiceBenchConfig = bench.ServiceBenchConfig
+
+// BuildServiceBenchReport stands up an HTTP gateway over a sharded
+// prover, replays the configured load (optionally under injected
+// faults), probes the drain contract, and returns the report.
+func BuildServiceBenchReport(cfg ServiceBenchConfig) (*ServiceBenchReport, error) {
+	return bench.BuildServiceBench(cfg)
+}
+
+// ReadServiceBenchReport parses and schema-checks a BENCH_service.json
+// stream.
+func ReadServiceBenchReport(r io.Reader) (*ServiceBenchReport, error) {
+	return bench.ReadServiceReport(r)
+}
+
+// CompareServiceBenchReports gates a new service report against an old
+// one (exactly-once accounting, drain contract, proof verification, and
+// the fairness floor always; latency and occupancy only between
+// equal-core hosts, with queueing-noise slack).
+func CompareServiceBenchReports(old, cur *ServiceBenchReport, threshold float64) ([]BenchRegression, error) {
+	return bench.CompareService(old, cur, threshold)
+}
+
+// ServiceBenchFileName is the BENCH_service.json naming convention.
+func ServiceBenchFileName() string { return bench.ServiceReportFileName() }
+
+// ServiceBenchKind is the "kind" discriminator service reports carry.
+func ServiceBenchKind() string { return bench.ServiceReportKind }
+
 // RooflineReport is the host-kernel roofline: measured serial ns/element
 // for every hot kernel against a calibrated arithmetic floor (measured
 // Montgomery-multiply / add / hash-compress latencies times each

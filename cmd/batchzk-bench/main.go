@@ -22,6 +22,12 @@
 //	                                    # summary → BENCH_memory.json
 //	batchzk-bench mem -timeline out/    # + per-job flight timelines and
 //	                                    # Chrome trace of the soak
+//	batchzk-bench service -out .        # proving-as-a-service bench: HTTP
+//	                                    # gateway under multi-tenant Poisson
+//	                                    # load → BENCH_service.json
+//	batchzk-bench service -faults "kernel=0.1,slowshard=0.05"
+//	                                    # the same load with injected shard
+//	                                    # faults; exactly-once still gated
 package main
 
 import (
@@ -52,6 +58,13 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "mem" {
 		if err := runMem(os.Args[2:], os.Stdout, os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "batchzk-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "service" {
+		if err := runService(os.Args[2:], os.Stdout, os.Stderr); err != nil {
 			fmt.Fprintln(os.Stderr, "batchzk-bench:", err)
 			os.Exit(1)
 		}
@@ -224,6 +237,93 @@ func runMem(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(stderr, "per-job timelines written to %s (timeline.json; trace.json loads in chrome://tracing)\n", *timelineDir)
+	}
+	return nil
+}
+
+// runService implements `batchzk-bench service`: stand up the HTTP
+// proving gateway over a sharded prover, replay open-loop Poisson
+// arrivals with heavy-tailed bursts from N tenants (optionally under
+// injected shard faults), gate the exactly-once traffic accounting and
+// the drain contract, and write the schema-versioned BENCH_service.json.
+func runService(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("service", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	tenants := fs.Int("tenants", 2, "concurrent tenants driving load")
+	jobs := fs.Int("jobs", 16, "jobs each tenant submits")
+	rate := fs.Float64("rate", 200, "per-tenant mean arrival rate, jobs/second (open-loop Poisson)")
+	burstEvery := fs.Int("burst-every", 5, "every Nth arrival is a burst (0 = no bursts)")
+	burstMax := fs.Int("burst-max", 4, "cap on the bounded-Pareto burst size")
+	gates := fs.Int("gates", 64, "multiplication gates in the bench circuit")
+	shards := fs.Int("shards", 2, "prover shards behind the gateway")
+	depth := fs.Int("depth", 4, "per-shard pipeline depth (proofs in flight)")
+	maxBatch := fs.Int("max-batch", 8, "admission batcher size cap")
+	maxWait := fs.Duration("max-wait", 2*time.Millisecond, "admission batcher latency window")
+	queueCap := fs.Int("queue-cap", 0, "admission queue depth before 429 backpressure (0 = default)")
+	quotaRate := fs.Float64("quota-rate", 0, "per-tenant token refill rate, jobs/second")
+	quotaBurst := fs.Int("quota-burst", 0, "per-tenant token bucket size (0 = no quotas)")
+	deadline := fs.Duration("deadline", 0, "per-job proving deadline (0 = none)")
+	faultSpec := fs.String("faults", "", `chaos spec applied to the shards, e.g. "kernel=0.1,slowshard=0.05"`)
+	faultSeed := fs.Uint64("fault-seed", 1, "seed for the deterministic fault plan")
+	seed := fs.Int64("seed", 1, "seed for the circuit and the load generator")
+	addr := fs.String("addr", "", "gateway listen address (empty = ephemeral localhost port)")
+	out := fs.String("out", ".", "directory for BENCH_service.json ('' = don't write)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep, err := batchzk.BuildServiceBenchReport(batchzk.ServiceBenchConfig{
+		Tenants: *tenants, JobsPerTenant: *jobs, Rate: *rate,
+		BurstEvery: *burstEvery, BurstMax: *burstMax,
+		Gates: *gates, Shards: *shards, Depth: *depth,
+		MaxBatch: *maxBatch, MaxWait: *maxWait, QueueCap: *queueCap,
+		QuotaRate: *quotaRate, QuotaBurst: *quotaBurst, Deadline: *deadline,
+		Faults: *faultSpec, FaultSeed: *faultSeed,
+		Addr: *addr, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "service bench: %d tenants x %d jobs @ %.0f/s, %d shards, batch<=%d window %v (%d cores)\n",
+		rep.Tenants, rep.JobsPerTenant, rep.RatePerTenant, rep.Shards, rep.MaxBatch,
+		time.Duration(rep.MaxWaitMs*float64(time.Millisecond)), rep.Cores)
+	fmt.Fprintf(stdout, "  offered=%d accepted=%d rejected=%d completed=%d failed=%d timeouts=%d retries=%d\n",
+		rep.Offered, rep.Accepted, rep.Rejected, rep.Completed, rep.Failed, rep.Timeouts, rep.Retries)
+	fmt.Fprintf(stdout, "  e2e latency p50 %s p90 %s p99 %s\n",
+		nsDur(float64(rep.LatencyP50Ns)), nsDur(float64(rep.LatencyP90Ns)), nsDur(float64(rep.LatencyP99Ns)))
+	fmt.Fprintf(stdout, "  %d batches, occupancy %.2f; fairness (Jain) %.3f\n",
+		rep.Batches, rep.BatchOccupancy, rep.FairnessJain)
+	for _, tr := range rep.PerTenant {
+		fmt.Fprintf(stdout, "  tenant %-10s offered=%d completed=%d p99 %s  %.1f jobs/s\n",
+			tr.Tenant, tr.Offered, tr.Completed, nsDur(float64(tr.P99Ns)), tr.Throughput)
+	}
+	fmt.Fprintf(stdout, "  lost=%d duplicated=%d drain_ok=%v all_verified=%v\n",
+		rep.Lost, rep.Duplicated, rep.DrainOK, rep.AllVerified)
+	if rep.Lost != 0 || rep.Duplicated != 0 {
+		return fmt.Errorf("exactly-once violated: %d lost, %d duplicated", rep.Lost, rep.Duplicated)
+	}
+	if !rep.DrainOK {
+		return fmt.Errorf("drain contract failed: /readyz did not flip 200→503→200 across drain and resume")
+	}
+	if !rep.AllVerified {
+		return fmt.Errorf("served proofs failed re-verification")
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			return fmt.Errorf("cannot create report directory %s: %w", *out, err)
+		}
+		path := filepath.Join(*out, batchzk.ServiceBenchFileName())
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("cannot write report: %w", err)
+		}
+		werr := rep.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("cannot write report %s: %w", path, werr)
+		}
+		fmt.Fprintf(stderr, "report written to %s\n", path)
 	}
 	return nil
 }

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"batchzk"
 )
 
 func TestRunListsExperiments(t *testing.T) {
@@ -93,4 +95,53 @@ func listOutput(t *testing.T) string {
 		t.Fatal(err)
 	}
 	return out.String()
+}
+
+// The service subcommand runs the gateway bench end-to-end, prints the
+// traffic accounting, and writes a readable BENCH_service.json.
+func TestRunServiceSmoke(t *testing.T) {
+	dir := t.TempDir()
+	var out, errOut bytes.Buffer
+	err := runService([]string{
+		"-tenants", "2", "-jobs", "5", "-rate", "500",
+		"-gates", "32", "-max-batch", "4", "-max-wait", "1ms",
+		"-out", dir,
+	}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("service run: %v\nstderr: %s", err, errOut.String())
+	}
+	got := out.String()
+	for _, want := range []string{"service bench:", "offered=10", "lost=0 duplicated=0", "drain_ok=true"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("service output missing %q:\n%s", want, got)
+		}
+	}
+	f, err := os.Open(filepath.Join(dir, batchzk.ServiceBenchFileName()))
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	defer f.Close()
+	rep, err := batchzk.ReadServiceBenchReport(f)
+	if err != nil {
+		t.Fatalf("report does not read back: %v", err)
+	}
+	if rep.Accepted != 10 || rep.Lost != 0 || rep.Duplicated != 0 {
+		t.Fatalf("report accounting: %+v", rep)
+	}
+}
+
+// The service subcommand under injected faults still settles every job.
+func TestRunServiceFaultsSmoke(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := runService([]string{
+		"-tenants", "2", "-jobs", "4", "-rate", "500",
+		"-gates", "32", "-faults", "kernel=0.05,slowshard=0.02",
+		"-out", "",
+	}, &out, &errOut)
+	if err != nil {
+		t.Fatalf("faulted service run: %v\nstderr: %s", err, errOut.String())
+	}
+	if !strings.Contains(out.String(), "lost=0 duplicated=0") {
+		t.Fatalf("faulted run lost jobs:\n%s", out.String())
+	}
 }

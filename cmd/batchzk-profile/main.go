@@ -208,8 +208,8 @@ func runCompare(args []string, stdout, stderr io.Writer) int {
 	}
 	// Reports carry a "kind" discriminator: scenario reports (no kind
 	// field), scheduler reports ("scheduler"), kernel reports ("kernels"),
-	// and memory reports ("memory") are gated by different comparators.
-	// Both files must be of the same kind.
+	// memory reports ("memory"), and service reports ("service") are
+	// gated by different comparators. Both files must be of the same kind.
 	oldKind, err := reportKind(files[0])
 	if err != nil {
 		fmt.Fprintln(stderr, "batchzk-profile:", err)
@@ -275,6 +275,22 @@ func runCompare(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		label = "memory"
+	} else if oldKind == batchzk.ServiceBenchKind() {
+		oldRep, err := readServiceReportFile(files[0])
+		if err != nil {
+			fmt.Fprintln(stderr, "batchzk-profile:", err)
+			return 2
+		}
+		newRep, err := readServiceReportFile(files[1])
+		if err != nil {
+			fmt.Fprintln(stderr, "batchzk-profile:", err)
+			return 2
+		}
+		if regs, err = batchzk.CompareServiceBenchReports(oldRep, newRep, *threshold); err != nil {
+			fmt.Fprintln(stderr, "batchzk-profile:", err)
+			return 2
+		}
+		label = "service"
 	} else {
 		oldRep, err := readReportFile(files[0])
 		if err != nil {
@@ -354,6 +370,19 @@ func readMemoryReportFile(path string) (*batchzk.MemoryBenchReport, error) {
 	}
 	defer f.Close()
 	rep, err := batchzk.ReadMemoryBenchReport(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+func readServiceReportFile(path string) (*batchzk.ServiceBenchReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("cannot read report: %w", err)
+	}
+	defer f.Close()
+	rep, err := batchzk.ReadServiceBenchReport(f)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}

@@ -104,3 +104,43 @@ func TestRunRejectsUnknownScenario(t *testing.T) {
 		t.Fatal("unknown scenario accepted")
 	}
 }
+
+// compare dispatches service reports to the service comparator, which
+// gates the exactly-once invariants even in a self-compare.
+func TestRunCompareServiceKind(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "BENCH_service.json")
+	const rep = `{"schema_version":1,"kind":"service","cores":2,"tenants":2,
+		"offered":8,"accepted":8,"completed":8,"lost":0,"duplicated":0,
+		"latency_p99_ns":1000000,"batches":2,"batch_occupancy":0.5,
+		"fairness_jain":0.99,"drain_ok":true,"all_verified":true}`
+	if err := os.WriteFile(good, []byte(rep), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var cout, cerr bytes.Buffer
+	if code := runCompare([]string{good, good}, &cout, &cerr); code != 0 {
+		t.Fatalf("service self-compare exit %d, want 0\nstdout: %s\nstderr: %s", code, cout.String(), cerr.String())
+	}
+	if !strings.Contains(cout.String(), "compare service") {
+		t.Fatalf("service compare not routed to the service comparator:\n%s", cout.String())
+	}
+
+	// A report with a lost job fails the gate regardless of the baseline.
+	lossy := filepath.Join(dir, "BENCH_service_lossy.json")
+	const bad = `{"schema_version":1,"kind":"service","cores":2,"tenants":2,
+		"offered":8,"accepted":8,"completed":7,"lost":1,"duplicated":0,
+		"latency_p99_ns":1000000,"batches":2,"batch_occupancy":0.5,
+		"fairness_jain":0.99,"drain_ok":true,"all_verified":true}`
+	if err := os.WriteFile(lossy, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cout.Reset()
+	cerr.Reset()
+	if code := runCompare([]string{good, lossy}, &cout, &cerr); code == 0 {
+		t.Fatalf("lost job passed the gate\nstdout: %s", cout.String())
+	}
+	if !strings.Contains(cout.String(), "lost_jobs") {
+		t.Fatalf("lost_jobs regression not reported:\n%s", cout.String())
+	}
+}

@@ -1,0 +1,427 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"time"
+
+	"batchzk/internal/circuit"
+	"batchzk/internal/core"
+	"batchzk/internal/faults"
+	"batchzk/internal/protocol"
+	"batchzk/internal/service"
+	"batchzk/internal/telemetry"
+)
+
+// Service bench: the gateway measured as a service. A real HTTP server
+// fronts a Gateway over a ShardedProver; the load generator replays
+// open-loop Poisson arrivals with heavy-tailed bursts from N tenants
+// (optionally under injected faults), every accepted job is tracked to
+// its terminal state, and the run must end with zero lost and zero
+// duplicated jobs. Afterwards the harness probes the drain contract
+// (/readyz flips to 503 while draining and recovers on resume) and
+// re-verifies a sample of served proofs. Serialized as
+// BENCH_service.json with kind "service".
+
+// ServiceReportKind discriminates service reports in BENCH_*.json.
+const ServiceReportKind = "service"
+
+// ServiceSchemaVersion identifies the BENCH_service.json layout.
+const ServiceSchemaVersion = 1
+
+// ServiceFairnessFloor is the always-gated lower bound on Jain's index
+// across equal tenants: below it one tenant is starving the others.
+const ServiceFairnessFloor = 0.5
+
+// ServiceTenant is one tenant's row in the report.
+type ServiceTenant struct {
+	Tenant     string  `json:"tenant"`
+	Offered    int64   `json:"offered"`
+	Accepted   int64   `json:"accepted"`
+	Rejected   int64   `json:"rejected"`
+	Completed  int64   `json:"completed"`
+	Failed     int64   `json:"failed"`
+	Timeouts   int64   `json:"timeouts"`
+	Throughput float64 `json:"throughput_jobs_per_s"`
+	P99Ns      int64   `json:"p99_ns"`
+}
+
+// ServiceReport is the schema-versioned content of BENCH_service.json.
+type ServiceReport struct {
+	SchemaVersion int    `json:"schema_version"`
+	Kind          string `json:"kind"`
+	// Cores gates which numeric metrics are comparable across hosts.
+	Cores int `json:"cores"`
+
+	// Config echo.
+	Tenants       int     `json:"tenants"`
+	JobsPerTenant int     `json:"jobs_per_tenant"`
+	RatePerTenant float64 `json:"rate_per_tenant"`
+	Gates         int     `json:"gates"`
+	Shards        int     `json:"shards"`
+	Depth         int     `json:"depth"`
+	MaxBatch      int     `json:"max_batch"`
+	MaxWaitMs     float64 `json:"max_wait_ms"`
+	Faults        string  `json:"faults,omitempty"`
+
+	// Traffic accounting. Lost (accepted but never terminal) and
+	// Duplicated (terminal more than once) must both be zero — the
+	// exactly-once contract, gated always.
+	Offered    int64 `json:"offered"`
+	Accepted   int64 `json:"accepted"`
+	Rejected   int64 `json:"rejected"`
+	Completed  int64 `json:"completed"`
+	Failed     int64 `json:"failed"`
+	Timeouts   int64 `json:"timeouts"`
+	Retries    int64 `json:"retries"`
+	Lost       int64 `json:"lost"`
+	Duplicated int64 `json:"duplicated"`
+
+	// End-to-end latency (admission to terminal state), nearest-rank.
+	LatencyP50Ns int64 `json:"latency_p50_ns"`
+	LatencyP90Ns int64 `json:"latency_p90_ns"`
+	LatencyP99Ns int64 `json:"latency_p99_ns"`
+
+	// Dynamic batching effectiveness.
+	Batches        int64   `json:"batches"`
+	BatchOccupancy float64 `json:"batch_occupancy"`
+
+	// Multi-tenant fairness: Jain's index over per-tenant completions.
+	FairnessJain float64         `json:"fairness_jain"`
+	PerTenant    []ServiceTenant `json:"per_tenant"`
+
+	// DrainOK is the gated drain contract: /readyz 200 before, 503
+	// during drain, 200 again after resume, with the drain losing
+	// nothing. AllVerified confirms a sample of served proofs
+	// re-verified against the circuit.
+	DrainOK     bool `json:"drain_ok"`
+	AllVerified bool `json:"all_verified"`
+	// WallSeconds is the load phase's wall-clock duration.
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// ServiceReportFileName is the on-disk name of the service report.
+func ServiceReportFileName() string { return "BENCH_service.json" }
+
+// ServiceBenchConfig parameterizes BuildServiceBench.
+type ServiceBenchConfig struct {
+	Tenants       int
+	JobsPerTenant int
+	// Rate is the per-tenant mean arrival rate, jobs/second.
+	Rate       float64
+	BurstEvery int
+	BurstMax   int
+	Gates      int
+	Shards     int
+	Depth      int
+
+	MaxBatch  int
+	MaxWait   time.Duration
+	QueueCap  int
+	QuotaRate float64
+	// QuotaBurst > 0 enables per-tenant token buckets.
+	QuotaBurst int
+	// Deadline bounds a job's time inside the prover (0 = off).
+	Deadline time.Duration
+
+	// Faults is a faults.ParseSpec expression ("" = none) applied to
+	// every shard; FaultSeed seeds the injector.
+	Faults    string
+	FaultSeed uint64
+
+	// Addr is the listen address ("" = an ephemeral localhost port).
+	Addr string
+	// Seed drives the load generator's arrival process and inputs.
+	Seed int64
+}
+
+func (c ServiceBenchConfig) withDefaults() ServiceBenchConfig {
+	if c.Tenants <= 0 {
+		c.Tenants = 2
+	}
+	if c.JobsPerTenant <= 0 {
+		c.JobsPerTenant = 16
+	}
+	if c.Rate <= 0 {
+		c.Rate = 200
+	}
+	if c.Gates < 16 {
+		c.Gates = 64
+	}
+	if c.Shards <= 0 {
+		c.Shards = 2
+	}
+	if c.Depth <= 0 {
+		c.Depth = 4
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 2 * time.Millisecond
+	}
+	return c
+}
+
+// BuildServiceBench stands up the gateway, applies the load, probes the
+// drain contract, and assembles the report.
+func BuildServiceBench(cfg ServiceBenchConfig) (*ServiceReport, error) {
+	cfg = cfg.withDefaults()
+
+	c, err := circuit.RandomCircuit(cfg.Gates, 2, 2, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	p, err := protocol.Setup(c)
+	if err != nil {
+		return nil, err
+	}
+	prover, err := core.NewShardedProver(c, p, cfg.Shards, cfg.Depth)
+	if err != nil {
+		return nil, err
+	}
+	sink := telemetry.NewSink(0)
+	prover.SetTelemetry(sink)
+
+	res := core.DefaultResilience()
+	if cfg.Faults != "" {
+		inj, err := faults.ParseSpec(cfg.Faults, cfg.FaultSeed)
+		if err != nil {
+			return nil, err
+		}
+		res.Injector = inj
+	}
+
+	gwCfg := service.Config{
+		MaxBatch: cfg.MaxBatch, MaxWait: cfg.MaxWait, QueueCap: cfg.QueueCap,
+		JobDeadline: cfg.Deadline, Resilience: res, Telemetry: sink,
+	}
+	if cfg.QuotaBurst > 0 {
+		gwCfg.DefaultQuota = service.QuotaSpec{Rate: cfg.QuotaRate, Burst: cfg.QuotaBurst}
+	}
+	gw, err := service.NewGateway(prover, gwCfg)
+	if err != nil {
+		return nil, err
+	}
+
+	addr := cfg.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: gw.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	load := service.LoadConfig{
+		Tenants: cfg.Tenants, JobsPerTenant: cfg.JobsPerTenant,
+		Rate: cfg.Rate, BurstEvery: cfg.BurstEvery, BurstMax: cfg.BurstMax,
+		PublicLen: 2, SecretLen: 2, Seed: cfg.Seed,
+	}
+	start := time.Now()
+	lr, err := load.Run(base)
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+
+	rep := &ServiceReport{
+		SchemaVersion: ServiceSchemaVersion,
+		Kind:          ServiceReportKind,
+		Cores:         runtime.NumCPU(),
+		Tenants:       cfg.Tenants,
+		JobsPerTenant: cfg.JobsPerTenant,
+		RatePerTenant: cfg.Rate,
+		Gates:         cfg.Gates,
+		Shards:        cfg.Shards,
+		Depth:         cfg.Depth,
+		MaxBatch:      cfg.MaxBatch,
+		MaxWaitMs:     float64(cfg.MaxWait) / float64(time.Millisecond),
+		Faults:        cfg.Faults,
+
+		Offered: lr.Offered, Accepted: lr.Accepted, Rejected: lr.Rejected,
+		Completed: lr.Completed, Failed: lr.Failed, Timeouts: lr.Timeouts,
+		Lost: lr.Lost, Duplicated: lr.Duplicated,
+		LatencyP50Ns: lr.Percentile(0.50),
+		LatencyP90Ns: lr.Percentile(0.90),
+		LatencyP99Ns: lr.Percentile(0.99),
+		FairnessJain: lr.FairnessJain(),
+		WallSeconds:  wall.Seconds(),
+	}
+	for _, t := range lr.PerTenant {
+		rep.PerTenant = append(rep.PerTenant, ServiceTenant{
+			Tenant: t.Tenant, Offered: t.Offered, Accepted: t.Accepted,
+			Rejected: t.Rejected, Completed: t.Completed, Failed: t.Failed,
+			Timeouts:   t.Timeouts,
+			Throughput: float64(t.Completed) / wall.Seconds(),
+			P99Ns:      t.P99Ns,
+		})
+	}
+
+	// Batching counters must be read before the drain probe: Resume
+	// starts a fresh admission batcher, which resets them.
+	gs := gw.Stats()
+	rep.Retries = gs.Retries
+	rep.Batches = gs.Batches
+	rep.BatchOccupancy = gs.BatchOccupancy
+
+	// Drain contract: ready before, not ready while drained, ready
+	// again after resume — and the drain itself loses nothing (the
+	// load phase already resolved every job, so this is a clean drain).
+	readyBefore := probeReady(base)
+	gw.Drain()
+	readyDuring := probeReady(base)
+	gw.Resume()
+	readyAfter := probeReady(base)
+	rep.DrainOK = readyBefore && !readyDuring && readyAfter
+
+	// Re-verify a sample of served proofs end-to-end.
+	rep.AllVerified = true
+	verified := 0
+	for i := 1; verified < 8; i++ {
+		id := fmt.Sprintf("j-%d", i)
+		info, ok := gw.Job(id)
+		if !ok {
+			break
+		}
+		if info.Status != service.StatusDone {
+			continue
+		}
+		if err := gw.VerifyJob(id); err != nil {
+			rep.AllVerified = false
+			break
+		}
+		verified++
+	}
+	if verified == 0 && lr.Completed > 0 {
+		rep.AllVerified = false
+	}
+
+	gw.Drain()
+	return rep, nil
+}
+
+func probeReady(base string) bool {
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK
+}
+
+// WriteJSON serializes the report, indented, trailing newline included.
+func (r *ServiceReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadServiceReport parses a BENCH_service.json stream and validates
+// its schema and kind.
+func ReadServiceReport(rd io.Reader) (*ServiceReport, error) {
+	var r ServiceReport
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("bench: parse service report: %w", err)
+	}
+	if r.Kind != ServiceReportKind {
+		return nil, fmt.Errorf("bench: report kind %q, want %q", r.Kind, ServiceReportKind)
+	}
+	if r.SchemaVersion != ServiceSchemaVersion {
+		return nil, fmt.Errorf("bench: service report schema v%d, this build reads v%d", r.SchemaVersion, ServiceSchemaVersion)
+	}
+	return &r, nil
+}
+
+// CompareService gates a new service report against an old one.
+//
+// Always gated (host- and config-independent invariants):
+//   - exactly-once: Lost == 0 and Duplicated == 0 in the new run;
+//   - accounting closes: Completed+Failed+Timeouts == Accepted;
+//   - the drain contract held and the sampled proofs verified;
+//   - fairness stays above ServiceFairnessFloor (when ≥ 2 tenants).
+//
+// Gated only between equal-core hosts running the same fault spec,
+// since both are wall-clock properties of the serving host and injected
+// delays legitimately move them: p99 latency (lower is better, slack at
+// least 100% — queueing percentiles are noisy across runs and configs)
+// and batch occupancy (higher is better, slack at least 50%).
+func CompareService(old, cur *ServiceReport, threshold float64) ([]Regression, error) {
+	if old == nil || cur == nil {
+		return nil, fmt.Errorf("bench: compare needs two reports")
+	}
+	if threshold < 0 {
+		return nil, fmt.Errorf("bench: negative threshold %v", threshold)
+	}
+	var regs []Regression
+
+	exactlyOnce := func(metric string, v int64) {
+		if v != 0 {
+			regs = append(regs, Regression{Metric: metric, Old: 0, New: float64(v), DeltaFrac: 1})
+		}
+	}
+	exactlyOnce("lost_jobs", cur.Lost)
+	exactlyOnce("duplicated_jobs", cur.Duplicated)
+	if cur.Completed+cur.Failed+cur.Timeouts != cur.Accepted {
+		regs = append(regs, Regression{
+			Metric:    "accounting_closure",
+			Old:       float64(cur.Accepted),
+			New:       float64(cur.Completed + cur.Failed + cur.Timeouts),
+			DeltaFrac: 1,
+		})
+	}
+	boolMetric := func(metric string, oldV, newV bool) {
+		if oldV && !newV {
+			regs = append(regs, Regression{Metric: metric, Old: 1, New: 0, DeltaFrac: 1})
+		}
+	}
+	boolMetric("drain_ok", old.DrainOK, cur.DrainOK)
+	boolMetric("all_verified", old.AllVerified, cur.AllVerified)
+	if cur.Tenants >= 2 && cur.FairnessJain < ServiceFairnessFloor {
+		regs = append(regs, Regression{
+			Metric: "fairness_jain", Old: ServiceFairnessFloor,
+			New: cur.FairnessJain, DeltaFrac: 1 - cur.FairnessJain/ServiceFairnessFloor,
+		})
+	}
+
+	if old.Cores == cur.Cores && old.Faults == cur.Faults {
+		if old.LatencyP99Ns > 0 && cur.LatencyP99Ns > 0 {
+			slack := threshold
+			if slack < 1.0 {
+				slack = 1.0
+			}
+			delta := (float64(cur.LatencyP99Ns) - float64(old.LatencyP99Ns)) / float64(old.LatencyP99Ns)
+			if delta > slack {
+				regs = append(regs, Regression{
+					Metric: "latency_p99_ns",
+					Old:    float64(old.LatencyP99Ns), New: float64(cur.LatencyP99Ns),
+					DeltaFrac: delta,
+				})
+			}
+		}
+		if old.BatchOccupancy > 0 && cur.BatchOccupancy > 0 {
+			slack := threshold
+			if slack < 0.5 {
+				slack = 0.5
+			}
+			delta := (old.BatchOccupancy - cur.BatchOccupancy) / old.BatchOccupancy
+			if delta > slack {
+				regs = append(regs, Regression{
+					Metric: "batch_occupancy",
+					Old:    old.BatchOccupancy, New: cur.BatchOccupancy,
+					DeltaFrac: delta,
+				})
+			}
+		}
+	}
+	return regs, nil
+}

@@ -1,0 +1,227 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func tinyServiceBench(t *testing.T) *ServiceReport {
+	t.Helper()
+	rep, err := BuildServiceBench(ServiceBenchConfig{
+		Tenants: 2, JobsPerTenant: 6, Rate: 500,
+		Gates: 32, Shards: 2, Depth: 4,
+		MaxBatch: 4, MaxWait: time.Millisecond,
+		Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestServiceBenchSmoke(t *testing.T) {
+	rep := tinyServiceBench(t)
+	if rep.Kind != ServiceReportKind || rep.SchemaVersion != ServiceSchemaVersion {
+		t.Fatalf("report header: kind=%q schema=%d", rep.Kind, rep.SchemaVersion)
+	}
+	if rep.Offered != 12 || rep.Accepted != 12 {
+		t.Fatalf("offered=%d accepted=%d, want 12/12 with no quotas", rep.Offered, rep.Accepted)
+	}
+	// Exactly-once: nothing lost, nothing duplicated, accounting closes.
+	if rep.Lost != 0 || rep.Duplicated != 0 {
+		t.Fatalf("lost=%d duplicated=%d", rep.Lost, rep.Duplicated)
+	}
+	if rep.Completed+rep.Failed+rep.Timeouts != rep.Accepted {
+		t.Fatalf("accounting does not close: %d+%d+%d != %d",
+			rep.Completed, rep.Failed, rep.Timeouts, rep.Accepted)
+	}
+	if rep.Completed != 12 {
+		t.Fatalf("completed=%d, want every job to prove without faults", rep.Completed)
+	}
+	if !rep.DrainOK {
+		t.Fatal("drain contract failed on a clean run")
+	}
+	if !rep.AllVerified {
+		t.Fatal("served proofs did not re-verify")
+	}
+	if rep.LatencyP50Ns <= 0 || rep.LatencyP99Ns < rep.LatencyP50Ns {
+		t.Fatalf("latency percentiles p50=%d p99=%d", rep.LatencyP50Ns, rep.LatencyP99Ns)
+	}
+	if rep.Batches <= 0 || rep.BatchOccupancy <= 0 || rep.BatchOccupancy > 1 {
+		t.Fatalf("batching: batches=%d occupancy=%v", rep.Batches, rep.BatchOccupancy)
+	}
+	if len(rep.PerTenant) != 2 {
+		t.Fatalf("%d tenant rows, want 2", len(rep.PerTenant))
+	}
+	for _, tr := range rep.PerTenant {
+		if tr.Offered != 6 || tr.Completed != 6 {
+			t.Fatalf("tenant %s: offered=%d completed=%d, want 6/6", tr.Tenant, tr.Offered, tr.Completed)
+		}
+	}
+	if rep.FairnessJain < ServiceFairnessFloor {
+		t.Fatalf("fairness %v below floor with equal tenants", rep.FairnessJain)
+	}
+}
+
+func TestServiceBenchWithFaults(t *testing.T) {
+	rep, err := BuildServiceBench(ServiceBenchConfig{
+		Tenants: 2, JobsPerTenant: 5, Rate: 500,
+		Gates: 32, Shards: 2, Depth: 4,
+		MaxBatch: 4, MaxWait: time.Millisecond,
+		Faults: "kernel=0.05,straggler=0.05", FaultSeed: 11,
+		Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Under injected faults jobs may fail, but none may be lost or
+	// duplicated and the accounting must still close.
+	if rep.Lost != 0 || rep.Duplicated != 0 {
+		t.Fatalf("lost=%d duplicated=%d under faults", rep.Lost, rep.Duplicated)
+	}
+	if rep.Completed+rep.Failed+rep.Timeouts != rep.Accepted {
+		t.Fatalf("accounting does not close under faults: %d+%d+%d != %d",
+			rep.Completed, rep.Failed, rep.Timeouts, rep.Accepted)
+	}
+	if !rep.DrainOK {
+		t.Fatal("drain contract failed under faults")
+	}
+}
+
+func TestServiceReportRoundTrip(t *testing.T) {
+	rep := tinyServiceBench(t)
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadServiceReport(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Accepted != rep.Accepted || back.LatencyP99Ns != rep.LatencyP99Ns ||
+		back.FairnessJain != rep.FairnessJain || len(back.PerTenant) != len(rep.PerTenant) {
+		t.Fatalf("round trip drifted: %+v vs %+v", back, rep)
+	}
+	if _, err := ReadServiceReport(strings.NewReader(`{"schema_version":1,"kind":"memory"}`)); err == nil {
+		t.Fatal("foreign kind accepted")
+	}
+	if _, err := ReadServiceReport(strings.NewReader(`{"schema_version":99,"kind":"service"}`)); err == nil {
+		t.Fatal("future schema accepted")
+	}
+}
+
+func serviceReportFixture() *ServiceReport {
+	return &ServiceReport{
+		SchemaVersion: ServiceSchemaVersion, Kind: ServiceReportKind,
+		Cores: 8, Tenants: 2,
+		Offered: 32, Accepted: 32, Completed: 32,
+		LatencyP99Ns: 1_000_000, Batches: 8, BatchOccupancy: 0.8,
+		FairnessJain: 0.95, DrainOK: true, AllVerified: true,
+	}
+}
+
+func TestCompareServiceGates(t *testing.T) {
+	old := serviceReportFixture()
+
+	// A clean equal run passes.
+	if regs, err := CompareService(old, serviceReportFixture(), 0.10); err != nil || len(regs) != 0 {
+		t.Fatalf("identical reports flagged: %v %v", regs, err)
+	}
+
+	// Lost or duplicated jobs are always gated.
+	cur := serviceReportFixture()
+	cur.Lost = 1
+	if regs, _ := CompareService(old, cur, 0.10); len(regs) != 1 || regs[0].Metric != "lost_jobs" {
+		t.Fatalf("lost job not gated: %v", regs)
+	}
+	cur = serviceReportFixture()
+	cur.Duplicated = 2
+	regs, _ := CompareService(old, cur, 0.10)
+	if len(regs) == 0 || regs[0].Metric != "duplicated_jobs" {
+		t.Fatalf("duplicated job not gated: %v", regs)
+	}
+
+	// Accounting must close even when nothing is lost per the stream.
+	cur = serviceReportFixture()
+	cur.Completed = 30
+	regs, _ = CompareService(old, cur, 0.10)
+	if len(regs) != 1 || regs[0].Metric != "accounting_closure" {
+		t.Fatalf("open accounting not gated: %v", regs)
+	}
+
+	// Losing the drain contract or verification is always gated.
+	cur = serviceReportFixture()
+	cur.DrainOK = false
+	regs, _ = CompareService(old, cur, 0.10)
+	if len(regs) != 1 || regs[0].Metric != "drain_ok" {
+		t.Fatalf("drain regression not gated: %v", regs)
+	}
+	cur = serviceReportFixture()
+	cur.AllVerified = false
+	regs, _ = CompareService(old, cur, 0.10)
+	if len(regs) != 1 || regs[0].Metric != "all_verified" {
+		t.Fatalf("verification regression not gated: %v", regs)
+	}
+
+	// Fairness collapse below the floor is always gated for ≥ 2 tenants.
+	cur = serviceReportFixture()
+	cur.FairnessJain = 0.3
+	regs, _ = CompareService(old, cur, 0.10)
+	if len(regs) != 1 || regs[0].Metric != "fairness_jain" {
+		t.Fatalf("fairness collapse not gated: %v", regs)
+	}
+	cur = serviceReportFixture()
+	cur.Tenants = 1
+	cur.FairnessJain = 0.3
+	if regs, _ := CompareService(old, cur, 0.10); len(regs) != 0 {
+		t.Fatalf("single-tenant fairness gated: %v", regs)
+	}
+
+	// Latency: 50% growth sits inside the 100% floor slack; 3x is gated —
+	// but only between equal-core hosts.
+	cur = serviceReportFixture()
+	cur.LatencyP99Ns = 1_500_000
+	if regs, _ := CompareService(old, cur, 0.10); len(regs) != 0 {
+		t.Fatalf("50%% latency growth inside the floor slack flagged: %v", regs)
+	}
+	cur = serviceReportFixture()
+	cur.LatencyP99Ns = 3_000_000
+	regs, _ = CompareService(old, cur, 0.10)
+	if len(regs) != 1 || regs[0].Metric != "latency_p99_ns" {
+		t.Fatalf("3x latency growth not gated: %v", regs)
+	}
+	cur.Cores = 4
+	if regs, _ := CompareService(old, cur, 0.10); len(regs) != 0 {
+		t.Fatalf("cross-host latency comparison gated: %v", regs)
+	}
+	// A fault-injected run is not latency-comparable to a clean baseline:
+	// the injected delays legitimately inflate its wall-clock numbers.
+	cur.Cores = old.Cores
+	cur.Faults = "kernel=0.1,slowshard=0.05"
+	if regs, _ := CompareService(old, cur, 0.10); len(regs) != 0 {
+		t.Fatalf("cross-fault-spec latency comparison gated: %v", regs)
+	}
+
+	// Occupancy: a 30% drop sits inside the 50% floor slack; a 75% drop
+	// is gated on equal cores.
+	cur = serviceReportFixture()
+	cur.BatchOccupancy = 0.56
+	if regs, _ := CompareService(old, cur, 0.10); len(regs) != 0 {
+		t.Fatalf("30%% occupancy drop inside the floor slack flagged: %v", regs)
+	}
+	cur = serviceReportFixture()
+	cur.BatchOccupancy = 0.2
+	regs, _ = CompareService(old, cur, 0.10)
+	if len(regs) != 1 || regs[0].Metric != "batch_occupancy" {
+		t.Fatalf("75%% occupancy drop not gated: %v", regs)
+	}
+
+	if _, err := CompareService(nil, old, 0.10); err == nil {
+		t.Fatal("nil report accepted")
+	}
+	if _, err := CompareService(old, old, -1); err == nil {
+		t.Fatal("negative threshold accepted")
+	}
+}

@@ -41,7 +41,7 @@ func chaosRun(t *testing.T, jobs []Job) (*BatchProver, *faults.Injector, []Resul
 }
 
 // TestChaosSoak is the end-to-end resilience soak of the issue's
-// acceptance criteria: all five fault classes at a pinned seed, and
+// acceptance criteria: all six fault classes at a pinned seed, and
 // afterwards (1) no goroutine leak, (2) every injected fault resolved
 // exactly once with telemetry matching the ledger, (3) every surviving
 // proof verifies, and (4) a tampered proof is rejected.

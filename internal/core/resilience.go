@@ -183,7 +183,7 @@ func (bp *BatchProver) attemptStage(i int, ins instruments, m *stageMsg, attempt
 	if res := bp.res; res != nil && res.Injector != nil {
 		if f := res.Injector.Draw(StageNames[i], m.id, attempt); f != nil {
 			switch f.Class {
-			case faults.Straggler:
+			case faults.Straggler, faults.SlowShard:
 				// The stage completes, but late. The fault stays pending
 				// until the stage outcome is known: the spike may blow
 				// the job's deadline, which quarantines it.

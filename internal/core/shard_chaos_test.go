@@ -1,0 +1,186 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"batchzk/internal/faults"
+	"batchzk/internal/field"
+)
+
+// Sharded chaos: injected shard faults (all six classes, slow shards
+// included) must not disturb the two contracts the service gateway
+// builds on — the round-robin merge still emits results in global
+// submission order, and the injector's ledger plus the shards'
+// dead-letter lists stay exactly-once.
+
+func shardedChaosRun(t *testing.T, shards, njobs int, rate float64) (*ShardedProver, *faults.Injector, []Job, []Result) {
+	t.Helper()
+	c, p := testCircuit(t)
+	sp, err := NewShardedProver(c, p, shards, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.NewInjector(chaosSeed)
+	inj.EnableAll(rate)
+	inj.SetStragglerDelay(200*time.Microsecond, time.Millisecond)
+	// Keep slow-shard episodes short: this test wants their scheduling
+	// disturbance, not their wall-clock.
+	inj.SetSlowShardDelay(time.Millisecond, 3*time.Millisecond)
+	res := DefaultResilience()
+	res.Injector = inj
+	res.JobDeadline = 30 * time.Second
+	sp.SetResilience(res)
+
+	jobs := make([]Job, njobs)
+	for i := range jobs {
+		jobs[i] = Job{ID: i, Public: field.RandVector(2), Secret: field.RandVector(2)}
+	}
+	return sp, inj, jobs, sp.ProveBatch(jobs)
+}
+
+// TestShardedChaosSubmissionOrder: with faults hammering every shard,
+// the merged result stream is still exactly the submission order.
+func TestShardedChaosSubmissionOrder(t *testing.T) {
+	for _, shards := range []int{2, 3} {
+		sp, inj, jobs, results := shardedChaosRun(t, shards, 36, 0.08)
+		if totalInjected(inj.Stats()) == 0 {
+			t.Fatal("chaos run injected nothing — seed no longer exercises the fault paths")
+		}
+		if len(results) != 36 {
+			t.Fatalf("shards=%d: %d results for 36 jobs", shards, len(results))
+		}
+		for i, r := range results {
+			if r.ID != i {
+				t.Fatalf("shards=%d: result %d carries job %d — merge broke submission order", shards, i, r.ID)
+			}
+		}
+		// Every non-quarantined proof verifies; every failure really is
+		// in a shard's dead-letter list.
+		quarantined := make(map[int]bool)
+		for _, q := range sp.Quarantined() {
+			if quarantined[q.ID] {
+				t.Errorf("shards=%d: job %d dead-lettered twice", shards, q.ID)
+			}
+			quarantined[q.ID] = true
+		}
+		for _, r := range results {
+			if r.Err != nil {
+				if !quarantined[r.ID] {
+					t.Errorf("shards=%d: job %d failed without a quarantine record", shards, r.ID)
+				}
+				continue
+			}
+			if err := sp.Verify(jobs[r.ID].Public, r.Proof); err != nil {
+				t.Errorf("shards=%d: surviving proof %d: %v", shards, r.ID, err)
+			}
+		}
+	}
+}
+
+// TestShardedChaosLedgerExactlyOnce: after a sharded chaos run every
+// drawn fault is resolved exactly once (no Pending, no conflicting
+// double resolution), and the shard counters reconcile with both the
+// ledger and the result stream.
+func TestShardedChaosLedgerExactlyOnce(t *testing.T) {
+	sp, inj, _, results := shardedChaosRun(t, 3, 48, 0.08)
+
+	ls := inj.Stats()
+	if ls.Pending != 0 {
+		t.Errorf("%d faults left pending after the run", ls.Pending)
+	}
+	for _, rec := range inj.Ledger() {
+		if rec.Outcome != faults.Recovered && rec.Outcome != faults.Quarantined {
+			t.Errorf("fault %+v resolved as %v", rec.Fault, rec.Outcome)
+		}
+	}
+
+	failed := 0
+	seen := make(map[int]int)
+	for _, r := range results {
+		seen[r.ID]++
+		if r.Err != nil {
+			failed++
+		}
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Errorf("job %d appeared %d times in the merged stream", id, n)
+		}
+	}
+	st := sp.Stats()
+	if int(st.Failed) != failed {
+		t.Errorf("aggregated Failed=%d, result stream saw %d", st.Failed, failed)
+	}
+	if int(st.Quarantined) != failed {
+		t.Errorf("aggregated Quarantined=%d, want %d (every failure dead-letters exactly once)", st.Quarantined, failed)
+	}
+	if got := len(sp.Quarantined()); got != failed {
+		t.Errorf("dead-letter list has %d entries, want %d", got, failed)
+	}
+	if int(st.Completed) != len(results)-failed {
+		t.Errorf("aggregated Completed=%d, want %d", st.Completed, len(results)-failed)
+	}
+}
+
+// TestSlowShardBlowsDeadline: the new SlowShard class models a
+// sustained device-wide slowdown; when its delay exceeds the job
+// deadline, the job must be cut off with ErrJobDeadline (the signal the
+// gateway surfaces as StatusTimeout) rather than succeed late.
+func TestSlowShardBlowsDeadline(t *testing.T) {
+	inj := faults.NewInjector(1)
+	inj.SetSlowShardDelay(150*time.Millisecond, 150*time.Millisecond)
+	inj.Force(faults.SlowShard, StageNames[1], 0, 1)
+	c, p := testCircuit(t)
+	bp, err := NewBatchProver(c, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := DefaultResilience()
+	res.Injector = inj
+	res.JobDeadline = 30 * time.Millisecond
+	bp.SetResilience(res)
+
+	results := bp.ProveBatch([]Job{{ID: 0, Public: field.RandVector(2), Secret: field.RandVector(2)}})
+	if results[0].Err == nil {
+		t.Fatal("slow shard past the deadline still produced a proof")
+	}
+	if !errors.Is(results[0].Err, ErrJobDeadline) {
+		t.Fatalf("error %v, want ErrJobDeadline in the chain", results[0].Err)
+	}
+	st := bp.Stats()
+	if st.Timeouts != 1 || st.Quarantined != 1 {
+		t.Errorf("timeouts=%d quarantined=%d, want 1/1", st.Timeouts, st.Quarantined)
+	}
+	// The fault resolved exactly once, as quarantined.
+	ls := inj.Stats()
+	if ls.Pending != 0 || ls.Quarantined != 1 {
+		t.Errorf("ledger recovered=%d quarantined=%d pending=%d, want 0/1/0", ls.Recovered, ls.Quarantined, ls.Pending)
+	}
+}
+
+// TestSlowShardRecoversUnderDeadline: a slow shard whose delay fits
+// inside the deadline just makes the job late, not dead.
+func TestSlowShardRecoversUnderDeadline(t *testing.T) {
+	inj := faults.NewInjector(1)
+	inj.SetSlowShardDelay(2*time.Millisecond, 2*time.Millisecond)
+	inj.Force(faults.SlowShard, StageNames[1], 0, 1)
+	c, p := testCircuit(t)
+	bp, err := NewBatchProver(c, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := DefaultResilience()
+	res.Injector = inj
+	res.JobDeadline = 30 * time.Second
+	bp.SetResilience(res)
+
+	results := bp.ProveBatch([]Job{{ID: 0, Public: field.RandVector(2), Secret: field.RandVector(2)}})
+	if results[0].Err != nil {
+		t.Fatalf("slow shard under the deadline killed the job: %v", results[0].Err)
+	}
+	if ls := inj.Stats(); ls.Recovered != 1 || ls.Pending != 0 {
+		t.Errorf("ledger recovered=%d pending=%d, want 1/0", ls.Recovered, ls.Pending)
+	}
+}

@@ -13,7 +13,11 @@
 //   - TransferStall    — a PCIe/NVLink transfer stall or timeout, retryable;
 //   - WorkerPanic      — a stage-worker panic (host-side), recoverable;
 //   - Straggler        — a slow-straggler latency spike: the work succeeds
-//     but late, exercising deadlines.
+//     but late, exercising deadlines;
+//   - SlowShard        — a sustained device-wide slowdown (thermal
+//     throttling, a contended link, a degraded neighbor VM): the work
+//     still succeeds but pays a delay an order of magnitude above a
+//     straggler spike, exercising the service gateway's deadline path.
 //
 // Determinism. Whether a fault fires at a site is a pure function of
 // (seed, class, stage, job, attempt) — never of goroutine scheduling or
@@ -36,7 +40,7 @@ import (
 // Class names one injectable fault class.
 type Class string
 
-// The five fault classes, in the priority order they are drawn (at most
+// The six fault classes, in the priority order they are drawn (at most
 // one fault fires per site; the most severe class wins).
 const (
 	MemCorruption Class = "mem"
@@ -44,11 +48,12 @@ const (
 	TransferStall Class = "transfer"
 	WorkerPanic   Class = "panic"
 	Straggler     Class = "straggler"
+	SlowShard     Class = "slowshard"
 )
 
 // Classes lists every fault class in draw-priority order.
 func Classes() []Class {
-	return []Class{MemCorruption, KernelFault, TransferStall, WorkerPanic, Straggler}
+	return []Class{MemCorruption, KernelFault, TransferStall, WorkerPanic, Straggler, SlowShard}
 }
 
 // Per-class sentinel errors, so error chains stay attributable with
@@ -59,6 +64,7 @@ var (
 	ErrTransferStall = errors.New("faults: host-device transfer stall")
 	ErrWorkerPanic   = errors.New("faults: stage-worker panic")
 	ErrStraggler     = errors.New("faults: straggler latency spike")
+	ErrSlowShard     = errors.New("faults: slow shard — sustained device-wide slowdown")
 )
 
 func sentinel(c Class) error {
@@ -73,6 +79,8 @@ func sentinel(c Class) error {
 		return ErrWorkerPanic
 	case Straggler:
 		return ErrStraggler
+	case SlowShard:
+		return ErrSlowShard
 	}
 	return fmt.Errorf("faults: unknown class %q", c)
 }
@@ -108,7 +116,7 @@ type Fault struct {
 	Stage   string
 	Job     int
 	Attempt int
-	// Delay is the injected latency for Straggler faults.
+	// Delay is the injected latency for Straggler and SlowShard faults.
 	Delay time.Duration
 
 	in *Injector
@@ -152,6 +160,8 @@ type Injector struct {
 
 	stragglerMin time.Duration
 	stragglerMax time.Duration
+	slowShardMin time.Duration
+	slowShardMax time.Duration
 }
 
 type siteKey struct {
@@ -168,6 +178,8 @@ func NewInjector(seed uint64) *Injector {
 		forced:       make(map[siteKey]Class),
 		stragglerMin: time.Millisecond,
 		stragglerMax: 5 * time.Millisecond,
+		slowShardMin: 10 * time.Millisecond,
+		slowShardMax: 50 * time.Millisecond,
 	}
 }
 
@@ -208,6 +220,22 @@ func (in *Injector) SetStragglerDelay(min, max time.Duration) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	in.stragglerMin, in.stragglerMax = min, max
+}
+
+// SetSlowShardDelay bounds the injected latency of SlowShard faults; the
+// exact delay within [min, max] is derived deterministically per site.
+// The defaults (10–50 ms) sit an order of magnitude above the straggler
+// range, modeling a shard-wide degradation rather than a one-off spike.
+func (in *Injector) SetSlowShardDelay(min, max time.Duration) {
+	if min < 0 {
+		min = 0
+	}
+	if max < min {
+		max = min
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.slowShardMin, in.slowShardMax = min, max
 }
 
 // Force schedules class c to fire unconditionally at one exact site,
@@ -288,9 +316,13 @@ func (in *Injector) recordLocked(c Class, stage string, job, attempt int) *Fault
 		Attempt: attempt,
 		in:      in,
 	}
-	if c == Straggler {
-		span := in.stragglerMax - in.stragglerMin
-		d := in.stragglerMin
+	if c == Straggler || c == SlowShard {
+		lo, hi := in.stragglerMin, in.stragglerMax
+		if c == SlowShard {
+			lo, hi = in.slowShardMin, in.slowShardMax
+		}
+		span := hi - lo
+		d := lo
 		if span > 0 {
 			d += time.Duration(in.siteHash("delay/"+Class(c), stage, job, attempt) % uint64(span))
 		}
@@ -416,7 +448,7 @@ func ParseSpec(spec string, seed uint64) (*Injector, error) {
 		}
 		c := Class(name)
 		if !valid[c] {
-			return nil, fmt.Errorf("faults: unknown fault class %q (want mem, kernel, transfer, panic, straggler or all)", name)
+			return nil, fmt.Errorf("faults: unknown fault class %q (want mem, kernel, transfer, panic, straggler, slowshard or all)", name)
 		}
 		in.SetRate(c, rate)
 	}

@@ -22,6 +22,9 @@ import (
 //     pays a stall penalty proportional to the stage's transfer time.
 //   - Straggler — the launch completes but late, paying one extra stage
 //     time (a 2× latency spike on that slot).
+//   - SlowShard — a sustained device-wide slowdown: the launch completes
+//     but pays 4× its budgeted slot time (thermal throttling or a
+//     contended link degrading the whole device, not one slot).
 //   - MemCorruption — an uncorrectable ECC error poisons the task's
 //     device buffers; the run aborts immediately with a LaunchError whose
 //     chain reaches faults.ErrMemCorruption (on real hardware this kills
@@ -44,6 +47,8 @@ type FaultStats struct {
 	TransferStalls int `json:"transfer_stalls"`
 	// Stragglers counts slow-straggler latency spikes.
 	Stragglers int `json:"stragglers"`
+	// SlowShards counts sustained device-slowdown faults.
+	SlowShards int `json:"slow_shards"`
 	// ExtraNs is the total simulated time added by recovery actions.
 	ExtraNs float64 `json:"extra_ns"`
 }
@@ -111,6 +116,12 @@ func applyFaults(inj *faults.Injector, spec DeviceSpec, scheme string, stages []
 					fs.ExtraNs += stageNs[i]
 					f.MarkRecovered()
 					recovered = true
+				case faults.SlowShard:
+					// The whole device is degraded: 4× the budgeted slot.
+					fs.SlowShards++
+					fs.ExtraNs += 3 * stageNs[i]
+					f.MarkRecovered()
+					recovered = true
 				default: // KernelFault, WorkerPanic: transient launch failure
 					fs.KernelRetries++
 					fs.ExtraNs += stageNs[i] + spec.KernelLaunchNs
@@ -155,5 +166,6 @@ func emitFaultMetrics(tel *telemetry.Sink, fs FaultStats) {
 	tel.Counter("gpusim/faults/kernel_retries").Add(int64(fs.KernelRetries))
 	tel.Counter("gpusim/faults/transfer_stalls").Add(int64(fs.TransferStalls))
 	tel.Counter("gpusim/faults/stragglers").Add(int64(fs.Stragglers))
+	tel.Counter("gpusim/faults/slow_shards").Add(int64(fs.SlowShards))
 	tel.Histogram("gpusim/faults/extra_ns").Observe(int64(fs.ExtraNs))
 }

@@ -1,0 +1,379 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// drainCollect consumes every batch from b until Drain closes the
+// stream, returning all items in emission order.
+func drainCollect[T any](t *testing.T, b *Batcher[T], done <-chan struct{}) []T {
+	t.Helper()
+	var items []T
+	for batch := range b.Out() {
+		if len(batch.Items) == 0 {
+			t.Error("empty batch emitted")
+		}
+		if len(batch.Items) > b.Config().MaxBatch {
+			t.Errorf("batch of %d items exceeds cap %d", len(batch.Items), b.Config().MaxBatch)
+		}
+		items = append(items, batch.Items...)
+	}
+	if done != nil {
+		<-done
+	}
+	return items
+}
+
+// Invariant: batches never exceed the size cap, and a full queue
+// flushes immediately in cap-sized batches.
+func TestBatcherSizeCap(t *testing.T) {
+	b := NewBatcher[int](BatcherConfig{MaxBatch: 4, MaxWait: time.Hour, QueueCap: 128})
+	for i := 0; i < 10; i++ {
+		if err := b.Submit("a", 0, i); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	go b.Drain()
+	items := drainCollect(t, b, nil)
+	if len(items) != 10 {
+		t.Fatalf("flushed %d items, want 10", len(items))
+	}
+	for i, v := range items {
+		if v != i {
+			t.Fatalf("item %d = %d, want FIFO order", i, v)
+		}
+	}
+}
+
+// Invariant: no job waits (much) past the latency window — an
+// under-full batch still flushes once its oldest member ages out. The
+// assertion uses generous slack (scheduling noise under -race) but
+// still catches both failure modes that matter: waiting forever, and
+// waiting a multiple of the window.
+func TestBatcherLatencyWindow(t *testing.T) {
+	const window = 20 * time.Millisecond
+	b := NewBatcher[int](BatcherConfig{MaxBatch: 1000, MaxWait: window, QueueCap: 1000})
+	start := time.Now()
+	if err := b.Submit("a", 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case batch := <-b.Out():
+		waited := time.Since(start)
+		if len(batch.Items) != 1 {
+			t.Fatalf("batch size %d, want 1", len(batch.Items))
+		}
+		if waited < window {
+			t.Errorf("flushed after %v, before the %v window", waited, window)
+		}
+		if waited > 10*window {
+			t.Errorf("flushed after %v, far past the %v window", waited, window)
+		}
+	case <-time.After(10 * window):
+		t.Fatal("under-full batch never flushed")
+	}
+	b.Drain()
+}
+
+// Invariant: batches fill highest-priority-first, FIFO within a class.
+func TestBatcherPriorityOrder(t *testing.T) {
+	b := NewBatcher[string](BatcherConfig{MaxBatch: 16, MaxWait: time.Hour, QueueCap: 64, Priorities: 3})
+	// Interleave submissions across classes; the flush must re-sort.
+	b.Submit("a", 2, "low-0")
+	b.Submit("a", 0, "high-0")
+	b.Submit("a", 1, "mid-0")
+	b.Submit("a", 2, "low-1")
+	b.Submit("a", 0, "high-1")
+	go b.Drain()
+	items := drainCollect(t, b, nil)
+	want := []string{"high-0", "high-1", "mid-0", "low-0", "low-1"}
+	if len(items) != len(want) {
+		t.Fatalf("flushed %d items, want %d", len(items), len(want))
+	}
+	for i := range want {
+		if items[i] != want[i] {
+			t.Fatalf("order %v, want %v", items, want)
+		}
+	}
+}
+
+// Out-of-range priorities clamp instead of panicking or dropping.
+func TestBatcherPriorityClamp(t *testing.T) {
+	b := NewBatcher[int](BatcherConfig{MaxBatch: 8, MaxWait: time.Hour, Priorities: 2})
+	if err := b.Submit("a", -5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Submit("a", 99, 2); err != nil {
+		t.Fatal(err)
+	}
+	go b.Drain()
+	if items := drainCollect(t, b, nil); len(items) != 2 {
+		t.Fatalf("flushed %d items, want 2", len(items))
+	}
+}
+
+// Invariant: queue depth is bounded; submissions above the cap get
+// ErrQueueFull and are NOT admitted (no token spent, no item queued).
+func TestBatcherQueueCapBackpressure(t *testing.T) {
+	b := NewBatcher[int](BatcherConfig{MaxBatch: 1000, MaxWait: time.Hour, QueueCap: 8})
+	var full int
+	for i := 0; i < 20; i++ {
+		err := b.Submit("a", 0, i)
+		if errors.Is(err, ErrQueueFull) {
+			full++
+		} else if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if full != 12 {
+		t.Fatalf("%d rejections, want 12 (cap 8 of 20)", full)
+	}
+	s := b.Stats()
+	if s.Accepted != 8 || s.RejectedQueue != 12 {
+		t.Fatalf("stats accepted=%d rejectedQueue=%d, want 8/12", s.Accepted, s.RejectedQueue)
+	}
+	go b.Drain()
+	if items := drainCollect(t, b, nil); len(items) != 8 {
+		t.Fatalf("flushed %d items, want 8", len(items))
+	}
+}
+
+// Invariant: per-tenant quota accounting is exact under concurrent
+// submission — with a hard allowance of K tokens and many goroutines
+// racing, exactly K submissions are admitted, and every rejection is a
+// QuotaError carrying a Retry-After hint.
+func TestBatcherQuotaExactUnderConcurrency(t *testing.T) {
+	const allowance = 25
+	const submitters = 8
+	const perSubmitter = 20 // 160 offered total
+	b := NewBatcher[int](BatcherConfig{
+		MaxBatch: 32, MaxWait: time.Millisecond, QueueCap: 1000,
+		DefaultQuota: QuotaSpec{Burst: allowance}, // Rate 0: hard allowance
+	})
+	collected := make(chan []int, 1)
+	go func() { // consume concurrently so flushing never stalls admission
+		var items []int
+		for batch := range b.Out() {
+			items = append(items, batch.Items...)
+		}
+		collected <- items
+	}()
+
+	var accepted, quotaRejected int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perSubmitter; i++ {
+				err := b.Submit("tenant", 0, g*perSubmitter+i)
+				mu.Lock()
+				switch {
+				case err == nil:
+					accepted++
+				default:
+					var qe *QuotaError
+					if !errors.As(err, &qe) {
+						t.Errorf("unexpected error: %v", err)
+					} else if qe.RetryAfter <= 0 {
+						t.Errorf("quota rejection without Retry-After hint")
+					}
+					quotaRejected++
+				}
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	b.Drain()
+	items := <-collected
+
+	if accepted != allowance {
+		t.Errorf("accepted %d, want exactly %d", accepted, allowance)
+	}
+	if quotaRejected != submitters*perSubmitter-allowance {
+		t.Errorf("quota-rejected %d, want %d", quotaRejected, submitters*perSubmitter-allowance)
+	}
+	if int64(len(items)) != accepted {
+		t.Errorf("flushed %d items, want the %d accepted", len(items), accepted)
+	}
+	s := b.Stats()
+	if s.Accepted != accepted || s.RejectedQuota != quotaRejected || s.Flushed != accepted {
+		t.Errorf("stats %+v disagree with observed accepted=%d rejected=%d", s, accepted, quotaRejected)
+	}
+}
+
+// A refilling bucket admits again after the refill interval.
+func TestBatcherQuotaRefill(t *testing.T) {
+	b := NewBatcher[int](BatcherConfig{
+		MaxBatch: 8, MaxWait: time.Millisecond, QueueCap: 64,
+		Quotas: map[string]QuotaSpec{"slow": {Rate: 100, Burst: 1}},
+	})
+	go func() {
+		for range b.Out() {
+		}
+	}()
+	if err := b.Submit("slow", 0, 1); err != nil {
+		t.Fatalf("first submit: %v", err)
+	}
+	err := b.Submit("slow", 0, 2)
+	var qe *QuotaError
+	if !errors.As(err, &qe) {
+		t.Fatalf("second immediate submit: got %v, want QuotaError", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if err := b.Submit("slow", 0, 3); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("bucket never refilled at 100 tokens/s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	b.Drain()
+}
+
+// Invariant: drain flushes every accepted job exactly once, even with
+// submissions racing the drain; post-drain submissions get ErrDraining.
+func TestBatcherDrainFlushesExactlyOnce(t *testing.T) {
+	b := NewBatcher[int](BatcherConfig{MaxBatch: 4, MaxWait: time.Hour, QueueCap: 10000})
+	var accepted sync.Map
+	var acceptedN int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := g*1000 + i
+				if err := b.Submit("t", g%2, id); err == nil {
+					accepted.Store(id, true)
+					mu.Lock()
+					acceptedN++
+					mu.Unlock()
+				} else if !errors.Is(err, ErrDraining) {
+					t.Errorf("submit: %v", err)
+				}
+			}
+		}(g)
+	}
+	collected := make(chan map[int]int, 1)
+	go func() {
+		seen := make(map[int]int)
+		for batch := range b.Out() {
+			for _, id := range batch.Items {
+				seen[id]++
+			}
+		}
+		collected <- seen
+	}()
+	// Let some submissions land, then drain mid-stream.
+	time.Sleep(2 * time.Millisecond)
+	b.Drain()
+	wg.Wait()
+	seen := <-collected
+
+	mu.Lock()
+	wantN := acceptedN
+	mu.Unlock()
+	if int64(len(seen)) != wantN {
+		t.Fatalf("flushed %d distinct jobs, want %d accepted", len(seen), wantN)
+	}
+	accepted.Range(func(k, _ any) bool {
+		if seen[k.(int)] != 1 {
+			t.Errorf("job %v flushed %d times, want exactly once", k, seen[k.(int)])
+		}
+		return true
+	})
+	if err := b.Submit("t", 0, -1); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain submit: %v, want ErrDraining", err)
+	}
+}
+
+// Property test: random config + random concurrent traffic, then
+// drain; conservation (accepted == flushed, no duplicates, caps held)
+// must survive any seed.
+func TestBatcherPropertyConservation(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			cfg := BatcherConfig{
+				MaxBatch:   1 + rng.Intn(16),
+				MaxWait:    time.Duration(1+rng.Intn(5)) * time.Millisecond,
+				QueueCap:   32 + rng.Intn(256),
+				Priorities: 1 + rng.Intn(4),
+			}
+			b := NewBatcher[int](cfg)
+			var flushedMu sync.Mutex
+			flushed := make(map[int]int)
+			consumerDone := make(chan struct{})
+			go func() {
+				defer close(consumerDone)
+				for batch := range b.Out() {
+					if len(batch.Items) > cfg.MaxBatch {
+						t.Errorf("batch %d > cap %d", len(batch.Items), cfg.MaxBatch)
+					}
+					flushedMu.Lock()
+					for _, id := range batch.Items {
+						flushed[id]++
+					}
+					flushedMu.Unlock()
+					if rng.Intn(4) == 0 {
+						time.Sleep(time.Duration(rng.Intn(300)) * time.Microsecond)
+					}
+				}
+			}()
+			var acceptedMu sync.Mutex
+			acceptedIDs := make(map[int]bool)
+			var wg sync.WaitGroup
+			workers := 2 + rng.Intn(4)
+			for g := 0; g < workers; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					r := rand.New(rand.NewSource(seed*100 + int64(g)))
+					for i := 0; i < 150; i++ {
+						id := g*10000 + i
+						err := b.Submit(fmt.Sprintf("t%d", r.Intn(3)), r.Intn(cfg.Priorities+1)-1, id)
+						if err == nil {
+							acceptedMu.Lock()
+							acceptedIDs[id] = true
+							acceptedMu.Unlock()
+						}
+						if r.Intn(8) == 0 {
+							time.Sleep(time.Duration(r.Intn(200)) * time.Microsecond)
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			b.Drain()
+			<-consumerDone
+
+			flushedMu.Lock()
+			defer flushedMu.Unlock()
+			acceptedMu.Lock()
+			defer acceptedMu.Unlock()
+			if len(flushed) != len(acceptedIDs) {
+				t.Fatalf("flushed %d distinct, accepted %d", len(flushed), len(acceptedIDs))
+			}
+			for id, n := range flushed {
+				if n != 1 {
+					t.Errorf("job %d flushed %d times", id, n)
+				}
+				if !acceptedIDs[id] {
+					t.Errorf("job %d flushed but never accepted", id)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,404 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/big"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"batchzk/internal/field"
+)
+
+// Load generator: open-loop Poisson arrivals (submission times do not
+// wait on completions — the paper's MLaaS traffic model) with periodic
+// heavy-tailed bursts drawn from a bounded Pareto, driven against the
+// gateway's HTTP API. Each accepted job is then tracked closed-loop: a
+// waiter long-polls it to its terminal state, so "lost" (accepted but
+// never resolved) and server-side end-to-end latency are measured
+// authoritatively, while a stream subscription cross-checks that no job
+// terminates twice.
+
+// LoadConfig shapes one load-generation run.
+type LoadConfig struct {
+	// Tenants is the number of concurrent tenants ("t0".."tN-1").
+	Tenants int
+	// JobsPerTenant is the number of arrivals each tenant offers.
+	JobsPerTenant int
+	// Rate is the mean arrival rate per tenant, jobs/second (Poisson:
+	// exponential inter-arrival gaps). Zero or negative means
+	// back-to-back submission.
+	Rate float64
+	// BurstEvery makes every k-th arrival a burst; 0 disables bursts.
+	BurstEvery int
+	// BurstMax caps the bounded-Pareto burst size (default 8, α=1.5 —
+	// heavy-tailed: most bursts are small, a few hit the cap).
+	BurstMax int
+	// PublicLen / SecretLen size each job's input vectors; they must
+	// match the gateway's circuit.
+	PublicLen, SecretLen int
+	// Priority assigns a priority class per (tenant, arrival); nil
+	// means tenant index modulo the gateway's class count.
+	Priority func(tenant, arrival int) int
+	// WaitTimeout bounds how long a job may take from acceptance to a
+	// terminal state before the generator counts it lost (default 30s).
+	WaitTimeout time.Duration
+	// Seed makes the arrival process and inputs reproducible.
+	Seed int64
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Tenants <= 0 {
+		c.Tenants = 1
+	}
+	if c.JobsPerTenant <= 0 {
+		c.JobsPerTenant = 1
+	}
+	if c.BurstMax <= 0 {
+		c.BurstMax = 8
+	}
+	if c.WaitTimeout <= 0 {
+		c.WaitTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// TenantResult is one tenant's view of the run.
+type TenantResult struct {
+	Tenant    string `json:"tenant"`
+	Offered   int64  `json:"offered"`
+	Accepted  int64  `json:"accepted"`
+	Rejected  int64  `json:"rejected"`
+	Completed int64  `json:"completed"`
+	Failed    int64  `json:"failed"`
+	Timeouts  int64  `json:"timeouts"`
+	Lost      int64  `json:"lost"`
+	P99Ns     int64  `json:"p99_ns"`
+}
+
+// LoadResult aggregates a load-generation run. Latencies are the
+// server-reported end-to-end times (admission to terminal state) of
+// every job that reached one.
+type LoadResult struct {
+	Offered     int64
+	Accepted    int64
+	Rejected    int64
+	Completed   int64
+	Failed      int64
+	Timeouts    int64
+	Lost        int64
+	Duplicated  int64
+	PerTenant   []TenantResult
+	LatenciesNs []int64
+}
+
+// Percentile returns the exact nearest-rank p-quantile (0 < p ≤ 1) of
+// the run's latencies, 0 when none were recorded.
+func (r *LoadResult) Percentile(p float64) int64 {
+	if len(r.LatenciesNs) == 0 {
+		return 0
+	}
+	s := make([]int64, len(r.LatenciesNs))
+	copy(s, r.LatenciesNs)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(math.Ceil(p*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// FairnessJain computes Jain's index over per-tenant completed counts:
+// 1.0 is perfectly fair, 1/N is one tenant taking everything.
+func (r *LoadResult) FairnessJain() float64 {
+	var sum, sumSq float64
+	n := 0
+	for _, t := range r.PerTenant {
+		x := float64(t.Completed)
+		sum += x
+		sumSq += x * x
+		n++
+	}
+	if n == 0 || sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(n) * sumSq)
+}
+
+// Client drives a gateway over HTTP.
+type Client struct {
+	Base string
+	HTTP *http.Client
+}
+
+func (c *Client) httpc() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// SubmitJob posts one job; it returns the acknowledgment, the HTTP
+// status, and a transport error (a non-2xx status is not an error).
+func (c *Client) SubmitJob(tenant string, priority int, public, secret []field.Element) (SubmitResponse, int, error) {
+	req := SubmitRequest{
+		Priority: priority,
+		Public:   encodeElements(public),
+		Secret:   encodeElements(secret),
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return SubmitResponse{}, 0, err
+	}
+	hreq, err := http.NewRequest(http.MethodPost, c.Base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return SubmitResponse{}, 0, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("X-Tenant", tenant)
+	resp, err := c.httpc().Do(hreq)
+	if err != nil {
+		return SubmitResponse{}, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return SubmitResponse{}, resp.StatusCode, nil
+	}
+	var ack SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		return SubmitResponse{}, resp.StatusCode, err
+	}
+	return ack, resp.StatusCode, nil
+}
+
+// PollJob fetches a job's state, long-polling up to wait.
+func (c *Client) PollJob(id string, wait time.Duration) (JobResponse, error) {
+	url := c.Base + "/v1/jobs/" + id
+	if wait > 0 {
+		url += "?wait=" + wait.String()
+	}
+	resp, err := c.httpc().Get(url)
+	if err != nil {
+		return JobResponse{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return JobResponse{}, fmt.Errorf("service: poll %s: %s: %s", id, resp.Status, bytes.TrimSpace(msg))
+	}
+	var jr JobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		return JobResponse{}, err
+	}
+	return jr, nil
+}
+
+func encodeElements(v []field.Element) []string {
+	out := make([]string, len(v))
+	for i := range v {
+		out[i] = v[i].BigInt().String()
+	}
+	return out
+}
+
+// boundedPareto draws a burst size in [1, max] with tail index α=1.5:
+// P(X > x) ∝ x^-1.5, truncated.
+func boundedPareto(rng *rand.Rand, max int) int {
+	const alpha = 1.5
+	u := rng.Float64()
+	x := int(math.Pow(1-u, -1/alpha))
+	if x < 1 {
+		x = 1
+	}
+	if x > max {
+		x = max
+	}
+	return x
+}
+
+// Run drives the configured load against the gateway at base and
+// blocks until every accepted job is resolved or times out.
+func (cfg LoadConfig) Run(base string) (*LoadResult, error) {
+	cfg = cfg.withDefaults()
+	client := &Client{Base: base}
+
+	// One stream subscription for the whole run, counting terminal
+	// events per job id: any id seen twice is a duplicated resolution.
+	streamCtx, stopStream := context.WithCancel(context.Background())
+	defer stopStream()
+	seen := make(map[string]int)
+	var seenMu sync.Mutex
+	streamDone := make(chan struct{})
+	go func() {
+		defer close(streamDone)
+		req, err := http.NewRequestWithContext(streamCtx, http.MethodGet, base+"/v1/stream", nil)
+		if err != nil {
+			return
+		}
+		resp, err := client.httpc().Do(req)
+		if err != nil {
+			return
+		}
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+		for sc.Scan() {
+			var ev Event
+			if json.Unmarshal(sc.Bytes(), &ev) == nil && ev.JobID != "" {
+				seenMu.Lock()
+				seen[ev.JobID]++
+				seenMu.Unlock()
+			}
+		}
+	}()
+
+	res := &LoadResult{PerTenant: make([]TenantResult, cfg.Tenants)}
+	var resMu sync.Mutex
+	var tenants sync.WaitGroup
+
+	for t := 0; t < cfg.Tenants; t++ {
+		tenants.Add(1)
+		go func(t int) {
+			defer tenants.Done()
+			tenant := "t" + strconv.Itoa(t)
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(t)*7919))
+			tr := TenantResult{Tenant: tenant}
+			var trMu sync.Mutex
+			var latencies []int64
+			var waiters sync.WaitGroup
+
+			submit := func(arrival int) {
+				prio := t % 2
+				if cfg.Priority != nil {
+					prio = cfg.Priority(t, arrival)
+				}
+				public := randElements(rng, cfg.PublicLen)
+				secret := randElements(rng, cfg.SecretLen)
+				tr.Offered++
+				ack, status, err := client.SubmitJob(tenant, prio, public, secret)
+				if err != nil || status != http.StatusAccepted {
+					tr.Rejected++
+					return
+				}
+				tr.Accepted++
+				waiters.Add(1)
+				go func(id string) {
+					defer waiters.Done()
+					deadline := time.Now().Add(cfg.WaitTimeout)
+					for {
+						wait := 2 * time.Second
+						if left := time.Until(deadline); left < wait {
+							wait = left
+						}
+						trMu.Lock()
+						lost := wait <= 0
+						if lost {
+							tr.Lost++
+						}
+						trMu.Unlock()
+						if lost {
+							return
+						}
+						jr, err := client.PollJob(id, wait)
+						if err != nil {
+							trMu.Lock()
+							tr.Lost++
+							trMu.Unlock()
+							return
+						}
+						if !jr.Status.Terminal() {
+							continue
+						}
+						trMu.Lock()
+						switch jr.Status {
+						case StatusDone:
+							tr.Completed++
+						case StatusTimeout:
+							tr.Timeouts++
+						default:
+							tr.Failed++
+						}
+						latencies = append(latencies, jr.LatencyNs)
+						trMu.Unlock()
+						return
+					}
+				}(ack.JobID)
+			}
+
+			arrival := 0
+			for arrival < cfg.JobsPerTenant {
+				if cfg.Rate > 0 {
+					gap := time.Duration(rng.ExpFloat64() / cfg.Rate * float64(time.Second))
+					time.Sleep(gap)
+				}
+				n := 1
+				if cfg.BurstEvery > 0 && arrival > 0 && arrival%cfg.BurstEvery == 0 {
+					n = boundedPareto(rng, cfg.BurstMax)
+				}
+				for i := 0; i < n && arrival < cfg.JobsPerTenant; i++ {
+					submit(arrival)
+					arrival++
+				}
+			}
+			waiters.Wait()
+
+			sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+			if n := len(latencies); n > 0 {
+				idx := int(math.Ceil(0.99*float64(n))) - 1
+				if idx < 0 {
+					idx = 0
+				}
+				tr.P99Ns = latencies[idx]
+			}
+			resMu.Lock()
+			res.PerTenant[t] = tr
+			res.LatenciesNs = append(res.LatenciesNs, latencies...)
+			resMu.Unlock()
+		}(t)
+	}
+	tenants.Wait()
+	stopStream()
+	<-streamDone
+
+	seenMu.Lock()
+	for _, n := range seen {
+		if n > 1 {
+			res.Duplicated += int64(n - 1)
+		}
+	}
+	seenMu.Unlock()
+
+	for i := range res.PerTenant {
+		t := &res.PerTenant[i]
+		res.Offered += t.Offered
+		res.Accepted += t.Accepted
+		res.Rejected += t.Rejected
+		res.Completed += t.Completed
+		res.Failed += t.Failed
+		res.Timeouts += t.Timeouts
+		res.Lost += t.Lost
+	}
+	return res, nil
+}
+
+func randElements(rng *rand.Rand, n int) []field.Element {
+	out := make([]field.Element, n)
+	for i := range out {
+		v := new(big.Int).Rand(rng, field.Modulus())
+		out[i].SetBigInt(v)
+	}
+	return out
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/base64"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -44,6 +45,14 @@ type CommitmentResponse struct {
 	ModelRoot string `json:"modelRoot"` // hex
 }
 
+// Request-size limits on /predict: bodies above maxPredictBody and
+// images declaring more than maxPredictPixels pixels both answer
+// 413 Payload Too Large.
+const (
+	maxPredictBody   = 1 << 20
+	maxPredictPixels = 1 << 16
+)
+
 // Handler returns an http.Handler serving the MLaaS interface for this
 // service.
 func (s *Service) Handler() http.Handler {
@@ -61,9 +70,25 @@ func (s *Service) Handler() http.Handler {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
+		// MaxBytesReader (unlike a bare LimitReader, which silently
+		// truncates and surfaces as a confusing decode failure) makes an
+		// oversized body a distinct error class, so it maps to 413
+		// Payload Too Large instead of a 4xx/5xx about malformed JSON.
+		r.Body = http.MaxBytesReader(w, r.Body, maxPredictBody)
 		var req PredictRequest
-		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				http.Error(w, fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit),
+					http.StatusRequestEntityTooLarge)
+				return
+			}
 			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if req.C > 0 && req.H > 0 && req.W > 0 && req.C*req.H*req.W > maxPredictPixels {
+			http.Error(w, fmt.Sprintf("image of %d pixels exceeds the %d-pixel limit",
+				req.C*req.H*req.W, maxPredictPixels), http.StatusRequestEntityTooLarge)
 			return
 		}
 		if req.C*req.H*req.W != len(req.Pixels) || len(req.Pixels) == 0 {

@@ -181,3 +181,52 @@ func TestHTTPTraceIDRoundTrip(t *testing.T) {
 		t.Fatal("timeline recorded no pipeline stages")
 	}
 }
+
+// Regression: oversized /predict payloads must answer 413 Payload Too
+// Large — both a body over the byte cap and a declared image over the
+// pixel cap — never a truncation-induced decode error or a 500.
+func TestHTTPOversizedPayload413(t *testing.T) {
+	svc := newTinyService(t)
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	// Body over maxPredictBody: a pixel array big enough that its JSON
+	// encoding clears 1 MiB.
+	body, _ := json.Marshal(PredictRequest{C: 1, H: 1024, W: 1024, Pixels: make([]int64, 1024*1024)})
+	if len(body) <= maxPredictBody {
+		t.Fatalf("test body is %d bytes, expected > %d", len(body), maxPredictBody)
+	}
+	resp, err := client.Post(srv.URL+"/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body = %d, want 413", resp.StatusCode)
+	}
+
+	// Declared dimensions over maxPredictPixels with a small body:
+	// rejected by the pixel cap before any allocation.
+	body, _ = json.Marshal(PredictRequest{C: 64, H: 64, W: 64, Pixels: []int64{1}})
+	resp, err = client.Post(srv.URL+"/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized declared image = %d, want 413", resp.StatusCode)
+	}
+
+	// An in-bounds request still proves after the caps are in place.
+	img := nn.RandImage(1, 8, 8, 77)
+	body, _ = json.Marshal(PredictRequest{C: img.C, H: img.H, W: img.W, Pixels: img.Data})
+	resp, err = client.Post(srv.URL+"/predict", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("in-bounds request = %d, want 200", resp.StatusCode)
+	}
+}
