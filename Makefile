@@ -21,7 +21,7 @@ test:
 race:
 	$(GO) test -race ./internal/core/... ./internal/pipeline/... ./internal/telemetry/... ./internal/faults/... ./internal/gpusim/... \
 		./internal/par/... ./internal/merkle/... ./internal/encoder/... ./internal/sumcheck/... ./internal/ntt/... ./internal/pcs/... ./internal/msm/... \
-		./internal/service/...
+		./internal/service/... ./internal/protocol/...
 
 vet:
 	$(GO) vet ./...
@@ -48,9 +48,11 @@ bench-kernels:
 
 # Regenerate BENCH_memory.json: a multi-wave soak through one batch
 # prover under the background memory sampler, gating the flat-memory
-# claim and recording per-job flight timelines.
+# claim and recording per-job flight timelines, plus the streaming-prover
+# sweep (8× batch under ProveStream + out-of-core commits, working set
+# gated flat).
 bench-mem:
-	$(GO) run ./cmd/batchzk-bench mem -out $(REPORT_DIR)
+	$(GO) run ./cmd/batchzk-bench mem -stream -out $(REPORT_DIR)
 
 # Regenerate BENCH_service.json: the multi-tenant proving gateway under
 # open-loop Poisson load with bursts, gating exactly-once accounting,
@@ -70,7 +72,7 @@ bench-check:
 	$(GO) run ./cmd/batchzk-profile compare $(REPORT_DIR)/BENCH_scheduler.json $$tmp/BENCH_scheduler.json && \
 	$(GO) run ./cmd/batchzk-bench kernels -shift 12 -reps 1 -out $$tmp >/dev/null && \
 	$(GO) run ./cmd/batchzk-profile compare $(REPORT_DIR)/BENCH_kernels.json $$tmp/BENCH_kernels.json && \
-	$(GO) run ./cmd/batchzk-bench mem -waves 4 -jobs 16 -out $$tmp >/dev/null && \
+	$(GO) run ./cmd/batchzk-bench mem -stream -waves 4 -jobs 16 -out $$tmp >/dev/null && \
 	$(GO) run ./cmd/batchzk-profile compare $(REPORT_DIR)/BENCH_memory.json $$tmp/BENCH_memory.json && \
 	$(GO) run ./cmd/batchzk-bench service -jobs 8 -out $$tmp >/dev/null && \
 	$(GO) run ./cmd/batchzk-profile compare $(REPORT_DIR)/BENCH_service.json $$tmp/BENCH_service.json; \

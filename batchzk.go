@@ -142,6 +142,22 @@ func NewShardedProver(c *Circuit, p *Params, shards, depth int) (*ShardedProver,
 	return core.NewShardedProver(c, p, shards, depth)
 }
 
+// Memory-bounded streaming mode. Both prover flavors expose two
+// orthogonal switches that together bound peak host heap by the
+// in-flight window instead of the batch size (the host-side analogue of
+// the paper's ~2N-block device budget):
+//
+//   - SetStreamingCommit(true) replaces the buffered polynomial
+//     commitment (which materializes the RateInv× encoded matrix) with
+//     the out-of-core pcs.StreamingCommitter — per-column incremental
+//     hashers during commitment, on-demand row re-encoding at the
+//     opening — with bit-identical proofs.
+//   - ProveStream(next, emit) replaces slice-in/slice-out batching:
+//     jobs are pulled from next only as pipeline slots free up, and
+//     each proof is handed to emit the moment it finalizes.
+//
+// See DESIGN.md §9 for the memory model.
+
 // FaultClass names one injectable fault class: "mem", "kernel",
 // "transfer", "panic", or "straggler".
 type FaultClass = faults.Class
@@ -413,6 +429,20 @@ type MemoryBenchReport = bench.MemoryReport
 // and Chrome trace of the same run.
 func BuildMemoryBenchReport(gates, batch, waves, depth int, seed int64) (*MemoryBenchReport, *TelemetrySink, error) {
 	return bench.BuildMemorySoak(gates, batch, waves, depth, seed)
+}
+
+// MemoryStreamSweep is the streaming-prover block of BENCH_memory.json:
+// working-set high-water marks at two batch sizes 8× apart under the
+// streaming prover, and the flat-growth verdict.
+type MemoryStreamSweep = bench.StreamSweep
+
+// BuildMemoryStreamSweep proves batch and 8×batch jobs through fresh
+// streaming provers (out-of-core commits, lazy job pull, immediate
+// proof emission) and gates the working-set growth between the points.
+// Attach the result to a MemoryBenchReport's Stream field to make the
+// claim part of the gated BENCH_memory.json.
+func BuildMemoryStreamSweep(gates, batch, depth int, seed int64) (*MemoryStreamSweep, error) {
+	return bench.BuildMemoryStreamSweep(gates, batch, depth, seed)
 }
 
 // ReadMemoryBenchReport parses and schema-checks a BENCH_memory.json

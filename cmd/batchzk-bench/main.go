@@ -185,6 +185,7 @@ func runMem(args []string, stdout, stderr io.Writer) error {
 	waves := fs.Int("waves", 6, "identical waves the soak streams")
 	depth := fs.Int("depth", 4, "pipeline depth (proofs in flight)")
 	seed := fs.Int64("seed", 1, "circuit synthesis seed")
+	stream := fs.Bool("stream", false, "also run the streaming-prover sweep: jobs and 8×jobs under ProveStream + out-of-core commits, gated on flat working set")
 	out := fs.String("out", ".", "directory for BENCH_memory.json ('' = don't write)")
 	timelineDir := fs.String("timeline", "", "directory for the soak's telemetry dump (timeline.json, trace.json, metrics.json)")
 	if err := fs.Parse(args); err != nil {
@@ -193,6 +194,12 @@ func runMem(args []string, stdout, stderr io.Writer) error {
 	rep, sink, err := batchzk.BuildMemoryBenchReport(*gates, *jobs, *waves, *depth, *seed)
 	if err != nil {
 		return err
+	}
+	if *stream {
+		rep.Stream, err = batchzk.BuildMemoryStreamSweep(*gates, *jobs, *depth, *seed)
+		if err != nil {
+			return err
+		}
 	}
 	fmt.Fprintf(stdout, "memory soak: %d gates, %d jobs/wave, %d waves, depth %d (%d cores)\n",
 		rep.Gates, rep.Batch, rep.Waves, rep.Depth, rep.Cores)
@@ -204,12 +211,29 @@ func runMem(args []string, stdout, stderr io.Writer) error {
 		rep.PeakHeapAllocBytes, rep.GrowthFrac*100, rep.Flat, rep.AllProofsOK)
 	fmt.Fprintf(stdout, "  per-job SLO: %d jobs, p50 %s p90 %s p99 %s e2e, %d retries\n",
 		rep.SLO.Jobs, nsDur(rep.SLO.P50Ns), nsDur(rep.SLO.P90Ns), nsDur(rep.SLO.P99Ns), rep.SLO.Retries)
+	if rep.Stream != nil {
+		for _, p := range rep.Stream.Points {
+			fmt.Fprintf(stdout, "  stream batch %5d: working set %12d B, peak heap %12d B, proofs ok=%v\n",
+				p.Batch, p.WorkingSetBytes, p.PeakHeapAllocBytes, p.AllProofsOK)
+		}
+		fmt.Fprintf(stdout, "  stream sweep: ×%d batch → working-set growth %+.1f%%, flat=%v\n",
+			rep.Stream.Factor, rep.Stream.GrowthFrac*100, rep.Stream.Flat)
+	}
 	if !rep.Flat {
 		return fmt.Errorf("memory soak is not flat: first wave peak %d B, last %d B (%+.1f%%)",
 			rep.FirstWavePeakBytes, rep.LastWavePeakBytes, rep.GrowthFrac*100)
 	}
 	if !rep.AllProofsOK {
 		return fmt.Errorf("memory soak had failing proofs")
+	}
+	if rep.Stream != nil {
+		if !rep.Stream.Flat {
+			return fmt.Errorf("streaming sweep is not flat: ×%d batch grew the working set %+.1f%%",
+				rep.Stream.Factor, rep.Stream.GrowthFrac*100)
+		}
+		if !rep.Stream.AllProofsOK() {
+			return fmt.Errorf("streaming sweep had failing proofs")
+		}
 	}
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {

@@ -27,8 +27,10 @@ import (
 // MemoryReportKind discriminates memory reports in BENCH_*.json files.
 const MemoryReportKind = "memory"
 
-// MemorySchemaVersion identifies the BENCH_memory.json layout.
-const MemorySchemaVersion = 1
+// MemorySchemaVersion identifies the BENCH_memory.json layout. v2 adds
+// the optional streaming-prover sweep block ("stream"); v1 files (no
+// block) still parse.
+const MemorySchemaVersion = 2
 
 // MemoryFlatTolerance is how much the last wave's heap peak may exceed
 // the first wave's before the soak stops counting as flat. The slack
@@ -71,6 +73,12 @@ type MemoryReport struct {
 	AllProofsOK bool `json:"all_proofs_ok"`
 
 	WaveDetail []MemoryWave `json:"wave_detail"`
+
+	// Stream is the streaming-prover batch sweep (batchzk-bench mem
+	// -stream): working-set growth across an 8× batch-size step under
+	// ProveStream and the out-of-core commit path. Nil when the sweep
+	// was not run.
+	Stream *StreamSweep `json:"stream,omitempty"`
 
 	// SLO is the per-job service-level summary of the soak, from the
 	// flight recorder: e2e latency percentiles and per-stage cost
@@ -185,8 +193,8 @@ func ReadMemoryReport(rd io.Reader) (*MemoryReport, error) {
 	if r.Kind != MemoryReportKind {
 		return nil, fmt.Errorf("bench: report kind %q, want %q", r.Kind, MemoryReportKind)
 	}
-	if r.SchemaVersion != MemorySchemaVersion {
-		return nil, fmt.Errorf("bench: memory report schema v%d, this build reads v%d", r.SchemaVersion, MemorySchemaVersion)
+	if r.SchemaVersion < 1 || r.SchemaVersion > MemorySchemaVersion {
+		return nil, fmt.Errorf("bench: memory report schema v%d, this build reads v1–v%d", r.SchemaVersion, MemorySchemaVersion)
 	}
 	return &r, nil
 }
@@ -213,6 +221,14 @@ func CompareMemory(old, cur *MemoryReport, threshold float64) ([]Regression, err
 	}
 	boolMetric("flat", old.Flat, cur.Flat)
 	boolMetric("all_proofs_ok", old.AllProofsOK, cur.AllProofsOK)
+	// The streaming sweep gates like the soak: losing the block, its
+	// flatness, or its proof success against a baseline that had them is
+	// a regression. (host-independent — working-set ratios, not bytes).
+	boolMetric("stream_present", old.Stream != nil, cur.Stream != nil)
+	if old.Stream != nil && cur.Stream != nil {
+		boolMetric("stream_flat", old.Stream.Flat, cur.Stream.Flat)
+		boolMetric("stream_all_proofs_ok", old.Stream.AllProofsOK(), cur.Stream.AllProofsOK())
+	}
 
 	if old.Cores == cur.Cores && old.PeakHeapAllocBytes > 0 {
 		slack := threshold

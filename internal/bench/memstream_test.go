@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The streaming sweep is the repo's own acceptance check for the
+// memory-bounded prover: an 8× batch under ProveStream + out-of-core
+// commits must keep the working set flat. Sizes here are small — the
+// CI smoke job runs the real thing — but the flatness claim itself is
+// scale-free, so even the tiny sweep must pass it.
+func TestStreamSweepFlat(t *testing.T) {
+	sweep, err := BuildMemoryStreamSweep(64, 8, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Points) != 2 || sweep.Factor != MemoryStreamFactor {
+		t.Fatalf("sweep shape: %+v", sweep)
+	}
+	if sweep.Points[0].Batch*MemoryStreamFactor != sweep.Points[1].Batch {
+		t.Fatalf("batch step: %+v", sweep.Points)
+	}
+	if !sweep.AllProofsOK() {
+		t.Fatal("sweep proofs failed")
+	}
+	for _, p := range sweep.Points {
+		if p.PeakHeapAllocBytes == 0 {
+			t.Fatalf("empty point record: %+v", p)
+		}
+	}
+	if !sweep.Flat {
+		t.Fatalf("streaming sweep is not flat: ws %d → %d B (%+.1f%%)",
+			sweep.Points[0].WorkingSetBytes, sweep.Points[1].WorkingSetBytes, sweep.GrowthFrac*100)
+	}
+}
+
+// The stream block survives the BENCH_memory.json round trip and feeds
+// the compare gates.
+func TestStreamSweepInReport(t *testing.T) {
+	rep := tinyMemorySoak(t)
+	sweep, err := BuildMemoryStreamSweep(16, 8, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Stream = sweep
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMemoryReport(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Stream == nil || back.Stream.Flat != sweep.Flat || len(back.Stream.Points) != 2 {
+		t.Fatalf("stream block drifted in round trip: %+v", back.Stream)
+	}
+}
+
+func TestCompareMemoryStreamGates(t *testing.T) {
+	flatSweep := func() *StreamSweep {
+		return &StreamSweep{
+			Flat:   true,
+			Points: []StreamPoint{{Batch: 8, AllProofsOK: true}, {Batch: 64, AllProofsOK: true}},
+		}
+	}
+	old := &MemoryReport{Cores: 8, Flat: true, AllProofsOK: true, Stream: flatSweep()}
+	cur := &MemoryReport{Cores: 8, Flat: true, AllProofsOK: true, Stream: flatSweep()}
+	if regs, err := CompareMemory(old, cur, 0.10); err != nil || len(regs) != 0 {
+		t.Fatalf("matching stream blocks flagged: %v %v", regs, err)
+	}
+
+	// Losing streaming flatness is gated.
+	cur.Stream.Flat = false
+	regs, _ := CompareMemory(old, cur, 0.10)
+	if len(regs) != 1 || regs[0].Metric != "stream_flat" {
+		t.Fatalf("stream flatness loss not gated: %v", regs)
+	}
+
+	// Losing the block entirely is gated.
+	cur2 := &MemoryReport{Cores: 8, Flat: true, AllProofsOK: true}
+	regs, _ = CompareMemory(old, cur2, 0.10)
+	if len(regs) != 1 || regs[0].Metric != "stream_present" {
+		t.Fatalf("stream block loss not gated: %v", regs)
+	}
+
+	// A failing point is gated.
+	cur3 := &MemoryReport{Cores: 8, Flat: true, AllProofsOK: true, Stream: flatSweep()}
+	cur3.Stream.Points[1].AllProofsOK = false
+	regs, _ = CompareMemory(old, cur3, 0.10)
+	if len(regs) != 1 || regs[0].Metric != "stream_all_proofs_ok" {
+		t.Fatalf("stream proof failure not gated: %v", regs)
+	}
+
+	// Baselines without the block gate nothing stream-side.
+	oldV1 := &MemoryReport{Cores: 8, Flat: true, AllProofsOK: true}
+	if regs, _ := CompareMemory(oldV1, cur, 0.10); len(regs) != 0 {
+		t.Fatalf("v1 baseline gated stream metrics: %v", regs)
+	}
+}

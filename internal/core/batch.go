@@ -123,6 +123,10 @@ type BatchProver struct {
 	// prover is unsharded), recorded on every job's flight timeline.
 	shard int
 
+	// streamCommit routes the commit and opening stages through the
+	// out-of-core pcs.StreamingCommitter path (see stream.go).
+	streamCommit bool
+
 	// schedCfg configures the stage worker pools (see schedule.go); graph
 	// is the live scheduler of the current Run, for introspection.
 	schedCfg *Schedule
@@ -286,7 +290,11 @@ func (bp *BatchProver) processStage(stage int, ins instruments, m *stageMsg) {
 			if err != nil {
 				return err
 			}
-			m.f, err = protocol.StartProof(bp.c, bp.p, w)
+			if bp.streamCommit {
+				m.f, err = protocol.StartProofStreaming(bp.c, bp.p, w)
+			} else {
+				m.f, err = protocol.StartProof(bp.c, bp.p, w)
+			}
 			return err
 		})
 		m.src = Job{} // drop the witness; the in-flight proof carries on
@@ -303,6 +311,10 @@ func (bp *BatchProver) processStage(stage int, ins instruments, m *stageMsg) {
 			m.proof, err = m.f.Finish()
 			return err
 		})
+		// The in-flight state (PCS matrices or tree, padded witness) is
+		// dead once the proof exists; drop it before the message waits in
+		// the reorder buffer so only finished proofs occupy that window.
+		m.f = nil
 	}
 	m.enq = time.Now()
 }

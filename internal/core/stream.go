@@ -1,0 +1,59 @@
+package core
+
+// Streaming ingestion and emission. ProveBatch buffers the whole batch —
+// every witness — before the pipeline admits its first job, and callers
+// collect every proof before acting on any. ProveStream retires both
+// ends of that assumption: jobs are pulled from an iterator only as the
+// pipeline has room for them (the submission channel is unbuffered, so
+// at most depth+1 witnesses are ever materialized), and each proof is
+// handed to the caller the moment it leaves the reorder buffer. Combined
+// with SetStreamingCommit this is the host-side analogue of the paper's
+// ~2N-block device bound: peak memory tracks the in-flight window, not
+// the batch.
+
+// SetStreamingCommit switches the commit and opening stages to the
+// out-of-core pcs.StreamingCommitter path: no encoded matrix is ever
+// materialized, and challenged columns are re-encoded on demand at the
+// opening. Proofs stay bit-identical to the buffered path. Call before
+// Run/ProveBatch/ProveStream.
+func (bp *BatchProver) SetStreamingCommit(on bool) { bp.streamCommit = on }
+
+// SetStreamingCommit switches every shard to the out-of-core commit path.
+func (sp *ShardedProver) SetStreamingCommit(on bool) {
+	for _, bp := range sp.shards {
+		bp.SetStreamingCommit(on)
+	}
+}
+
+// ProveStream pulls jobs from next until it reports exhaustion and calls
+// emit once per job, in submission order, as each proof finalizes. next
+// is called lazily — the pipeline's in-flight bound is also the bound on
+// outstanding witnesses — so next may materialize each witness on
+// demand. emit runs on the result goroutine; a slow emit back-pressures
+// the pipeline rather than buffering.
+func (bp *BatchProver) ProveStream(next func() (Job, bool), emit func(Result)) {
+	proveStream(bp.Run, next, emit)
+}
+
+// ProveStream is the sharded form: jobs are scattered round-robin as
+// they are pulled, results emitted in global submission order.
+func (sp *ShardedProver) ProveStream(next func() (Job, bool), emit func(Result)) {
+	proveStream(sp.Run, next, emit)
+}
+
+func proveStream(run func(<-chan Job) <-chan Result, next func() (Job, bool), emit func(Result)) {
+	in := make(chan Job) // unbuffered: a pull happens only when a slot frees
+	go func() {
+		defer close(in)
+		for {
+			job, ok := next()
+			if !ok {
+				return
+			}
+			in <- job
+		}
+	}()
+	for r := range run(in) {
+		emit(r)
+	}
+}

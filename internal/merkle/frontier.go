@@ -1,0 +1,93 @@
+package merkle
+
+import (
+	"fmt"
+
+	"batchzk/internal/sha2"
+)
+
+// FrontierBuilder is the streaming counterpart of Build/BuildFromDigests:
+// leaves are pushed one at a time (in leaf order) and the builder folds
+// completed subtrees eagerly, so at any moment it retains only the
+// frontier — one pending digest per tree level, O(log n) memory — instead
+// of the full 2n−1-node tree. The root it produces is bit-identical to
+// the batch builders', which is what lets the out-of-core commitment path
+// (pcs.StreamingCommitter) hash an encoded matrix it never materializes.
+//
+// The merge discipline mirrors the binary carry chain of a counter: leaf
+// i arrives, and for every trailing one-bit of the new count a completed
+// sibling pair is compressed into its parent. A power-of-two leaf count
+// therefore leaves exactly one digest — the root — matching the batch
+// builders' contract (they reject non-power-of-two inputs too).
+//
+// A FrontierBuilder is not safe for concurrent use; it models a single
+// ordered ingest stream. Parallelism lives below it (the leaves
+// themselves are hashed in parallel) and above it (many builders run
+// concurrently, one per in-flight proof).
+type FrontierBuilder struct {
+	// frontier[l] holds the pending (left-sibling) digest at level l;
+	// occupancy is tracked by the bits of count, exactly like a binary
+	// counter's carry chain.
+	frontier []sha2.Digest
+	count    int
+	// compressions counts Compress2 calls, mirroring Tree.NumCompressions
+	// for the performance model.
+	compressions int
+}
+
+// NewFrontierBuilder returns an empty streaming builder.
+func NewFrontierBuilder() *FrontierBuilder {
+	return &FrontierBuilder{}
+}
+
+// Add pushes the next leaf digest. Completed sibling pairs fold
+// immediately, so the builder never holds more than one digest per level.
+func (f *FrontierBuilder) Add(leaf sha2.Digest) {
+	cur := leaf
+	level := 0
+	// Trailing one-bits of count are the levels with a pending left
+	// sibling: each merges with cur and carries upward.
+	for n := f.count; n&1 == 1; n >>= 1 {
+		cur = sha2.Compress2(&f.frontier[level], &cur)
+		f.compressions++
+		level++
+	}
+	for len(f.frontier) <= level {
+		f.frontier = append(f.frontier, sha2.Digest{})
+	}
+	f.frontier[level] = cur
+	f.count++
+}
+
+// AddBlock hashes one 512-bit data block into its leaf digest (the same
+// leaf rule as Build) and pushes it.
+func (f *FrontierBuilder) AddBlock(b Block) {
+	f.Add(sha2.Compress((*[sha2.BlockSize]byte)(&b)))
+}
+
+// Count returns how many leaves have been pushed.
+func (f *FrontierBuilder) Count() int { return f.count }
+
+// NumCompressions reports the interior compressions performed so far;
+// after a power-of-two Root it equals Tree.NumCompressions for the same
+// leaves.
+func (f *FrontierBuilder) NumCompressions() int { return f.compressions }
+
+// Root finalizes the stream. Like the batch builders, it requires a
+// positive power-of-two leaf count — at which point the frontier has
+// collapsed to the single root digest.
+func (f *FrontierBuilder) Root() (sha2.Digest, error) {
+	n := f.count
+	if n == 0 {
+		return sha2.Digest{}, ErrEmpty
+	}
+	if n&(n-1) != 0 {
+		return sha2.Digest{}, fmt.Errorf("merkle: %d streamed leaves is not a power of two", n)
+	}
+	// A power-of-two count has exactly one set bit: the root's level.
+	level := 0
+	for 1<<level < n {
+		level++
+	}
+	return f.frontier[level], nil
+}

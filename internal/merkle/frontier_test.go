@@ -1,0 +1,113 @@
+package merkle
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"batchzk/internal/par"
+	"batchzk/internal/sha2"
+)
+
+// Frontier-vs-batch bit-identity: streaming leaves through the
+// FrontierBuilder must land on exactly the root (and compression count)
+// of the batch builders, at every runtime width — the parallel leaf
+// hashing below the frontier must not perturb the ordered fold above it.
+
+func TestFrontierBitIdenticalToBuild(t *testing.T) {
+	lowerGrains(t)
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << rng.Intn(8) // 1..128 blocks (power of two required)
+		blocks := make([]Block, n)
+		for i := range blocks {
+			rng.Read(blocks[i][:])
+		}
+		for _, w := range testWidths() {
+			par.SetWidth(w)
+			tree, err := Build(blocks)
+			if err != nil {
+				return false
+			}
+			fb := NewFrontierBuilder()
+			for _, b := range blocks {
+				fb.AddBlock(b)
+			}
+			root, err := fb.Root()
+			if err != nil || root != tree.Root() {
+				return false
+			}
+			if fb.NumCompressions() != tree.NumCompressions() {
+				return false
+			}
+			if fb.Count() != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrontierBitIdenticalToBuildFromDigests(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 64, 256} {
+		leaves := randomDigests(n, int64(n))
+		tree, err := BuildFromDigests(leaves)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb := NewFrontierBuilder()
+		for _, d := range leaves {
+			fb.Add(d)
+		}
+		root, err := fb.Root()
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if root != tree.Root() {
+			t.Fatalf("n=%d: frontier root differs from batch root", n)
+		}
+	}
+}
+
+func TestFrontierRejectsBadCounts(t *testing.T) {
+	fb := NewFrontierBuilder()
+	if _, err := fb.Root(); err == nil {
+		t.Fatal("empty frontier produced a root")
+	}
+	// Odd (non-power-of-two) counts are rejected, like the batch builders.
+	for _, d := range randomDigests(3, 7) {
+		fb.Add(d)
+	}
+	if _, err := fb.Root(); err == nil {
+		t.Fatal("3-leaf frontier produced a root")
+	}
+	// The builder stays usable: one more leaf makes it a power of two.
+	fb.Add(randomDigests(1, 9)[0])
+	if _, err := fb.Root(); err != nil {
+		t.Fatalf("4-leaf frontier: %v", err)
+	}
+}
+
+// TestFrontierMemoryIsLogarithmic pins the O(log n) claim: after n
+// leaves the frontier slice has at most log2(n)+1 slots.
+func TestFrontierMemoryIsLogarithmic(t *testing.T) {
+	fb := NewFrontierBuilder()
+	for _, d := range randomDigests(1024, 11) {
+		fb.Add(d)
+	}
+	if len(fb.frontier) > 11 {
+		t.Fatalf("frontier holds %d digests for 1024 leaves, want ≤ 11", len(fb.frontier))
+	}
+}
+
+func randomDigests(n int, seed int64) []sha2.Digest {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]sha2.Digest, n)
+	for i := range out {
+		rng.Read(out[i][:])
+	}
+	return out
+}

@@ -235,7 +235,8 @@ type InFlight struct {
 	p      *Params
 	w      circuit.Assignment
 	padded []field.Element
-	st     *pcs.ProverState
+	st     *pcs.ProverState // buffered commitment (nil in streaming mode)
+	ss     *pcs.StreamState // streaming commitment (nil in buffered mode)
 	tr     *transcript.Transcript
 	proof  *Proof
 
@@ -303,6 +304,11 @@ func (f *InFlight) RunHadamard() error {
 	f.proof.RRho = finals[2]
 	f.tr.AppendElement("l_rho", &f.proof.LRho)
 	f.tr.AppendElement("r_rho", &f.proof.RRho)
+	// The raw witness was the last thing that needed unpadded wire values;
+	// the remaining stages work off the padded copy. Dropping it here lets
+	// a deep pipeline reclaim one witness per in-flight proof two stages
+	// early.
+	f.w = nil
 	return nil
 }
 
@@ -333,13 +339,26 @@ func (f *InFlight) RunLinear() error {
 	return nil
 }
 
-// Finish runs the opening stage and assembles the proof.
+// Finish runs the opening stage and assembles the proof. In streaming
+// mode the opening re-reads rows from the padded witness and re-encodes
+// the challenged columns instead of consulting a retained matrix. Either
+// way the prover state and witness buffers are released on return.
 func (f *InFlight) Finish() (*Proof, error) {
 	var err error
-	f.proof.PCSProof, _, err = f.st.ProveEval(f.sigma, f.tr)
+	if f.ss != nil {
+		numCols := f.p.PCS.NumCols
+		padded := f.padded
+		rowAt := func(r int) []field.Element {
+			return padded[r*numCols : (r+1)*numCols]
+		}
+		f.proof.PCSProof, _, err = f.ss.ProveEval(rowAt, f.sigma, f.tr)
+	} else {
+		f.proof.PCSProof, _, err = f.st.ProveEval(f.sigma, f.tr)
+	}
 	if err != nil {
 		return nil, err
 	}
+	f.st, f.ss, f.padded = nil, nil, nil
 	return f.proof, nil
 }
 

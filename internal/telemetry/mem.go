@@ -24,7 +24,10 @@ import (
 // ReadMemStats' stop-the-world cost stays invisible.
 const DefaultMemSampleInterval = 10 * time.Millisecond
 
-// MemPhase is the high-water record of one named sampling phase.
+// MemPhase is the high-water record of one named sampling phase. A
+// phase records one visit: re-entering a name via SetPhase starts a
+// fresh window (baseline and peaks reset), so per-wave gates measure
+// each wave's own high-water mark rather than a running session max.
 type MemPhase struct {
 	Name    string `json:"name"`
 	Samples int64  `json:"samples"`
@@ -34,6 +37,13 @@ type MemPhase struct {
 	// PeakHeapSysBytes is the high-water mark of heap memory obtained
 	// from the OS (what the process actually holds).
 	PeakHeapSysBytes uint64 `json:"peak_heap_sys_bytes"`
+	// BaselineHeapAllocBytes is the live heap at phase entry; the phase
+	// inherits whatever was already resident when it began.
+	BaselineHeapAllocBytes uint64 `json:"baseline_heap_alloc_bytes"`
+	// WorkingSetBytes is PeakHeapAllocBytes − BaselineHeapAllocBytes
+	// (clamped at zero): the heap growth attributable to this phase
+	// itself, the number a streaming prover is supposed to hold flat.
+	WorkingSetBytes uint64 `json:"working_set_bytes"`
 	// GCCycles is how many collections completed during the phase.
 	GCCycles uint32 `json:"gc_cycles"`
 }
@@ -45,12 +55,13 @@ type MemSampler struct {
 	sink     *Sink
 	interval time.Duration
 
-	mu     sync.Mutex
-	phase  string
-	phases map[string]*MemPhase
-	order  []string
-	lastGC uint32
-	peak   uint64 // process-wide HeapAlloc high-water mark
+	mu       sync.Mutex
+	phase    string
+	phases   map[string]*MemPhase
+	order    []string
+	lastGC   uint32
+	lastHeap uint64 // most recent HeapAlloc reading (phase baselines)
+	peak     uint64 // process-wide HeapAlloc high-water mark
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -99,7 +110,10 @@ func StartMemSampler(sink *Sink, interval time.Duration) *MemSampler {
 }
 
 // SetPhase switches the sampler to a named phase, taking one sample
-// first so the boundary belongs to the phase that just ended.
+// first so the boundary belongs to the phase that just ended. Entering
+// a phase always starts a fresh record — baseline at the boundary
+// reading, peaks reset — so a re-entered name reports its most recent
+// visit, not a cumulative session max.
 func (m *MemSampler) SetPhase(name string) {
 	if m == nil {
 		return
@@ -107,6 +121,10 @@ func (m *MemSampler) SetPhase(name string) {
 	m.Sample()
 	m.mu.Lock()
 	m.phase = name
+	if _, seen := m.phases[name]; !seen {
+		m.order = append(m.order, name)
+	}
+	m.phases[name] = &MemPhase{Name: name, BaselineHeapAllocBytes: m.lastHeap}
 	m.mu.Unlock()
 }
 
@@ -123,7 +141,9 @@ func (m *MemSampler) Sample() {
 	m.mu.Lock()
 	p := m.phases[m.phase]
 	if p == nil {
-		p = &MemPhase{Name: m.phase}
+		// First sample of an implicitly entered phase ("init"): its own
+		// reading is the baseline.
+		p = &MemPhase{Name: m.phase, BaselineHeapAllocBytes: ms.HeapAlloc}
 		m.phases[m.phase] = p
 		m.order = append(m.order, m.phase)
 	}
@@ -131,11 +151,15 @@ func (m *MemSampler) Sample() {
 	if ms.HeapAlloc > p.PeakHeapAllocBytes {
 		p.PeakHeapAllocBytes = ms.HeapAlloc
 	}
+	if p.PeakHeapAllocBytes > p.BaselineHeapAllocBytes {
+		p.WorkingSetBytes = p.PeakHeapAllocBytes - p.BaselineHeapAllocBytes
+	}
 	if ms.HeapSys > p.PeakHeapSysBytes {
 		p.PeakHeapSysBytes = ms.HeapSys
 	}
 	p.GCCycles += ms.NumGC - m.lastGC
 	m.lastGC = ms.NumGC
+	m.lastHeap = ms.HeapAlloc
 	if ms.HeapAlloc > m.peak {
 		m.peak = ms.HeapAlloc
 	}

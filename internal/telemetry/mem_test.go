@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"net/http"
+	"runtime"
 	"testing"
 	"time"
 )
@@ -60,6 +61,59 @@ func TestMemSamplerPhases(t *testing.T) {
 	// Stop is idempotent.
 	if again := m.Stop(); len(again) != len(phases) {
 		t.Fatalf("second Stop: %+v", again)
+	}
+}
+
+// TestMemSamplerPhaseReset: re-entering a phase name starts a fresh
+// high-water window. Without the reset, a streaming gate comparing
+// waves would see every wave inherit the session max and read as flat
+// even when memory balloons (or as ballooning when it is flat).
+func TestMemSamplerPhaseReset(t *testing.T) {
+	m := StartMemSampler(NewSink(0), time.Hour)
+
+	m.SetPhase("wave")
+	hold := make([]byte, 16<<20)
+	m.Sample()
+	firstPeak := m.PhasePeaks()["wave"]
+	_ = hold[0]
+	hold = nil
+	runtime.GC()
+
+	m.SetPhase("idle")
+	m.SetPhase("wave") // second visit: the record must start over
+	m.Sample()
+	phases := m.Stop()
+
+	secondPeak := m.PhasePeaks()["wave"]
+	if secondPeak >= firstPeak {
+		t.Fatalf("revisited phase kept the old high-water mark: first %d, second %d", firstPeak, secondPeak)
+	}
+	// Entry order lists each name once, in first-entry order.
+	var names []string
+	for _, p := range phases {
+		names = append(names, p.Name)
+	}
+	want := []string{"init", "wave", "idle"}
+	if len(names) != len(want) {
+		t.Fatalf("phases: %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("phases: %v, want %v", names, want)
+		}
+	}
+	// Working-set attribution: every visited phase has a baseline, and
+	// the 16 MiB hold is attributed to the first wave's working set —
+	// which we can only observe via the live record before the revisit,
+	// i.e. peak − baseline at first sample time.
+	for _, p := range phases {
+		if p.Samples > 0 && p.BaselineHeapAllocBytes == 0 {
+			t.Errorf("phase %s has no baseline: %+v", p.Name, p)
+		}
+		if p.WorkingSetBytes != p.PeakHeapAllocBytes-p.BaselineHeapAllocBytes &&
+			!(p.WorkingSetBytes == 0 && p.PeakHeapAllocBytes <= p.BaselineHeapAllocBytes) {
+			t.Errorf("phase %s working set inconsistent: %+v", p.Name, p)
+		}
 	}
 }
 
