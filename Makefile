@@ -21,7 +21,7 @@ test:
 race:
 	$(GO) test -race ./internal/core/... ./internal/pipeline/... ./internal/telemetry/... ./internal/faults/... ./internal/gpusim/... \
 		./internal/par/... ./internal/merkle/... ./internal/encoder/... ./internal/sumcheck/... ./internal/ntt/... ./internal/pcs/... ./internal/msm/... \
-		./internal/service/... ./internal/protocol/...
+		./internal/service/... ./internal/protocol/... ./internal/field/... ./internal/fp/... ./internal/curve/...
 
 vet:
 	$(GO) vet ./...
@@ -88,6 +88,8 @@ roofline:
 # per package). Seed corpora live in each package's testdata/fuzz.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzElementDecoding -fuzztime $(FUZZTIME) ./internal/field/
+	$(GO) test -run '^$$' -fuzz FuzzFieldArith -fuzztime $(FUZZTIME) ./internal/field/
+	$(GO) test -run '^$$' -fuzz FuzzFpArith -fuzztime $(FUZZTIME) ./internal/fp/
 	$(GO) test -run '^$$' -fuzz FuzzChallengeDerivation -fuzztime $(FUZZTIME) ./internal/transcript/
 	$(GO) test -run '^$$' -fuzz FuzzOpeningProofVerify -fuzztime $(FUZZTIME) ./internal/merkle/
 

@@ -151,6 +151,14 @@ func runKernels(args []string, stdout, stderr io.Writer) error {
 			return fmt.Errorf("kernel %s: parallel output is not bit-identical to serial", k.Name)
 		}
 	}
+	fmt.Fprintf(stdout, "field-arith (optimized vs generic reference, serial):\n")
+	for _, f := range rep.FieldArith {
+		fmt.Fprintf(stdout, "  %-20s ref %8.1fns/op  new %8.1fns/op  %5.2fx  identical=%v\n",
+			f.Name, f.RefNsOp, f.NewNsOp, f.SpeedupX, f.Identical)
+		if !f.Identical {
+			return fmt.Errorf("field-arith %s: optimized output is not bit-identical to the reference", f.Name)
+		}
+	}
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			return fmt.Errorf("cannot create report directory %s: %w", *out, err)

@@ -60,7 +60,8 @@ func TestRunKernelsSmoke(t *testing.T) {
 		t.Fatalf("kernels run: %v\nstderr: %s", err, errOut.String())
 	}
 	got := out.String()
-	for _, want := range []string{"kernel bench:", "merkle/build", "pcs/commit", "identical=true"} {
+	for _, want := range []string{"kernel bench:", "merkle/build", "pcs/commit", "identical=true",
+		"field-arith", "field/mul", "msm/batch-affine"} {
 		if !strings.Contains(got, want) {
 			t.Fatalf("kernels output missing %q:\n%s", want, got)
 		}

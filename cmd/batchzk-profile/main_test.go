@@ -72,8 +72,9 @@ func TestRunCompareExitCodes(t *testing.T) {
 func TestRunCompareKernelsKind(t *testing.T) {
 	dir := t.TempDir()
 	kernels := filepath.Join(dir, "BENCH_kernels.json")
-	const rep = `{"schema_version":1,"kind":"kernels","cores":2,"workers":2,"shift":8,"reps":1,
-		"kernels":[{"name":"merkle/build","size":256,"serial_ns":100,"parallel_ns":60,"speedup_x":1.67,"identical":true}]}`
+	const rep = `{"schema_version":2,"kind":"kernels","cores":2,"workers":2,"shift":8,"reps":1,
+		"kernels":[{"name":"merkle/build","size":256,"serial_ns":100,"parallel_ns":60,"speedup_x":1.67,"identical":true}],
+		"field_arith":[{"name":"field/mul","ops":1024,"ref_ns_op":38.0,"new_ns_op":21.0,"speedup_x":1.81,"identical":true}]}`
 	if err := os.WriteFile(kernels, []byte(rep), 0o644); err != nil {
 		t.Fatal(err)
 	}

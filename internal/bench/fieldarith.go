@@ -1,0 +1,321 @@
+package bench
+
+import (
+	"math"
+	"time"
+
+	"batchzk/internal/curve"
+	"batchzk/internal/field"
+	"batchzk/internal/fp"
+	"batchzk/internal/msm"
+)
+
+// Field-arithmetic section of the kernels report (schema v2): the
+// ALU-floor microkernels — the unrolled Montgomery multiply and square,
+// the fixed-addition-chain inversions, the dedicated mixed add, and the
+// batch-affine Pippenger — each timed against the retained generic
+// reference it replaced, with a bit-identity check over the same inputs.
+// CompareKernels gates the Identical flags and kernel presence
+// unconditionally and the speedups on equal-core hosts, so a change that
+// quietly reverts a kernel to reference speed (or breaks its
+// equivalence) fails make bench-check.
+
+// FieldArithResult is one microkernel's reference-vs-optimized timing.
+type FieldArithResult struct {
+	Name string `json:"name"`
+	// Ops is the length of the timed dependency chain (for the MSM entry,
+	// the point count).
+	Ops int `json:"ops"`
+	// RefNsOp is the retained generic reference's cost per operation.
+	RefNsOp float64 `json:"ref_ns_op"`
+	// NewNsOp is the optimized kernel's cost per operation.
+	NewNsOp float64 `json:"new_ns_op"`
+	// SpeedupX = RefNsOp / NewNsOp.
+	SpeedupX float64 `json:"speedup_x"`
+	// Identical reports that both paths produced bit-identical results
+	// over the same inputs — the correctness half of the claim.
+	Identical bool `json:"identical"`
+}
+
+// Sinks the dead-code eliminator cannot remove, so the timed dependency
+// chains above really execute.
+var (
+	faFieldSink field.Element
+	faFpSink    fp.Element
+	faCurveSink curve.JacobianPoint
+	faMSMSink   curve.AffinePoint
+)
+
+// faBestOf runs a timing closure reps times and keeps the minimum, so a
+// scheduling hiccup cannot masquerade as a slow kernel.
+func faBestOf(reps int, f func() float64) float64 {
+	best := math.Inf(1)
+	for r := 0; r < reps; r++ {
+		if v := f(); v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// faCase is one microkernel: ref and opt each time their own serial
+// dependency chain and return ns/op; same replays both paths over
+// identical inputs and reports bit-identity.
+type faCase struct {
+	name string
+	ops  int
+	ref  func() float64
+	opt  func() float64
+	same func() bool
+}
+
+// buildFieldArithSection measures every ALU-floor microkernel against its
+// generic reference. All chains are serial scalar code — the par runtime
+// width does not apply.
+func buildFieldArithSection(reps int) ([]FieldArithResult, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	const (
+		mulOps   = 1 << 16
+		invOps   = 1 << 9
+		curveOps = 1 << 13
+		sameOps  = 1 << 10
+		msmN     = 1 << 9
+	)
+	a := field.NewElement(3)
+	b := field.NewElement(0x9e3779b97f4a7c15)
+	fa := fp.NewElement(3)
+	fb := fp.NewElement(0x9e3779b97f4a7c15)
+
+	p, q := curve.RandPoint(), curve.RandPoint()
+	base := p.ToJacobian()
+	base.Double(&base) // non-trivial Z so the Z1Z1 terms are exercised
+
+	msmPts := make([]curve.AffinePoint, msmN)
+	for i := range msmPts {
+		msmPts[i] = curve.RandPoint()
+	}
+	msmScalars := field.RandVector(msmN)
+	// The equivalence check doubles as input validation: any error from
+	// either path aborts the section before timing starts.
+	refPt, err := msm.PippengerJacobian(msmPts, msmScalars)
+	if err != nil {
+		return nil, err
+	}
+	optPt, err := msm.Pippenger(msmPts, msmScalars)
+	if err != nil {
+		return nil, err
+	}
+	msmIdentical := optPt.Equal(&refPt)
+
+	cases := []faCase{
+		{
+			name: "field/mul", ops: mulOps,
+			ref: func() float64 {
+				acc := a
+				start := time.Now()
+				for i := 0; i < mulOps; i++ {
+					field.MulGeneric(&acc, &acc, &b)
+				}
+				faFieldSink = acc
+				return float64(time.Since(start).Nanoseconds()) / mulOps
+			},
+			opt: func() float64 {
+				acc := a
+				start := time.Now()
+				for i := 0; i < mulOps; i++ {
+					acc.Mul(&acc, &b)
+				}
+				faFieldSink = acc
+				return float64(time.Since(start).Nanoseconds()) / mulOps
+			},
+			same: func() bool {
+				g, u := a, a
+				for i := 0; i < sameOps; i++ {
+					field.MulGeneric(&g, &g, &b)
+					u.Mul(&u, &b)
+				}
+				return g == u
+			},
+		},
+		{
+			name: "field/square", ops: mulOps,
+			ref: func() float64 {
+				acc := b
+				start := time.Now()
+				for i := 0; i < mulOps; i++ {
+					field.SquareGeneric(&acc, &acc)
+				}
+				faFieldSink = acc
+				return float64(time.Since(start).Nanoseconds()) / mulOps
+			},
+			opt: func() float64 {
+				acc := b
+				start := time.Now()
+				for i := 0; i < mulOps; i++ {
+					acc.Square(&acc)
+				}
+				faFieldSink = acc
+				return float64(time.Since(start).Nanoseconds()) / mulOps
+			},
+			same: func() bool {
+				g, u := b, b
+				for i := 0; i < sameOps; i++ {
+					field.SquareGeneric(&g, &g)
+					u.Square(&u)
+				}
+				return g == u
+			},
+		},
+		{
+			name: "field/inverse", ops: invOps,
+			ref: func() float64 {
+				acc := b
+				start := time.Now()
+				for i := 0; i < invOps; i++ {
+					field.InverseGeneric(&acc, &acc)
+				}
+				faFieldSink = acc
+				return float64(time.Since(start).Nanoseconds()) / invOps
+			},
+			opt: func() float64 {
+				acc := b
+				start := time.Now()
+				for i := 0; i < invOps; i++ {
+					acc.Inverse(&acc)
+				}
+				faFieldSink = acc
+				return float64(time.Since(start).Nanoseconds()) / invOps
+			},
+			same: func() bool {
+				var g, u field.Element
+				field.InverseGeneric(&g, &b)
+				u.Inverse(&b)
+				return g == u
+			},
+		},
+		{
+			name: "fp/mul", ops: mulOps,
+			ref: func() float64 {
+				acc := fa
+				start := time.Now()
+				for i := 0; i < mulOps; i++ {
+					fp.MulGeneric(&acc, &acc, &fb)
+				}
+				faFpSink = acc
+				return float64(time.Since(start).Nanoseconds()) / mulOps
+			},
+			opt: func() float64 {
+				acc := fa
+				start := time.Now()
+				for i := 0; i < mulOps; i++ {
+					acc.Mul(&acc, &fb)
+				}
+				faFpSink = acc
+				return float64(time.Since(start).Nanoseconds()) / mulOps
+			},
+			same: func() bool {
+				g, u := fa, fa
+				for i := 0; i < sameOps; i++ {
+					fp.MulGeneric(&g, &g, &fb)
+					u.Mul(&u, &fb)
+				}
+				return g == u
+			},
+		},
+		{
+			name: "fp/square", ops: mulOps,
+			ref: func() float64 {
+				acc := fb
+				start := time.Now()
+				for i := 0; i < mulOps; i++ {
+					fp.MulGeneric(&acc, &acc, &acc)
+				}
+				faFpSink = acc
+				return float64(time.Since(start).Nanoseconds()) / mulOps
+			},
+			opt: func() float64 {
+				acc := fb
+				start := time.Now()
+				for i := 0; i < mulOps; i++ {
+					acc.Square(&acc)
+				}
+				faFpSink = acc
+				return float64(time.Since(start).Nanoseconds()) / mulOps
+			},
+			same: func() bool {
+				g, u := fb, fb
+				for i := 0; i < sameOps; i++ {
+					fp.MulGeneric(&g, &g, &g)
+					u.Square(&u)
+				}
+				return g == u
+			},
+		},
+		{
+			name: "curve/add-mixed", ops: curveOps,
+			ref: func() float64 {
+				acc := base
+				start := time.Now()
+				for i := 0; i < curveOps; i++ {
+					curve.AddMixedGeneric(&acc, &acc, &q)
+				}
+				faCurveSink = acc
+				return float64(time.Since(start).Nanoseconds()) / curveOps
+			},
+			opt: func() float64 {
+				acc := base
+				start := time.Now()
+				for i := 0; i < curveOps; i++ {
+					acc.AddMixed(&acc, &q)
+				}
+				faCurveSink = acc
+				return float64(time.Since(start).Nanoseconds()) / curveOps
+			},
+			same: func() bool {
+				g, u := base, base
+				for i := 0; i < 256; i++ {
+					curve.AddMixedGeneric(&g, &g, &q)
+					u.AddMixed(&u, &q)
+				}
+				// Different formulas produce different Jacobian
+				// representatives of the same point; compare canonically.
+				ga, ua := g.ToAffine(), u.ToAffine()
+				return ga.Equal(&ua)
+			},
+		},
+		{
+			name: "msm/batch-affine", ops: msmN,
+			ref: func() float64 {
+				start := time.Now()
+				r, _ := msm.PippengerJacobian(msmPts, msmScalars)
+				faMSMSink = r
+				return float64(time.Since(start).Nanoseconds()) / msmN
+			},
+			opt: func() float64 {
+				start := time.Now()
+				r, _ := msm.Pippenger(msmPts, msmScalars)
+				faMSMSink = r
+				return float64(time.Since(start).Nanoseconds()) / msmN
+			},
+			same: func() bool { return msmIdentical },
+		},
+	}
+
+	out := make([]FieldArithResult, 0, len(cases))
+	for _, c := range cases {
+		r := FieldArithResult{
+			Name:      c.name,
+			Ops:       c.ops,
+			RefNsOp:   faBestOf(reps, c.ref),
+			NewNsOp:   faBestOf(reps, c.opt),
+			Identical: c.same(),
+		}
+		if r.NewNsOp > 0 {
+			r.SpeedupX = r.RefNsOp / r.NewNsOp
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -23,15 +23,18 @@ import (
 // Kernels bench report: serial-vs-parallel timings of every hot kernel
 // that runs on the par runtime (Merkle build, Spielman encode, sum-check
 // prove, NTT, PCS commit, batch inversion), each with a bit-identity
-// check between the two runs. Serialized as BENCH_kernels.json with the
-// same "kind" discriminator convention as the scheduler report, so
-// batchzk-profile compare can dispatch on file content.
+// check between the two runs, plus the field-arith section (schema v2)
+// pinning the ALU-floor microkernels against their generic references.
+// Serialized as BENCH_kernels.json with the same "kind" discriminator
+// convention as the scheduler report, so batchzk-profile compare can
+// dispatch on file content.
 
 // KernelsReportKind discriminates kernel reports in BENCH_*.json files.
 const KernelsReportKind = "kernels"
 
 // KernelsSchemaVersion identifies the BENCH_kernels.json layout.
-const KernelsSchemaVersion = 1
+// v2 added the field_arith section of ALU-floor microkernel timings.
+const KernelsSchemaVersion = 2
 
 // KernelResult is one kernel's serial-vs-parallel measurement. Identical
 // reports whether the parallel run produced bit-identical output — the
@@ -57,6 +60,10 @@ type KernelsReport struct {
 	Shift   int            `json:"shift"`
 	Reps    int            `json:"reps"`
 	Kernels []KernelResult `json:"kernels"`
+	// FieldArith holds the serial ALU-floor microkernel timings (unrolled
+	// Montgomery arithmetic, dedicated mixed add, batch-affine Pippenger)
+	// against the retained generic references (fieldarith.go).
+	FieldArith []FieldArithResult `json:"field_arith"`
 }
 
 // KernelsReportFileName is the on-disk name of the kernels report.
@@ -232,6 +239,14 @@ func BuildKernelsReport(shift, reps, workers int, seed int64) (*KernelsReport, e
 		}
 		rep.Kernels = append(rep.Kernels, res)
 	}
+	// The field-arith chains are serial scalar code; pin width 1 anyway so
+	// nothing parallel runs underneath the timings.
+	par.SetWidth(1)
+	fa, err := buildFieldArithSection(reps)
+	if err != nil {
+		return nil, err
+	}
+	rep.FieldArith = fa
 	return rep, nil
 }
 
@@ -307,6 +322,42 @@ func CompareKernels(old, cur *KernelsReport, threshold float64) ([]Regression, e
 		}
 		if !found {
 			regs = append(regs, Regression{Metric: o.Name + ".present", Old: 1, New: 0, DeltaFrac: 1})
+		}
+	}
+
+	// Field-arith section: same gating discipline — equivalence and
+	// presence are host-independent and unconditional, the ref-vs-new
+	// speedup only comparable between equal-core hosts.
+	oldFA := make(map[string]FieldArithResult, len(old.FieldArith))
+	for _, f := range old.FieldArith {
+		oldFA[f.Name] = f
+	}
+	for _, f := range cur.FieldArith {
+		o, ok := oldFA[f.Name]
+		if !ok {
+			continue
+		}
+		if o.Identical && !f.Identical {
+			regs = append(regs, Regression{
+				Metric: "field-arith/" + f.Name + ".identical", Old: 1, New: 0, DeltaFrac: 1,
+			})
+		}
+		if sameHost && o.SpeedupX > 0 {
+			delta := (o.SpeedupX - f.SpeedupX) / o.SpeedupX
+			if delta > threshold {
+				regs = append(regs, Regression{
+					Metric: "field-arith/" + f.Name + ".speedup_x", Old: o.SpeedupX, New: f.SpeedupX, DeltaFrac: delta,
+				})
+			}
+		}
+	}
+	curFA := make(map[string]bool, len(cur.FieldArith))
+	for _, f := range cur.FieldArith {
+		curFA[f.Name] = true
+	}
+	for _, o := range old.FieldArith {
+		if !curFA[o.Name] {
+			regs = append(regs, Regression{Metric: "field-arith/" + o.Name + ".present", Old: 1, New: 0, DeltaFrac: 1})
 		}
 	}
 	return regs, nil

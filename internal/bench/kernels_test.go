@@ -25,6 +25,17 @@ func TestKernelsReportBuildAndRoundTrip(t *testing.T) {
 			t.Fatalf("kernel %s: non-positive timing", k.Name)
 		}
 	}
+	if len(rep.FieldArith) != 7 {
+		t.Fatalf("%d field-arith kernels measured, want 7", len(rep.FieldArith))
+	}
+	for _, f := range rep.FieldArith {
+		if !f.Identical {
+			t.Fatalf("field-arith %s: optimized path diverges from reference", f.Name)
+		}
+		if f.RefNsOp <= 0 || f.NewNsOp <= 0 || f.Ops <= 0 {
+			t.Fatalf("field-arith %s: non-positive measurement: %+v", f.Name, f)
+		}
+	}
 	var buf bytes.Buffer
 	if err := rep.WriteJSON(&buf); err != nil {
 		t.Fatal(err)
@@ -35,6 +46,16 @@ func TestKernelsReportBuildAndRoundTrip(t *testing.T) {
 	}
 	if got.Shift != rep.Shift || len(got.Kernels) != len(rep.Kernels) {
 		t.Fatal("round trip lost fields")
+	}
+	if len(got.FieldArith) != len(rep.FieldArith) {
+		t.Fatal("round trip lost the field-arith section")
+	}
+}
+
+func TestKernelsReportRejectsOldSchema(t *testing.T) {
+	_, err := ReadKernelsReport(strings.NewReader(`{"schema_version":1,"kind":"kernels"}`))
+	if err == nil {
+		t.Fatal("schema v1 accepted by a v2 reader")
 	}
 }
 
@@ -93,5 +114,54 @@ func TestCompareKernelsGates(t *testing.T) {
 	}
 	if !found {
 		t.Fatalf("dropped kernel not gated: %v", regs)
+	}
+}
+
+func TestCompareKernelsGatesFieldArith(t *testing.T) {
+	old := &KernelsReport{
+		SchemaVersion: KernelsSchemaVersion, Kind: KernelsReportKind, Cores: 4,
+		FieldArith: []FieldArithResult{
+			{Name: "field/mul", SpeedupX: 1.6, Identical: true},
+			{Name: "fp/mul", SpeedupX: 1.5, Identical: true},
+		},
+	}
+	// Cross-core: only the equivalence break is gated.
+	cur := &KernelsReport{
+		SchemaVersion: KernelsSchemaVersion, Kind: KernelsReportKind, Cores: 8,
+		FieldArith: []FieldArithResult{
+			{Name: "field/mul", SpeedupX: 0.9, Identical: false},
+			{Name: "fp/mul", SpeedupX: 0.9, Identical: true},
+		},
+	}
+	regs, err := CompareKernels(old, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "field-arith/field/mul.identical" {
+		t.Fatalf("cross-core compare gated %v, want only the identical break", regs)
+	}
+	// Same cores: the speedup collapses are gated too.
+	cur.Cores = 4
+	regs, err = CompareKernels(old, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 3 {
+		t.Fatalf("same-core compare found %d regressions, want 3 (identity + 2 speedups)", len(regs))
+	}
+	// A dropped microkernel is a regression.
+	cur.FieldArith = cur.FieldArith[:1]
+	regs, err = CompareKernels(old, cur, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range regs {
+		if r.Metric == "field-arith/fp/mul.present" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("dropped field-arith kernel not gated: %v", regs)
 	}
 }

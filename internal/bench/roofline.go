@@ -244,11 +244,16 @@ func rooflineCases(shift int, seed int64) ([]rooflineCase, error) {
 		msmPoints[i] = curve.RandPoint()
 	}
 	msmScalars := randVec(msmN)
-	// Pippenger's group-op count is exact (msm.WorkPointOps); the field
-	// cost per group op is the approximation: a blend of mixed bucket
-	// additions (~11 mul-equivalents) and full Jacobian sweep additions
-	// (~16), taken as 12 muls + 7 adds per point op.
-	msmPointOps := float64(msm.WorkPointOps(msmN))
+	// Pippenger's op counts are exact per cost class (msm.WorkBreakdown);
+	// the field cost per class is the approximation. Batch-affine bucket
+	// additions amortize to ~6 mul-equivalents + ~6 adds (2M+1S chord plus
+	// the addition's share of the round's shared inversion); sweep bucket
+	// visits average a mixed add (7M+4S) and a full Jacobian add (11M+5S),
+	// ~13.5 muls + 7 adds each; the per-window doublings (2M+5S) are the
+	// remainder. Squares are costed as muls — the calibration measures Mul.
+	msmBucketAdds, msmSweepAdds, msmDoublings := msm.WorkBreakdown(msmN)
+	msmMuls := (6*float64(msmBucketAdds) + 13.5*float64(msmSweepAdds) + 7*float64(msmDoublings)) / float64(msmN)
+	msmAdds := (6*float64(msmBucketAdds) + 7*float64(msmSweepAdds) + 4*float64(msmDoublings)) / float64(msmN)
 
 	return []rooflineCase{
 		{
@@ -264,7 +269,7 @@ func rooflineCases(shift int, seed int64) ([]rooflineCase, error) {
 			name: "ntt/forward", size: n,
 			muls:  logN / 2,
 			adds:  logN,
-			model: "exact: (n/2)·log2(n) butterflies, 1 mul + 2 add each",
+			model: "exact: (n/2)·log2(n) butterflies, 1 mul + 2 add each; twiddles from cached tables (no per-transform root chains)",
 			run: func() error {
 				a := append([]field.Element(nil), nttVec...)
 				return ntt.Forward(a)
@@ -309,9 +314,9 @@ func rooflineCases(shift int, seed int64) ([]rooflineCase, error) {
 		},
 		{
 			name: "msm/pippenger", size: msmN,
-			muls:  msmPointOps * 12 / float64(msmN),
-			adds:  msmPointOps * 7 / float64(msmN),
-			model: "approx: exact Pippenger group-op count × ~12 muls + 7 adds per group op",
+			muls:  msmMuls,
+			adds:  msmAdds,
+			model: "approx: msm.WorkBreakdown × per-class costs (batch-affine bucket add ~6 mul-eq + 6 add; sweep visit ~13.5 mul + 7 add; doubling ~7 mul + 4 add)",
 			run: func() error {
 				_, err := msm.Parallel(msmPoints, msmScalars, 0)
 				return err

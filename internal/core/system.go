@@ -56,7 +56,7 @@ func ShapeForScale(S int) (SystemShape, error) {
 // prefixed encoder/, merkle/, sumcheck/ so reports can aggregate per
 // module family.
 func SystemStages(shape SystemShape, costs perfmodel.OpCosts, encP encoder.Params) ([]gpusim.Stage, error) {
-	enc, err := encoder.New(shape.Cols, encP)
+	enc, err := encoder.Cached(shape.Cols, encP)
 	if err != nil {
 		return nil, err
 	}

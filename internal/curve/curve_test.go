@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"batchzk/internal/field"
+	"batchzk/internal/fp"
 )
 
 func TestGeneratorOnCurve(t *testing.T) {
@@ -160,6 +161,122 @@ func TestAddMixed(t *testing.T) {
 	m = mixed.ToAffine()
 	if !m.Equal(&p) {
 		t.Fatal("P + 0 (mixed) != P")
+	}
+}
+
+// TestAddMixedDifferential pins the dedicated madd formulas against the
+// lift-and-add reference across the edge cases the unrolled path branches
+// on: generic, doubling (q = p), cancellation (q = −p), and identities.
+func TestAddMixedDifferential(t *testing.T) {
+	p := RandPoint()
+	q := RandPoint()
+	pj := p.ToJacobian()
+	// Give p a non-trivial Z so the Z1Z1 terms are exercised.
+	pj.Double(&pj)
+	pAff := pj.ToAffine()
+
+	cases := []struct {
+		name string
+		base JacobianPoint
+		add  AffinePoint
+	}{
+		{"generic", pj, q},
+		{"double", pj, pAff},
+		{"cancel", pj, pAff.Neg()},
+		{"q-infinity", pj, Identity()},
+		{"p-identity", JacobianPoint{}, q},
+		{"both-identity", JacobianPoint{}, Identity()},
+	}
+	for _, c := range cases {
+		var got, want JacobianPoint
+		got.AddMixed(&c.base, &c.add)
+		AddMixedGeneric(&want, &c.base, &c.add)
+		g, w := got.ToAffine(), want.ToAffine()
+		if !g.Equal(&w) {
+			t.Fatalf("%s: AddMixed != AddMixedGeneric", c.name)
+		}
+		if !g.IsOnCurve() {
+			t.Fatalf("%s: result off curve", c.name)
+		}
+	}
+}
+
+// TestAffineAddHelpers drives the classify/complete pair that the
+// batch-affine MSM buckets are built on, checking every case against the
+// Jacobian ground truth.
+func TestAffineAddHelpers(t *testing.T) {
+	p := RandPoint()
+	q := RandPoint()
+	cases := []struct {
+		name string
+		a, b AffinePoint
+		want AffineAddKind
+	}{
+		{"generic", p, q, AffineAddGeneric},
+		{"double", p, p, AffineAddDouble},
+		{"cancel", p, p.Neg(), AffineAddInfinity},
+		{"q-inf", p, Identity(), AffineAddP},
+		{"p-inf", Identity(), q, AffineAddQ},
+		{"both-inf", Identity(), Identity(), AffineAddInfinity},
+	}
+	for _, c := range cases {
+		var denom, dInv fp.Element
+		kind := ClassifyAffineAdd(&c.a, &c.b, &denom)
+		if kind != c.want {
+			t.Fatalf("%s: kind = %d, want %d", c.name, kind, c.want)
+		}
+		if kind == AffineAddGeneric || kind == AffineAddDouble {
+			dInv.Inverse(&denom)
+		}
+		var got AffinePoint
+		CompleteAffineAdd(&got, &c.a, &c.b, kind, &dInv)
+
+		aj := c.a.ToJacobian()
+		var sum JacobianPoint
+		sum.AddMixed(&aj, &c.b)
+		want := sum.ToAffine()
+		if !got.Equal(&want) {
+			t.Fatalf("%s: affine add disagrees with Jacobian add", c.name)
+		}
+		if !got.IsOnCurve() {
+			t.Fatalf("%s: result off curve", c.name)
+		}
+	}
+
+	// Aliasing: out may be the left operand (the bucket accumulate shape).
+	var denom, dInv fp.Element
+	kind := ClassifyAffineAdd(&p, &q, &denom)
+	dInv.Inverse(&denom)
+	acc := p
+	CompleteAffineAdd(&acc, &acc, &q, kind, &dInv)
+	pj := p.ToJacobian()
+	var sum JacobianPoint
+	sum.AddMixed(&pj, &q)
+	want := sum.ToAffine()
+	if !acc.Equal(&want) {
+		t.Fatal("aliased CompleteAffineAdd disagrees")
+	}
+}
+
+func BenchmarkAddMixed(b *testing.B) {
+	p := RandPoint()
+	q := RandPoint()
+	pj := p.ToJacobian()
+	pj.Double(&pj)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pj.AddMixed(&pj, &q)
+	}
+}
+
+func BenchmarkAddMixedGeneric(b *testing.B) {
+	p := RandPoint()
+	q := RandPoint()
+	pj := p.ToJacobian()
+	pj.Double(&pj)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AddMixedGeneric(&pj, &pj, &q)
 	}
 }
 

@@ -25,6 +25,7 @@ package encoder
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"batchzk/internal/field"
 	"batchzk/internal/par"
@@ -182,6 +183,35 @@ func New(n int, params Params) (*Encoder, error) {
 		e.stages = append(e.stages, Stage{First: first, Second: second})
 	}
 	return e, nil
+}
+
+// cachedEncoders memoizes Cached lookups. New is deterministic in
+// (n, params) — the expander graphs are sampled from params.Seed — so a
+// repeat construction yields a bit-identical encoder, and sharing one
+// instance is safe: an Encoder is read-only after construction.
+var cachedEncoders sync.Map // cacheKey → *Encoder
+
+type cacheKey struct {
+	n      int
+	params Params
+}
+
+// Cached returns a shared encoder for (n, params), constructing it on
+// first use. Committing, proving, and verifying re-derive the encoder
+// from public parameters on every call; the cache turns those repeat
+// constructions — sampling ~n log n sparse rows each — into one map load.
+// Construction errors are not cached.
+func Cached(n int, params Params) (*Encoder, error) {
+	key := cacheKey{n: n, params: params}
+	if e, ok := cachedEncoders.Load(key); ok {
+		return e.(*Encoder), nil
+	}
+	e, err := New(n, params)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := cachedEncoders.LoadOrStore(key, e)
+	return actual.(*Encoder), nil
 }
 
 // sampleMatrix draws a sparse matrix whose rows have a uniformly random

@@ -183,6 +183,46 @@ func TestDeterminismAcrossInstances(t *testing.T) {
 	}
 }
 
+// TestCachedEncoder: the memoized lookup must return one shared instance
+// per (n, params) that encodes bit-identically to a fresh New, distinguish
+// parameter sets, and propagate (not cache) construction errors.
+func TestCachedEncoder(t *testing.T) {
+	p := DefaultParams()
+	c1, err := Cached(128, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Cached(128, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Fatal("same (n, params) returned distinct instances")
+	}
+	fresh, _ := New(128, p)
+	msg := field.RandVector(128)
+	want, _ := fresh.Encode(msg)
+	got, _ := c1.Encode(msg)
+	if !field.VectorEqual(want, got) {
+		t.Fatal("cached encoder diverges from fresh construction")
+	}
+	p2 := p
+	p2.Seed++
+	c3, err := Cached(128, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3 == c1 {
+		t.Fatal("different params shared one cache entry")
+	}
+	if _, err := Cached(3, p); err == nil {
+		t.Fatal("invalid length must error through the cache")
+	}
+	if _, err := Cached(3, p); err == nil {
+		t.Fatal("error must repeat, not be cached as success")
+	}
+}
+
 func TestEmpiricalDistance(t *testing.T) {
 	// The code must separate distinct messages by many positions. By
 	// linearity it suffices to check the weight of codewords of random

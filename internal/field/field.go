@@ -288,83 +288,217 @@ func (e *Element) reduce() {
 	}
 }
 
+// madd0 returns the high limb of a·b + c (the low limb is discarded — it
+// is the cancelled Montgomery limb).
+func madd0(a, b, c uint64) (hi uint64) {
+	var carry, lo uint64
+	hi, lo = bits.Mul64(a, b)
+	_, carry = bits.Add64(lo, c, 0)
+	hi, _ = bits.Add64(hi, 0, carry)
+	return
+}
+
+// madd1 returns a·b + c as (hi, lo).
+func madd1(a, b, c uint64) (hi, lo uint64) {
+	var carry uint64
+	hi, lo = bits.Mul64(a, b)
+	lo, carry = bits.Add64(lo, c, 0)
+	hi, _ = bits.Add64(hi, 0, carry)
+	return
+}
+
+// madd2 returns a·b + c + d as (hi, lo).
+func madd2(a, b, c, d uint64) (hi, lo uint64) {
+	var carry uint64
+	hi, lo = bits.Mul64(a, b)
+	c, carry = bits.Add64(c, d, 0)
+	hi, _ = bits.Add64(hi, 0, carry)
+	lo, carry = bits.Add64(lo, c, 0)
+	hi, _ = bits.Add64(hi, 0, carry)
+	return
+}
+
+// madd3 returns a·b + c + d + e·2⁶⁴ as (hi, lo).
+func madd3(a, b, c, d, e uint64) (hi, lo uint64) {
+	var carry uint64
+	hi, lo = bits.Mul64(a, b)
+	c, carry = bits.Add64(c, d, 0)
+	hi, _ = bits.Add64(hi, 0, carry)
+	lo, carry = bits.Add64(lo, c, 0)
+	hi, _ = bits.Add64(hi, e, carry)
+	return
+}
+
 // Mul sets e = x·y (Montgomery product) and returns e.
+//
+// The implementation is a fully unrolled fixed-4-limb CIOS with the
+// "no-carry" lazy-reduction window: because the modulus's top limb
+// q3 < 2⁶², the interleaved accumulator never overflows four limbs, so
+// the fifth CIOS limb and its per-round carry bookkeeping disappear and
+// the whole product lives in registers. One conditional subtraction at
+// the end restores the canonical (< r) representative, keeping results
+// bit-identical to MulGeneric.
 func (e *Element) Mul(x, y *Element) *Element {
-	// CIOS (coarsely integrated operand scanning) Montgomery multiplication.
-	var t [5]uint64
-	for i := 0; i < 4; i++ {
-		// t += x[i] * y
-		var carry uint64
-		xi := x[i]
-		hi, lo := bits.Mul64(xi, y[0])
-		var c uint64
-		t[0], c = bits.Add64(t[0], lo, 0)
-		carry = hi + c
-
-		hi, lo = bits.Mul64(xi, y[1])
-		lo, c = bits.Add64(lo, carry, 0)
-		hi += c
-		t[1], c = bits.Add64(t[1], lo, 0)
-		carry = hi + c
-
-		hi, lo = bits.Mul64(xi, y[2])
-		lo, c = bits.Add64(lo, carry, 0)
-		hi += c
-		t[2], c = bits.Add64(t[2], lo, 0)
-		carry = hi + c
-
-		hi, lo = bits.Mul64(xi, y[3])
-		lo, c = bits.Add64(lo, carry, 0)
-		hi += c
-		t[3], c = bits.Add64(t[3], lo, 0)
-		carry = hi + c
-
-		t[4] += carry
-
-		// Montgomery step: add m·q so the low limb cancels, shift right 64.
-		m := t[0] * qInvNeg
-
-		hi, lo = bits.Mul64(m, q0)
-		_, c = bits.Add64(t[0], lo, 0)
-		carry = hi + c
-
-		hi, lo = bits.Mul64(m, q1)
-		lo, c = bits.Add64(lo, carry, 0)
-		hi += c
-		t[0], c = bits.Add64(t[1], lo, 0)
-		carry = hi + c
-
-		hi, lo = bits.Mul64(m, q2)
-		lo, c = bits.Add64(lo, carry, 0)
-		hi += c
-		t[1], c = bits.Add64(t[2], lo, 0)
-		carry = hi + c
-
-		hi, lo = bits.Mul64(m, q3)
-		lo, c = bits.Add64(lo, carry, 0)
-		hi += c
-		t[2], c = bits.Add64(t[3], lo, 0)
-		carry = hi + c
-
-		t[3], c = bits.Add64(t[4], carry, 0)
-		t[4] = c
+	var t0, t1, t2, t3 uint64
+	var c0, c1, c2 uint64
+	{
+		// round 0
+		v := x[0]
+		c1, c0 = bits.Mul64(v, y[0])
+		m := c0 * qInvNeg
+		c2 = madd0(m, q0, c0)
+		c1, c0 = madd1(v, y[1], c1)
+		c2, t0 = madd2(m, q1, c2, c0)
+		c1, c0 = madd1(v, y[2], c1)
+		c2, t1 = madd2(m, q2, c2, c0)
+		c1, c0 = madd1(v, y[3], c1)
+		t3, t2 = madd3(m, q3, c0, c2, c1)
 	}
-	e[0], e[1], e[2], e[3] = t[0], t[1], t[2], t[3]
-	// t[4] can be at most 1; fold it by subtracting the modulus, which is
-	// guaranteed to clear it because the result is < 2r.
-	if t[4] != 0 {
-		var b uint64
-		e[0], b = bits.Sub64(e[0], q0, 0)
-		e[1], b = bits.Sub64(e[1], q1, b)
-		e[2], b = bits.Sub64(e[2], q2, b)
-		e[3], _ = bits.Sub64(e[3], q3, b)
+	{
+		// round 1
+		v := x[1]
+		c1, c0 = madd1(v, y[0], t0)
+		m := c0 * qInvNeg
+		c2 = madd0(m, q0, c0)
+		c1, c0 = madd2(v, y[1], c1, t1)
+		c2, t0 = madd2(m, q1, c2, c0)
+		c1, c0 = madd2(v, y[2], c1, t2)
+		c2, t1 = madd2(m, q2, c2, c0)
+		c1, c0 = madd2(v, y[3], c1, t3)
+		t3, t2 = madd3(m, q3, c0, c2, c1)
 	}
+	{
+		// round 2
+		v := x[2]
+		c1, c0 = madd1(v, y[0], t0)
+		m := c0 * qInvNeg
+		c2 = madd0(m, q0, c0)
+		c1, c0 = madd2(v, y[1], c1, t1)
+		c2, t0 = madd2(m, q1, c2, c0)
+		c1, c0 = madd2(v, y[2], c1, t2)
+		c2, t1 = madd2(m, q2, c2, c0)
+		c1, c0 = madd2(v, y[3], c1, t3)
+		t3, t2 = madd3(m, q3, c0, c2, c1)
+	}
+	{
+		// round 3
+		v := x[3]
+		c1, c0 = madd1(v, y[0], t0)
+		m := c0 * qInvNeg
+		c2 = madd0(m, q0, c0)
+		c1, c0 = madd2(v, y[1], c1, t1)
+		c2, t0 = madd2(m, q1, c2, c0)
+		c1, c0 = madd2(v, y[2], c1, t2)
+		c2, t1 = madd2(m, q2, c2, c0)
+		c1, c0 = madd2(v, y[3], c1, t3)
+		t3, t2 = madd3(m, q3, c0, c2, c1)
+	}
+	e[0], e[1], e[2], e[3] = t0, t1, t2, t3
 	e.reduce()
 	return e
 }
 
 // Square sets e = x² and returns e.
-func (e *Element) Square(x *Element) *Element { return e.Mul(x, x) }
+//
+// Dedicated squaring: the six symmetric partial products x[i]·x[j] (i<j)
+// are computed once and doubled by shifting, then the four diagonal
+// squares are added and the 512-bit result Montgomery-reduced in four
+// unrolled rounds — 26 limb multiplies against Mul's 32.
+func (e *Element) Square(x *Element) *Element {
+	// Cross products at their column positions; carries between columns
+	// belong to the next column, so the two Add64 chains are exact.
+	var p1, p2, p3, p4, p5, p6, p7 uint64
+	var c uint64
+	h01, l01 := bits.Mul64(x[0], x[1])
+	h02, l02 := bits.Mul64(x[0], x[2])
+	h03, l03 := bits.Mul64(x[0], x[3])
+	h12, l12 := bits.Mul64(x[1], x[2])
+	h13, l13 := bits.Mul64(x[1], x[3])
+	h23, l23 := bits.Mul64(x[2], x[3])
+
+	p1 = l01
+	p2, c = bits.Add64(h01, l02, 0)
+	p3, c = bits.Add64(h02, l03, c)
+	p4, c = bits.Add64(h03, h12, c)
+	p5, c = bits.Add64(h13, l23, c)
+	p6, c = bits.Add64(h23, 0, c)
+	_ = c // cross sum < 2^448, cannot carry out of p6
+	p3, c = bits.Add64(p3, l12, 0)
+	p4, c = bits.Add64(p4, l13, c)
+	p5, c = bits.Add64(p5, 0, c)
+	p6, c = bits.Add64(p6, 0, c)
+	p7 = c
+
+	// Double the off-diagonal sum (x² = diag + 2·cross).
+	p7 = p7<<1 | p6>>63
+	p6 = p6<<1 | p5>>63
+	p5 = p5<<1 | p4>>63
+	p4 = p4<<1 | p3>>63
+	p3 = p3<<1 | p2>>63
+	p2 = p2<<1 | p1>>63
+	p1 <<= 1
+
+	// Add the diagonals x[i]² at columns 2i, 2i+1.
+	var t [8]uint64
+	var d uint64
+	hi, lo := bits.Mul64(x[0], x[0])
+	t[0] = lo
+	t[1], d = bits.Add64(p1, hi, 0)
+	hi, lo = bits.Mul64(x[1], x[1])
+	t[2], d = bits.Add64(p2, lo, d)
+	t[3], d = bits.Add64(p3, hi, d)
+	hi, lo = bits.Mul64(x[2], x[2])
+	t[4], d = bits.Add64(p4, lo, d)
+	t[5], d = bits.Add64(p5, hi, d)
+	hi, lo = bits.Mul64(x[3], x[3])
+	t[6], d = bits.Add64(p6, lo, d)
+	t[7], _ = bits.Add64(p7, hi, d)
+
+	// Montgomery reduction (SOS): four rounds of t += m·q·2^{64i}; the
+	// ripple out of each round cannot overflow t[7] because the final
+	// value (x² + Σmᵢ·q·2^{64i})/2²⁵⁶ < 2r < 2²⁵⁵.
+	{
+		m := t[0] * qInvNeg
+		cc := madd0(m, q0, t[0])
+		cc, t[1] = madd2(m, q1, cc, t[1])
+		cc, t[2] = madd2(m, q2, cc, t[2])
+		cc, t[3] = madd2(m, q3, cc, t[3])
+		t[4], d = bits.Add64(t[4], cc, 0)
+		t[5], d = bits.Add64(t[5], 0, d)
+		t[6], d = bits.Add64(t[6], 0, d)
+		t[7], _ = bits.Add64(t[7], 0, d)
+	}
+	{
+		m := t[1] * qInvNeg
+		cc := madd0(m, q0, t[1])
+		cc, t[2] = madd2(m, q1, cc, t[2])
+		cc, t[3] = madd2(m, q2, cc, t[3])
+		cc, t[4] = madd2(m, q3, cc, t[4])
+		t[5], d = bits.Add64(t[5], cc, 0)
+		t[6], d = bits.Add64(t[6], 0, d)
+		t[7], _ = bits.Add64(t[7], 0, d)
+	}
+	{
+		m := t[2] * qInvNeg
+		cc := madd0(m, q0, t[2])
+		cc, t[3] = madd2(m, q1, cc, t[3])
+		cc, t[4] = madd2(m, q2, cc, t[4])
+		cc, t[5] = madd2(m, q3, cc, t[5])
+		t[6], d = bits.Add64(t[6], cc, 0)
+		t[7], _ = bits.Add64(t[7], 0, d)
+	}
+	{
+		m := t[3] * qInvNeg
+		cc := madd0(m, q0, t[3])
+		cc, t[4] = madd2(m, q1, cc, t[4])
+		cc, t[5] = madd2(m, q2, cc, t[5])
+		cc, t[6] = madd2(m, q3, cc, t[6])
+		t[7], _ = bits.Add64(t[7], cc, 0)
+	}
+	e[0], e[1], e[2], e[3] = t[4], t[5], t[6], t[7]
+	e.reduce()
+	return e
+}
 
 // toMont converts canonical limbs to Montgomery form in place.
 func (e *Element) toMont() *Element { return e.Mul(e, &rSquare) }
@@ -410,14 +544,53 @@ func (e *Element) ExpUint64(base *Element, k uint64) *Element {
 	return e
 }
 
-// Inverse sets e = x^{-1} using Fermat's little theorem (x^{r-2}) and
+// rMinusTwo is the Fermat exponent r−2 as little-endian limbs (only the
+// low limb differs from the modulus: q0 ends in …0001, so no borrow).
+var rMinusTwo = [4]uint64{q0 - 2, q1, q2, q3}
+
+// rMinusTwoBig returns r−2 for the big.Int reference ladder.
+func rMinusTwoBig() *big.Int {
+	return new(big.Int).Sub(modulus, big.NewInt(2))
+}
+
+// Inverse sets e = x^{-1} using Fermat's little theorem (x^{r−2}) and
 // returns e. The inverse of zero is defined as zero.
+//
+// The exponentiation is a fixed chain over the hardcoded limbs of r−2:
+// a 4-bit window table (15 stack elements) followed by 252 squarings and
+// one table multiply per non-zero nibble — no big.Int, no allocation,
+// and every squaring uses the dedicated Square. The result is the same
+// canonical representative the big.Int ladder produces (InverseGeneric),
+// which the differential tests pin.
 func (e *Element) Inverse(x *Element) *Element {
 	if x.IsZero() {
 		return e.SetZero()
 	}
-	exp := new(big.Int).Sub(modulus, big.NewInt(2))
-	return e.Exp(x, exp)
+	var tbl [15]Element // tbl[i] = x^{i+1}
+	tbl[0] = *x
+	tbl[1].Square(x)
+	for i := 2; i < 15; i++ {
+		tbl[i].Mul(&tbl[i-1], x)
+	}
+	res := one
+	started := false
+	for w := 3; w >= 0; w-- {
+		limb := rMinusTwo[w]
+		for s := 60; s >= 0; s -= 4 {
+			if started {
+				res.Square(&res)
+				res.Square(&res)
+				res.Square(&res)
+				res.Square(&res)
+			}
+			if nib := (limb >> uint(s)) & 0xf; nib != 0 {
+				res.Mul(&res, &tbl[nib-1])
+				started = true
+			}
+		}
+	}
+	*e = res
+	return e
 }
 
 // Div sets e = x / y and returns e. Division by zero yields zero.

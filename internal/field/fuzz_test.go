@@ -68,3 +68,53 @@ func FuzzElementDecoding(f *testing.F) {
 		}
 	})
 }
+
+// FuzzFieldArith extends the decode corpus to the unrolled arithmetic:
+// arbitrary bytes are split into two wide-reduced elements and the
+// hot-path Mul/Square/Inverse are checked against the retained generic
+// references and the big.Int ground truth.
+func FuzzFieldArith(f *testing.F) {
+	f.Add(make([]byte, 64))
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Add(append(Modulus().Bytes(), new(big.Int).Sub(Modulus(), big.NewInt(1)).Bytes()...))
+	f.Add([]byte{7}) // single byte: y reduces to zero
+	f.Fuzz(func(t *testing.T, data []byte) {
+		half := len(data) / 2
+		var x, y Element
+		x.SetBytesWide(data[:half])
+		y.SetBytesWide(data[half:])
+
+		var mul, mulRef Element
+		mul.Mul(&x, &y)
+		MulGeneric(&mulRef, &x, &y)
+		if mul != mulRef {
+			t.Fatalf("Mul mismatch: unrolled %v, generic %v", mul.String(), mulRef.String())
+		}
+		want := new(big.Int).Mul(x.BigInt(), y.BigInt())
+		want.Mod(want, Modulus())
+		if mul.BigInt().Cmp(want) != 0 {
+			t.Fatalf("Mul = %v, big.Int wants %v", mul.String(), want)
+		}
+
+		var sq, sqRef Element
+		sq.Square(&x)
+		SquareGeneric(&sqRef, &x)
+		if sq != sqRef {
+			t.Fatalf("Square mismatch: dedicated %v, generic %v", sq.String(), sqRef.String())
+		}
+
+		var inv, invRef Element
+		inv.Inverse(&x)
+		InverseGeneric(&invRef, &x)
+		if inv != invRef {
+			t.Fatalf("Inverse mismatch: chain %v, generic %v", inv.String(), invRef.String())
+		}
+		if !x.IsZero() {
+			var p Element
+			p.Mul(&x, &inv)
+			if !p.IsOne() {
+				t.Fatalf("x·x⁻¹ = %v for x = %v", p.String(), x.String())
+			}
+		}
+	})
+}

@@ -71,6 +71,176 @@ func TestInverseAndNeg(t *testing.T) {
 	}
 }
 
+// edgeElems mirrors the scalar field's differential edge set: identities,
+// values hugging p, limb boundaries, and the Montgomery radix points.
+func edgeElems() []Element {
+	bigs := []*big.Int{
+		big.NewInt(0),
+		big.NewInt(1),
+		big.NewInt(2),
+		new(big.Int).Sub(Modulus(), big.NewInt(1)),
+		new(big.Int).Sub(Modulus(), big.NewInt(2)),
+		new(big.Int).Rsh(Modulus(), 1),
+		new(big.Int).Lsh(big.NewInt(1), 64),
+		new(big.Int).Lsh(big.NewInt(1), 128),
+		new(big.Int).Lsh(big.NewInt(1), 192),
+		new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 128), big.NewInt(1)),
+		new(big.Int).Mod(new(big.Int).Lsh(big.NewInt(1), 256), Modulus()),
+		new(big.Int).Mod(new(big.Int).Lsh(big.NewInt(1), 512), Modulus()),
+	}
+	out := make([]Element, len(bigs))
+	for i, b := range bigs {
+		out[i].SetBigInt(b)
+	}
+	return out
+}
+
+// TestMulSquareInverseDifferential pins the unrolled Mul, the dedicated
+// Square, and the fixed-chain Inverse against the loop-CIOS reference and
+// big.Int over the edge cross product.
+func TestMulSquareInverseDifferential(t *testing.T) {
+	cases := edgeElems()
+	mod := Modulus()
+	for i := range cases {
+		for j := range cases {
+			x, y := cases[i], cases[j]
+			var got, ref Element
+			got.Mul(&x, &y)
+			MulGeneric(&ref, &x, &y)
+			if got != ref {
+				t.Fatalf("Mul: unrolled != generic for case (%d,%d)", i, j)
+			}
+			want := new(big.Int).Mul(x.BigInt(), y.BigInt())
+			want.Mod(want, mod)
+			if got.BigInt().Cmp(want) != 0 {
+				t.Fatalf("Mul case (%d,%d): %v, big.Int wants %v", i, j, got.BigInt(), want)
+			}
+		}
+		x := cases[i]
+		var sq, sqRef Element
+		sq.Square(&x)
+		MulGeneric(&sqRef, &x, &x)
+		if sq != sqRef {
+			t.Fatalf("Square != MulGeneric(x,x) for case %d", i)
+		}
+		var inv, prod Element
+		inv.Inverse(&x)
+		if x.IsZero() {
+			if !inv.IsZero() {
+				t.Fatal("Inverse(0) != 0")
+			}
+			continue
+		}
+		prod.Mul(&x, &inv)
+		if !prod.IsOne() {
+			t.Fatalf("x·x⁻¹ != 1 for case %d", i)
+		}
+	}
+}
+
+// TestBatchInverseWithScratch checks the batch trick against Inverse,
+// with zeros mixed in and aliased dst/v.
+func TestBatchInverseWithScratch(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	const n = 33
+	v := make([]Element, n)
+	for i := range v {
+		if i%7 == 3 {
+			continue // leave zeros scattered through the batch
+		}
+		v[i] = randElem(r)
+	}
+	dst := make([]Element, n)
+	scratch := make([]Element, n)
+	BatchInverseWithScratch(dst, v, scratch)
+	for i := range v {
+		var want Element
+		want.Inverse(&v[i])
+		if dst[i] != want {
+			t.Fatalf("batch inverse disagrees with Inverse at %d", i)
+		}
+	}
+	// Aliased: invert in place.
+	aliased := append([]Element(nil), v...)
+	BatchInverseWithScratch(aliased, aliased, scratch)
+	for i := range aliased {
+		if aliased[i] != dst[i] {
+			t.Fatalf("aliased batch inverse disagrees at %d", i)
+		}
+	}
+}
+
+// TestHotPathZeroAllocations gates the allocation-free contract of the
+// base-field hot ops used by the batch-affine MSM buckets.
+func TestHotPathZeroAllocations(t *testing.T) {
+	var a, b, out Element
+	a.Rand()
+	b.Rand()
+	checks := []struct {
+		name string
+		fn   func()
+	}{
+		{"Mul", func() { out.Mul(&a, &b) }},
+		{"Square", func() { out.Square(&a) }},
+		{"Inverse", func() { out.Inverse(&a) }},
+	}
+	for _, c := range checks {
+		if n := testing.AllocsPerRun(100, c.fn); n != 0 {
+			t.Errorf("%s allocates %.1f times per op, want 0", c.name, n)
+		}
+	}
+	const size = 64
+	v := make([]Element, size)
+	for i := range v {
+		v[i].Rand()
+	}
+	dst := make([]Element, size)
+	scratch := make([]Element, size)
+	if n := testing.AllocsPerRun(20, func() {
+		BatchInverseWithScratch(dst, v, scratch)
+	}); n != 0 {
+		t.Errorf("BatchInverseWithScratch allocates %.1f times per call, want 0", n)
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	var x, y Element
+	x.Rand()
+	y.Rand()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Mul(&x, &y)
+	}
+}
+
+func BenchmarkMulGeneric(b *testing.B) {
+	var x, y Element
+	x.Rand()
+	y.Rand()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulGeneric(&x, &x, &y)
+	}
+}
+
+func BenchmarkSquare(b *testing.B) {
+	var x Element
+	x.Rand()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Square(&x)
+	}
+}
+
+func BenchmarkInverse(b *testing.B) {
+	var x, out Element
+	x.Rand()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out.Inverse(&x)
+	}
+}
+
 func TestSquareDoubleRand(t *testing.T) {
 	r := rand.New(rand.NewSource(3))
 	a := randElem(r)

@@ -1,0 +1,59 @@
+package fp
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+)
+
+// FuzzFpArith extends the field-decode fuzz discipline to the base
+// field: arbitrary bytes become two mod-p elements and the unrolled
+// Mul/Square and the fixed-chain Inverse are checked against the
+// loop-based MulGeneric and the big.Int ground truth.
+func FuzzFpArith(f *testing.F) {
+	f.Add(make([]byte, 64))
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Add(Modulus().Bytes())
+	f.Add([]byte{7}) // single byte: y reduces to zero
+	f.Fuzz(func(t *testing.T, data []byte) {
+		half := len(data) / 2
+		xi := new(big.Int).Mod(new(big.Int).SetBytes(data[:half]), Modulus())
+		yi := new(big.Int).Mod(new(big.Int).SetBytes(data[half:]), Modulus())
+		var x, y Element
+		x.SetBigInt(xi)
+		y.SetBigInt(yi)
+
+		var mul, mulRef Element
+		mul.Mul(&x, &y)
+		MulGeneric(&mulRef, &x, &y)
+		if mul != mulRef {
+			t.Fatalf("Mul mismatch: unrolled %v, generic %v", mul.BigInt(), mulRef.BigInt())
+		}
+		want := new(big.Int).Mul(xi, yi)
+		want.Mod(want, Modulus())
+		if mul.BigInt().Cmp(want) != 0 {
+			t.Fatalf("Mul = %v, big.Int wants %v", mul.BigInt(), want)
+		}
+
+		var sq, sqRef Element
+		sq.Square(&x)
+		MulGeneric(&sqRef, &x, &x)
+		if sq != sqRef {
+			t.Fatalf("Square mismatch: dedicated %v, generic %v", sq.BigInt(), sqRef.BigInt())
+		}
+
+		var inv Element
+		inv.Inverse(&x)
+		if x.IsZero() {
+			if !inv.IsZero() {
+				t.Fatal("Inverse(0) != 0")
+			}
+		} else {
+			var p Element
+			p.Mul(&x, &inv)
+			if !p.IsOne() {
+				t.Fatalf("x·x⁻¹ = %v for x = %v", p.BigInt(), x.BigInt())
+			}
+		}
+	})
+}

@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"batchzk/internal/field"
 	"batchzk/internal/par"
@@ -146,15 +147,51 @@ func PadBlocks(blocks []Block) []Block {
 	return blocks
 }
 
+// levelShape is the cached interior layout of a tree over n leaves: the
+// offset of each interior level inside one flat arena of n−1 digests.
+// Every tree of a given leaf count shares the same shape, and batch
+// workloads build thousands of same-shape trees (one per committed
+// matrix), so the layout is computed once per shape.
+type levelShape struct {
+	levels  int   // interior levels above the leaves (log₂ n)
+	offsets []int // offsets[l]: arena offset of interior level l
+	total   int   // arena length, n − 1
+}
+
+var levelShapes sync.Map // leafCount → *levelShape
+
+func shapeFor(n int) *levelShape {
+	if s, ok := levelShapes.Load(n); ok {
+		return s.(*levelShape)
+	}
+	s := &levelShape{}
+	for sz := n / 2; sz >= 1; sz /= 2 {
+		s.offsets = append(s.offsets, s.total)
+		s.total += sz
+		s.levels++
+	}
+	actual, _ := levelShapes.LoadOrStore(n, s)
+	return actual.(*levelShape)
+}
+
 // fromLeaves builds the interior layers bottom-up. Each level's nodes are
 // independent, so a level hashes in parallel (the paper's §3.1 thread
 // allocation: N/2 + N/4 + … threads per level); levels themselves are
-// sequential since each consumes the previous one.
+// sequential since each consumes the previous one. All interior levels
+// live in one flat arena sliced by the cached per-shape layout, so a
+// same-shape build does two allocations instead of log₂ n.
 func fromLeaves(leaves []sha2.Digest) *Tree {
-	t := &Tree{layers: [][]sha2.Digest{leaves}}
+	n := len(leaves)
+	if n == 1 {
+		return &Tree{layers: [][]sha2.Digest{leaves}}
+	}
+	s := shapeFor(n)
+	arena := make([]sha2.Digest, s.total)
+	t := &Tree{layers: make([][]sha2.Digest, 0, s.levels+1)}
+	t.layers = append(t.layers, leaves)
 	cur := leaves
-	for len(cur) > 1 {
-		next := make([]sha2.Digest, len(cur)/2)
+	for l := 0; l < s.levels; l++ {
+		next := arena[s.offsets[l] : s.offsets[l]+len(cur)/2]
 		hashLevel(next, cur)
 		t.layers = append(t.layers, next)
 		cur = next

@@ -32,6 +32,57 @@ func TestBuildValidation(t *testing.T) {
 	}
 }
 
+// TestLevelShapeCache: the cached arena layout must reproduce the naive
+// level-by-level construction exactly — layer sizes, every digest, the
+// root, and proofs — and same-shape builds must share one shape entry.
+func TestLevelShapeCache(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 4, 32, 128} {
+		blocks := randBlocks(r, n)
+		tr, err := Build(blocks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Naive reference: hash levels with per-level allocations.
+		cur := make([]sha2.Digest, n)
+		for i := range blocks {
+			b := blocks[i]
+			cur[i] = sha2.Compress((*[sha2.BlockSize]byte)(&b))
+		}
+		level := 0
+		for {
+			if len(tr.layers[level]) != len(cur) {
+				t.Fatalf("n=%d: layer %d has %d nodes, want %d", n, level, len(tr.layers[level]), len(cur))
+			}
+			for i := range cur {
+				if tr.layers[level][i] != cur[i] {
+					t.Fatalf("n=%d: layer %d node %d differs from naive build", n, level, i)
+				}
+			}
+			if len(cur) == 1 {
+				break
+			}
+			next := make([]sha2.Digest, len(cur)/2)
+			for i := range next {
+				next[i] = sha2.Compress2(&cur[2*i], &cur[2*i+1])
+			}
+			cur = next
+			level++
+		}
+		if tr.Root() != cur[0] {
+			t.Fatalf("n=%d: root differs from naive build", n)
+		}
+	}
+	// Shape entries are shared across same-shape builds.
+	if shapeFor(128) != shapeFor(128) {
+		t.Fatal("same leaf count produced distinct shape entries")
+	}
+	s := shapeFor(8)
+	if s.levels != 3 || s.total != 7 {
+		t.Fatalf("shape for 8 leaves: levels=%d total=%d, want 3/7", s.levels, s.total)
+	}
+}
+
 func TestSingleLeaf(t *testing.T) {
 	r := rand.New(rand.NewSource(1))
 	b := randBlocks(r, 1)

@@ -102,22 +102,73 @@ func TestWorkPointOps(t *testing.T) {
 	}
 }
 
-func TestScalarDigitsReconstruction(t *testing.T) {
-	var k field.Element
-	k.Rand()
-	c := 7
-	numWindows := (field.Bits + c - 1) / c
-	digits := scalarDigits(&k, c, numWindows)
-	// Σ digit[w]·2^{cw} must reproduce the canonical scalar value.
-	recon := field.Zero()
-	radix := field.NewElement(1 << uint(c))
-	for w := numWindows - 1; w >= 0; w-- {
-		recon.Mul(&recon, &radix)
-		d := field.NewElement(uint64(digits[w]))
-		recon.Add(&recon, &d)
+// scalarDigitsBitwise is the slow per-bit reference the flat word-shift
+// extraction is checked against.
+func scalarDigitsBitwise(k *field.Element, c, numWindows int) []uint32 {
+	b := k.ToBytes() // big-endian
+	out := make([]uint32, numWindows)
+	for w := 0; w < numWindows; w++ {
+		lo := w * c
+		var v uint32
+		for bit := 0; bit < c; bit++ {
+			idx := lo + bit
+			if idx >= 256 {
+				break
+			}
+			byteIdx := 31 - idx/8
+			if b[byteIdx]>>(uint(idx)%8)&1 == 1 {
+				v |= 1 << uint(bit)
+			}
+		}
+		out[w] = v
 	}
-	if !recon.Equal(&k) {
-		t.Fatal("digit decomposition does not reconstruct the scalar")
+	return out
+}
+
+func TestDigitsFlatReconstruction(t *testing.T) {
+	scalars := field.RandVector(8)
+	for _, c := range []int{2, 7, 8, 13, 16} {
+		numWindows := (field.Bits + c - 1) / c
+		flat := make([]uint32, len(scalars)*numWindows)
+		digitsFlat(flat, scalars, c, numWindows)
+		radix := field.NewElement(1 << uint(c))
+		for i := range scalars {
+			row := flat[i*numWindows : (i+1)*numWindows]
+			// The word-shift extraction must agree with the per-bit
+			// reference and Σ digit[w]·2^{cw} must rebuild the scalar.
+			ref := scalarDigitsBitwise(&scalars[i], c, numWindows)
+			for w := range row {
+				if row[w] != ref[w] {
+					t.Fatalf("c=%d scalar %d window %d: flat %d != bitwise %d", c, i, w, row[w], ref[w])
+				}
+			}
+			recon := field.Zero()
+			for w := numWindows - 1; w >= 0; w-- {
+				recon.Mul(&recon, &radix)
+				d := field.NewElement(uint64(row[w]))
+				recon.Add(&recon, &d)
+			}
+			if !recon.Equal(&scalars[i]) {
+				t.Fatalf("c=%d scalar %d: digit decomposition does not reconstruct", c, i)
+			}
+		}
+	}
+}
+
+// TestAccumulateWindowZeroAllocations gates the allocation-free contract
+// of the per-window batch-affine bucket loop once the state is sized.
+func TestAccumulateWindowZeroAllocations(t *testing.T) {
+	pts, scalars := randInput(128)
+	c := WindowBits(len(pts))
+	st := newPippengerState(len(pts), c)
+	digitsFlat(st.digits, scalars, c, st.numWindows)
+	var sum curve.JacobianPoint
+	w := 0
+	if n := testing.AllocsPerRun(10, func() {
+		st.accumulateWindow(pts, w%st.numWindows, &sum)
+		w++
+	}); n != 0 {
+		t.Errorf("accumulateWindow allocates %.1f times per window, want 0", n)
 	}
 }
 
@@ -131,13 +182,23 @@ func BenchmarkPippenger256(b *testing.B) {
 	}
 }
 
+func BenchmarkPippengerJacobian256(b *testing.B) {
+	pts, scalars := randInput(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PippengerJacobian(pts, scalars); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // TestWindowBitsMinimizesCost: table-driven check over 2^8..2^18 that the
-// chosen window minimizes the Pippenger cost model ⌈Bits/c⌉·(n + 2^{c+1})
-// and that windows never shrink as inputs grow.
+// chosen window minimizes the batch-affine mul-equivalent cost model
+// ⌈Bits/c⌉·(6n + 27·2^c) and that windows never shrink as inputs grow.
 func TestWindowBitsMinimizesCost(t *testing.T) {
 	cost := func(n, c int) int {
 		numWindows := (field.Bits + c - 1) / c
-		return numWindows * (n + 2<<uint(c))
+		return numWindows * (bucketAddMuls*n + sweepBucketMuls*(1<<uint(c)))
 	}
 	prev := 0
 	for logN := 8; logN <= 18; logN++ {

@@ -68,6 +68,13 @@ func TestPippengerMatchesDoubleAndAddAcrossSizes(t *testing.T) {
 		if !got.Equal(&want) {
 			t.Fatalf("n=%d: Pippenger diverges from double-and-add", n)
 		}
+		jac, err := PippengerJacobian(points, scalars)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !jac.Equal(&want) {
+			t.Fatalf("n=%d: PippengerJacobian diverges from double-and-add", n)
+		}
 		par, err := Parallel(points, scalars, 3)
 		if err != nil {
 			t.Fatal(err)

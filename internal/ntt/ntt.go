@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/big"
 	"math/bits"
+	"sync/atomic"
 
 	"batchzk/internal/field"
 	"batchzk/internal/par"
@@ -65,6 +66,50 @@ func RootOfUnity(n int) (field.Element, error) {
 	return w, nil
 }
 
+// Twiddle-table cache. A stage of size `length` uses the primitive
+// length-th root wl = w^(n/length), which depends only on (direction,
+// length) — never on the transform size n — so its power table
+// [1, wl, …, wl^{length/2−1}] is shared by every transform that reaches
+// that stage. Tables are built once and published through atomic
+// pointers, making the hot-path lookup a single lock-free load; a lost
+// build race publishes a bit-identical table, so last-write-wins is
+// harmless. Stages above maxCachedTwiddleLog (table > ~4 MiB) fall back
+// to the running-product butterflies with per-chunk ExpUint64 seeding,
+// which produce the same canonical values.
+const (
+	dirForward = 0
+	dirInverse = 1
+)
+
+// maxCachedTwiddleLog bounds cached table memory (Σ 2^{l−1} elements per
+// direction ≈ 8 MiB each). Variable so tests can disable the cache and
+// check bit-identity against the seeded path.
+var maxCachedTwiddleLog = 18
+
+var twiddleTables [2][MaxLogSize + 1]atomic.Pointer[[]field.Element]
+
+// stageTwiddleTable returns the cached powers [1, wl, …, wl^{half−1}] for
+// a stage of the given length, or nil when the stage is above the cache
+// cap.
+func stageTwiddleTable(dir int, wl *field.Element, length int) []field.Element {
+	logLen := bits.TrailingZeros(uint(length))
+	if logLen > maxCachedTwiddleLog {
+		return nil
+	}
+	slot := &twiddleTables[dir][logLen]
+	if p := slot.Load(); p != nil {
+		return *p
+	}
+	half := length / 2
+	tbl := make([]field.Element, half)
+	tbl[0] = field.One()
+	for j := 1; j < half; j++ {
+		tbl[j].Mul(&tbl[j-1], wl)
+	}
+	slot.Store(&tbl)
+	return tbl
+}
+
 // Forward computes the in-place NTT of a (length a power of two):
 // a[k] ← Σ_j a[j]·ω^{jk}.
 func Forward(a []field.Element) error {
@@ -72,7 +117,7 @@ func Forward(a []field.Element) error {
 	if err != nil {
 		return err
 	}
-	transform(a, w)
+	transform(a, w, dirForward)
 	return nil
 }
 
@@ -84,7 +129,7 @@ func Inverse(a []field.Element) error {
 	}
 	var wInv field.Element
 	wInv.Inverse(&w)
-	transform(a, wInv)
+	transform(a, wInv, dirInverse)
 	var nInv field.Element
 	nInv.SetUint64(uint64(len(a)))
 	nInv.Inverse(&nInv)
@@ -104,10 +149,12 @@ func Inverse(a []field.Element) error {
 // n/2 butterflies are independent (each touches a disjoint index pair),
 // so a stage parallelizes along the recursion's natural split: early
 // stages have many blocks and chunk across blocks; late stages have few
-// large blocks and chunk the twiddle range within each block, seeding a
-// chunk's twiddle at wl^lo by exponentiation. Field exponentiation is
-// exact, so both modes are bit-identical to the serial sweep.
-func transform(a []field.Element, w field.Element) {
+// large blocks and chunk the twiddle range within each block. Twiddles
+// come from the shared per-stage tables where cached; above the cache cap
+// a chunk seeds its running twiddle at wl^lo by exponentiation. Field
+// multiplication and exponentiation are exact, so every mode is
+// bit-identical to the serial sweep.
+func transform(a []field.Element, w field.Element, dir int) {
 	n := len(a)
 	bitReverse(a)
 	for length := 2; length <= n; length <<= 1 {
@@ -116,18 +163,23 @@ func transform(a []field.Element, w field.Element) {
 		for m := n; m > length; m >>= 1 {
 			wl.Square(&wl)
 		}
-		stageButterflies(a, wl, length)
+		stageButterflies(a, wl, length, dir)
 	}
 }
 
 // stageButterflies runs one stage's butterflies over every block.
-func stageButterflies(a []field.Element, wl field.Element, length int) {
+func stageButterflies(a []field.Element, wl field.Element, length, dir int) {
 	n := len(a)
 	half := length / 2
 	blocks := n / length
+	tbl := stageTwiddleTable(dir, &wl, length)
 	if n/2 < parallelButterflies {
 		for start := 0; start < n; start += length {
-			butterflyRange(a, wl, start, half, 0, half, field.One())
+			if tbl != nil {
+				butterflyRangeTbl(a, tbl, start, half, 0, half)
+			} else {
+				butterflyRange(a, wl, start, half, 0, half, field.One())
+			}
 		}
 		return
 	}
@@ -136,16 +188,24 @@ func stageButterflies(a []field.Element, wl field.Element, length int) {
 		// [start, start+length) windows).
 		par.For(blocks, func(lo, hi int) {
 			for blk := lo; blk < hi; blk++ {
-				butterflyRange(a, wl, blk*length, half, 0, half, field.One())
+				if tbl != nil {
+					butterflyRangeTbl(a, tbl, blk*length, half, 0, half)
+				} else {
+					butterflyRange(a, wl, blk*length, half, 0, half, field.One())
+				}
 			}
 		})
 		return
 	}
-	// Twiddle-parallel: split each block's j-range; chunk c starts its
-	// twiddle at wl^lo.
+	// Twiddle-parallel: split each block's j-range; chunk c reads its
+	// twiddles straight from the table, or seeds at wl^lo above the cap.
 	for start := 0; start < n; start += length {
 		start := start
 		par.For(half, func(lo, hi int) {
+			if tbl != nil {
+				butterflyRangeTbl(a, tbl, start, half, lo, hi)
+				return
+			}
 			var wj0 field.Element
 			wj0.ExpUint64(&wl, uint64(lo))
 			butterflyRange(a, wl, start, half, lo, hi, wj0)
@@ -163,6 +223,18 @@ func butterflyRange(a []field.Element, wl field.Element, start, half, jlo, jhi i
 		a[start+j].Add(&u, &t)
 		a[start+j+half].Sub(&u, &t)
 		wj.Mul(&wj, &wl)
+	}
+}
+
+// butterflyRangeTbl is butterflyRange with twiddles read from the cached
+// per-stage table instead of a running product.
+func butterflyRangeTbl(a []field.Element, tbl []field.Element, start, half, jlo, jhi int) {
+	for j := jlo; j < jhi; j++ {
+		var t field.Element
+		t.Mul(&tbl[j], &a[start+j+half])
+		u := a[start+j]
+		a[start+j].Add(&u, &t)
+		a[start+j+half].Sub(&u, &t)
 	}
 }
 

@@ -1,0 +1,127 @@
+package ntt
+
+import (
+	"sync"
+	"testing"
+
+	"batchzk/internal/field"
+)
+
+// TestTwiddleTableBitIdentity: transforms through the cached tables must
+// reproduce the seeded running-product path bit-for-bit, in both
+// directions, across the serial and both parallel regimes.
+func TestTwiddleTableBitIdentity(t *testing.T) {
+	lowerGrain(t) // force the parallel paths even at tiny sizes
+	defaultCap := maxCachedTwiddleLog
+	t.Cleanup(func() { maxCachedTwiddleLog = defaultCap })
+	for _, logN := range []int{1, 3, 6, 9, 12} {
+		n := 1 << uint(logN)
+		in := field.RandVector(n)
+
+		cached := append([]field.Element(nil), in...)
+		if err := Forward(cached); err != nil {
+			t.Fatal(err)
+		}
+		cachedInv := append([]field.Element(nil), cached...)
+		if err := Inverse(cachedInv); err != nil {
+			t.Fatal(err)
+		}
+
+		maxCachedTwiddleLog = -1 // reference pass: tables off
+		seeded := append([]field.Element(nil), in...)
+		if err := Forward(seeded); err != nil {
+			t.Fatal(err)
+		}
+		seededInv := append([]field.Element(nil), seeded...)
+		if err := Inverse(seededInv); err != nil {
+			t.Fatal(err)
+		}
+		maxCachedTwiddleLog = defaultCap // next size's cached pass
+
+		for i := range cached {
+			if cached[i] != seeded[i] {
+				t.Fatalf("n=%d: forward diverges at %d with twiddle tables", n, i)
+			}
+			if cachedInv[i] != seededInv[i] {
+				t.Fatalf("n=%d: inverse diverges at %d with twiddle tables", n, i)
+			}
+			if cachedInv[i] != in[i] {
+				t.Fatalf("n=%d: round trip not identity at %d", n, i)
+			}
+		}
+	}
+}
+
+// TestTwiddleTableConcurrentBuild hammers the lock-free publication from
+// many goroutines on first use; the race detector (make race) checks the
+// atomic discipline, and every transform must still be correct.
+func TestTwiddleTableConcurrentBuild(t *testing.T) {
+	// Fresh slots so this test actually races the build.
+	for d := 0; d < 2; d++ {
+		for l := range twiddleTables[d] {
+			twiddleTables[d][l].Store(nil)
+		}
+	}
+	const n = 1 << 8
+	in := field.RandVector(n)
+	want := append([]field.Element(nil), in...)
+	if err := Forward(want); err != nil {
+		t.Fatal(err)
+	}
+	// Reset again so the concurrent runs start cold.
+	for d := 0; d < 2; d++ {
+		for l := range twiddleTables[d] {
+			twiddleTables[d][l].Store(nil)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	outs := make([][]field.Element, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := append([]field.Element(nil), in...)
+			errs[g] = Forward(buf)
+			outs[g] = buf
+		}(g)
+	}
+	wg.Wait()
+	for g := range outs {
+		if errs[g] != nil {
+			t.Fatal(errs[g])
+		}
+		for i := range want {
+			if outs[g][i] != want[i] {
+				t.Fatalf("goroutine %d diverges at %d", g, i)
+			}
+		}
+	}
+}
+
+func BenchmarkForwardCached4096(b *testing.B) {
+	in := field.RandVector(4096)
+	buf := make([]field.Element, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, in)
+		if err := Forward(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForwardUncached4096(b *testing.B) {
+	old := maxCachedTwiddleLog
+	maxCachedTwiddleLog = -1
+	defer func() { maxCachedTwiddleLog = old }()
+	in := field.RandVector(4096)
+	buf := make([]field.Element, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, in)
+		if err := Forward(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -87,7 +87,7 @@ func VerifyEvalCompact(comm Commitment, point []field.Element, value field.Eleme
 		len(proof.ColumnIndex) != len(proof.ColumnValues) {
 		return fmt.Errorf("%w: malformed compact proof", ErrReject)
 	}
-	enc, err := encoder.New(params.NumCols, params.Enc)
+	enc, err := encoder.Cached(params.NumCols, params.Enc)
 	if err != nil {
 		return err
 	}

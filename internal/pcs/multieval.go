@@ -81,7 +81,7 @@ func VerifyEvalMulti(comm Commitment, points [][]field.Element, values []field.E
 	if comm.NumRows != params.NumRows || comm.NumCols != params.NumCols {
 		return fmt.Errorf("pcs: commitment layout mismatch")
 	}
-	enc, err := encoder.New(params.NumCols, params.Enc)
+	enc, err := encoder.Cached(params.NumCols, params.Enc)
 	if err != nil {
 		return err
 	}

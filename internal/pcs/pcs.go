@@ -119,7 +119,7 @@ func Commit(values []field.Element, params Params) (*ProverState, error) {
 	if len(values) != want {
 		return nil, fmt.Errorf("pcs: %d values, layout wants %d", len(values), want)
 	}
-	enc, err := encoder.New(params.NumCols, params.Enc)
+	enc, err := encoder.Cached(params.NumCols, params.Enc)
 	if err != nil {
 		return nil, err
 	}
@@ -303,7 +303,7 @@ func VerifyEval(comm Commitment, point []field.Element, value field.Element, pro
 	if proof == nil || len(proof.TestRow) != params.NumCols || len(proof.CombinedRow) != params.NumCols {
 		return fmt.Errorf("%w: malformed proof rows", ErrReject)
 	}
-	enc, err := encoder.New(params.NumCols, params.Enc)
+	enc, err := encoder.Cached(params.NumCols, params.Enc)
 	if err != nil {
 		return err
 	}

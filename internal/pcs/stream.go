@@ -67,7 +67,7 @@ func NewStreamingCommitter(params Params, mode CommitMode) (*StreamingCommitter,
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	enc, err := encoder.New(params.NumCols, params.Enc)
+	enc, err := encoder.Cached(params.NumCols, params.Enc)
 	if err != nil {
 		return nil, err
 	}
